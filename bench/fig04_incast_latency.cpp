@@ -1,0 +1,60 @@
+// Figure 4 (Case-1): RTT distribution under growing incast degree.
+//
+// N flows of different VFs (500 Mbps guarantee each) converge on one host.
+// The paper's point: PicNIC'+WCC+Clove's tail latency grows with the incast
+// degree because greedy rate evolution lets the aggregate burst scale with
+// the number of flows, while uFAB's two-stage admission bounds it.
+#include <cstdio>
+#include <vector>
+
+#include "src/harness/experiment.hpp"
+#include "src/workload/sources.hpp"
+
+using namespace ufab;
+using namespace ufab::time_literals;
+using namespace ufab::unit_literals;
+using harness::Experiment;
+using harness::Scheme;
+
+namespace {
+
+PercentileTracker run_incast(Scheme scheme, int degree, std::uint64_t seed) {
+  Experiment exp(
+      scheme,
+      [](sim::Simulator& s, const topo::FabricOptions& o) { return topo::make_testbed(s, o); },
+      {}, {}, seed);
+  auto& fab = exp.fab();
+  auto& vms = fab.vms();
+
+  // N senders spread over S1..S7, all targeting VMs on S8 (HostId 7).
+  std::vector<VmPairId> pairs;
+  for (int i = 0; i < degree; ++i) {
+    const TenantId t = vms.add_tenant("VF" + std::to_string(i), 500_Mbps);
+    const VmId src = vms.add_vm(t, HostId{i % 7});
+    const VmId dst = vms.add_vm(t, HostId{7});
+    pairs.push_back(VmPairId{src, dst});
+  }
+  // All flows start at the same instant — the synchronized worst case.
+  for (const auto& p : pairs) fab.keep_backlogged(p, 1_ms, 30_ms);
+  fab.sim().run_until(30_ms);
+  return exp.aggregate_rtt_us();
+}
+
+}  // namespace
+
+int main() {
+  harness::print_header("Figure 4 — RTT vs incast degree (testbed, 10G, 500 Mbps guarantees)");
+  std::printf("%-20s %8s %10s %10s %10s %10s\n", "scheme", "incast", "p50_us", "p99_us",
+              "p99.9_us", "max_us");
+  for (const Scheme scheme : {Scheme::kPwc, Scheme::kUfab}) {
+    for (const int degree : {2, 6, 10, 14}) {
+      const auto rtt = run_incast(scheme, degree, 1000 + static_cast<std::uint64_t>(degree));
+      std::printf("%-20s %8d %10.1f %10.1f %10.1f %10.1f\n", harness::to_string(scheme), degree,
+                  rtt.percentile(50), rtt.percentile(99), rtt.percentile(99.9), rtt.max());
+    }
+  }
+  std::printf(
+      "\nExpected shape: PWC tails grow with the incast degree; uFAB stays bounded\n"
+      "near the latency bound (~4x baseRTT ~ 100 us) at every degree.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Figure 5 (Case-2): utilization-oriented load balancing vs subscription-
+// aware path selection.
+//
+// Three parallel spine paths carry three established VFs with different
+// subscription/utilization mixes; a fourth VF joins mid-run. Clove steers it
+// by congestion signals and can park it on a fully subscribed path (breaking
+// guarantees, or oscillating at a 36 us flowlet gap); uFAB reads the
+// subscription from the informative core and lands on the one path that can
+// still serve the guarantee.
+#include <cstdio>
+#include <vector>
+
+#include "src/harness/experiment.hpp"
+
+using namespace ufab;
+using namespace ufab::time_literals;
+using namespace ufab::unit_literals;
+using harness::Experiment;
+using harness::GuaranteeSpec;
+using harness::Scheme;
+
+namespace {
+
+struct Result {
+  std::vector<double> steady_gbps;  // per VF, measured after F4 joined
+  double dissatisfaction;
+  std::int64_t migrations_or_switches;
+};
+
+Result run_case2(Scheme scheme, TimeNs flowlet_gap, std::uint64_t seed) {
+  harness::SchemeOptions opts;
+  opts.pwc.clove.flowlet_gap = flowlet_gap;
+  opts.es.clove.flowlet_gap = flowlet_gap;
+  Experiment exp(
+      scheme,
+      [](sim::Simulator& s, const topo::FabricOptions& o) {
+        return topo::make_leaf_spine(s, 2, 3, 4, o);
+      },
+      {}, opts, seed);
+  auto& fab = exp.fab();
+  auto& vms = fab.vms();
+
+  // Four 4 Gbps VFs; three start staggered, the fourth joins at 100 ms.
+  std::vector<VmPairId> pairs;
+  for (int i = 0; i < 4; ++i) {
+    const TenantId t = vms.add_tenant("VF-" + std::to_string(i + 1), 4_Gbps);
+    pairs.push_back(VmPairId{vms.add_vm(t, HostId{i}), vms.add_vm(t, HostId{4 + i})});
+  }
+  for (int i = 0; i < 3; ++i) {
+    fab.keep_backlogged(pairs[static_cast<std::size_t>(i)], TimeNs{i * 3'000'000LL}, 300_ms);
+  }
+  fab.keep_backlogged(pairs[3], 100_ms, 300_ms);
+  fab.sim().run_until(300_ms);
+
+  Result r;
+  std::vector<GuaranteeSpec> specs;
+  for (int i = 0; i < 4; ++i) {
+    r.steady_gbps.push_back(exp.pair_rate_gbps(pairs[static_cast<std::size_t>(i)], 200_ms, 300_ms));
+    specs.push_back(GuaranteeSpec{pairs[static_cast<std::size_t>(i)], 4e9,
+                                  i < 3 ? TimeNs{i * 3'000'000LL + 5'000'000} : 120_ms, 300_ms});
+  }
+  r.dissatisfaction = harness::dissatisfaction_ratio(fab, specs, 300_ms);
+  r.migrations_or_switches = 0;
+  for (std::size_t h = 0; h < fab.net().host_count(); ++h) {
+    if (scheme == Scheme::kUfab) {
+      r.migrations_or_switches +=
+          fab.stack_as<edge::EdgeAgent>(HostId{static_cast<std::int32_t>(h)}).migrations();
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  harness::print_header(
+      "Figure 5 (Case-2) — path selection for a joining VF (2 leaves x 3 spines, 4x4Gbps VFs)");
+  std::printf("%-26s %10s %10s %10s %10s %14s %12s\n", "scheme", "VF1_Gbps", "VF2_Gbps",
+              "VF3_Gbps", "VF4_Gbps", "dissatisfied", "migrations");
+  struct Case {
+    Scheme scheme;
+    TimeNs gap;
+    const char* label;
+  };
+  const Case cases[] = {
+      {Scheme::kPwc, 200_us, "PWC (flowlet 200us)"},
+      {Scheme::kPwc, 36_us, "PWC (flowlet 36us)"},
+      {Scheme::kEsClove, 200_us, "ES+Clove (200us)"},
+      {Scheme::kUfab, 200_us, "uFAB"},
+  };
+  for (const Case& c : cases) {
+    const Result r = run_case2(c.scheme, c.gap, 77);
+    std::printf("%-26s %10.2f %10.2f %10.2f %10.2f %13.1f%% %12lld\n", c.label,
+                r.steady_gbps[0], r.steady_gbps[1], r.steady_gbps[2], r.steady_gbps[3],
+                100.0 * r.dissatisfaction, static_cast<long long>(r.migrations_or_switches));
+  }
+  std::printf(
+      "\nExpected shape: with 4x4 Gbps demands on 3x10 Gbps paths, uFAB places every VF\n"
+      "on a path that can serve its guarantee (all >= ~4 Gbps, dissatisfaction ~0);\n"
+      "the Clove-based composites converge on utilization and leave some VF below\n"
+      "its guarantee (and oscillate at the 36 us gap).\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Figure 11: bandwidth guarantee with work conservation under high load.
+//
+// Permutation traffic across the testbed pods with three guarantee classes
+// (1/2/5 Gbps per host); a new VF is inserted every 20 ms. Reproduces:
+//   (a-c) per-VF rate evolution for uFAB / PWC / ES+Clove,
+//   (d)   bandwidth-dissatisfaction ratio over time,
+//   (e)   queue length distribution.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "src/harness/experiment.hpp"
+
+using namespace ufab;
+using namespace ufab::time_literals;
+using namespace ufab::unit_literals;
+using harness::Experiment;
+using harness::GuaranteeSpec;
+using harness::Scheme;
+
+namespace {
+
+constexpr TimeNs kRunTime = 400_ms;
+
+struct VfSpec {
+  std::string name;
+  VmPairId pair;
+  double guarantee_bps;
+  TimeNs join;
+};
+
+void run_scheme(Scheme scheme) {
+  Experiment exp(
+      scheme,
+      [](sim::Simulator& s, const topo::FabricOptions& o) { return topo::make_testbed(s, o); },
+      {}, {}, 31);
+  auto& fab = exp.fab();
+  auto& vms = fab.vms();
+
+  // 4 source hosts (pod 1) x 3 classes = 12 VFs; destinations in pod 2.
+  const double classes_gbps[3] = {1.0, 2.0, 5.0};
+  std::vector<VfSpec> vfs;
+  Rng join_rng = fab.rng().fork("joins");
+  for (int h = 0; h < 4; ++h) {
+    for (int c = 0; c < 3; ++c) {
+      const auto g = Bandwidth::gbps(classes_gbps[c]);
+      const TenantId t =
+          vms.add_tenant("H" + std::to_string(h) + "-" + std::to_string(c) + "G", g);
+      const VmPairId pair{vms.add_vm(t, HostId{h}), vms.add_vm(t, HostId{4 + h})};
+      vfs.push_back(VfSpec{std::to_string(static_cast<int>(classes_gbps[c])) + "G/H" +
+                               std::to_string(h + 1),
+                           pair, g.bits_per_sec(), TimeNs::zero()});
+    }
+  }
+  // Random insertion order, one VF every 20 ms.
+  for (std::size_t i = 0; i + 1 < vfs.size(); ++i) {
+    const auto j = i + static_cast<std::size_t>(join_rng.below(vfs.size() - i));
+    std::swap(vfs[i], vfs[j]);
+  }
+  for (std::size_t i = 0; i < vfs.size(); ++i) {
+    vfs[i].join = TimeNs{static_cast<std::int64_t>(i) * 20'000'000};
+    fab.keep_backlogged(vfs[i].pair, vfs[i].join, kRunTime);
+  }
+
+  PercentileTracker queues;
+  fab.sample_queues(100_us, kRunTime, queues);
+  fab.sim().run_until(kRunTime);
+
+  // (a/b/c) rate evolution, 20 ms steps.
+  harness::print_header(std::string("Fig 11 rate evolution — ") + to_string(scheme));
+  std::vector<std::pair<std::string, VmPairId>> named;
+  for (const auto& v : vfs) named.emplace_back(v.name, v.pair);
+  harness::print_rate_series(fab, named, 0_ms, kRunTime, 20_ms);
+
+  // (d) dissatisfaction.
+  std::vector<GuaranteeSpec> specs;
+  for (const auto& v : vfs) {
+    specs.push_back(GuaranteeSpec{v.pair, v.guarantee_bps, v.join + 5_ms, kRunTime});
+  }
+  std::printf("dissatisfaction ratio (whole run): %.2f%%\n",
+              100.0 * harness::dissatisfaction_ratio(fab, specs, kRunTime));
+  const auto series = harness::dissatisfaction_series(fab, specs, kRunTime);
+  std::printf("dissatisfaction%% by 50ms window:");
+  for (TimeNs t = 0_ms; t < kRunTime; t += 50_ms) {
+    std::printf(" %5.1f", series.mean_in(t, t + 50_ms));
+  }
+  std::printf("\n");
+
+  // Register consistency: total registered tokens across all egresses should
+  // be (sum of pair tokens) x (switch hops per path) = 32G x 5 = 160G.
+  double total_phi = 0.0;
+  for (const auto& agent : fab.core_agents()) total_phi += agent->phi_total();
+  if (!fab.core_agents().empty()) {
+    std::printf("total registered phi across fabric: %.1fG (expected ~160G)\n", total_phi / 1e9);
+  }
+  if (const char* dbg = std::getenv("UFAB_DEBUG_LINKS"); dbg != nullptr && *dbg == '1') {
+    // Debug: per-egress subscription vs achieved rate (switch egresses only).
+    std::size_t agent_idx = 0;
+    for (sim::Switch* sw : fab.net().switches()) {
+      for (std::int32_t p = 0; p < sw->port_count(); ++p, ++agent_idx) {
+        const auto& agent = fab.core_agents()[agent_idx];
+        if (agent->phi_total() < 1e8) continue;
+        std::printf("  %-18s phi=%6.2fG pairs=%zu tx=%6.2fG q=%lld\n",
+                    sw->port(p).name().c_str(), agent->phi_total() / 1e9,
+                    agent->active_pairs(), sw->port(p).tx_rate(TimeNs{1'000'000}).gbit_per_sec(),
+                    static_cast<long long>(sw->port(p).queue_bytes()));
+      }
+    }
+  }
+
+  // (e) queue distribution.
+  harness::print_cdf_rows("queue length (bytes)", queues, "B");
+  std::printf("max queue %lld B, drops %lld\n", static_cast<long long>(exp.max_queue_bytes()),
+              static_cast<long long>(exp.total_drops()));
+}
+
+}  // namespace
+
+int main() {
+  harness::print_header(
+      "Figure 11 — guarantees + work conservation, 12 VFs (1/2/5G classes) joining every 20 ms");
+  for (const Scheme s : {Scheme::kUfab, Scheme::kPwc, Scheme::kEsClove}) run_scheme(s);
+  std::printf(
+      "\nExpected shape: uFAB converges within ~1 ms of each join with dissatisfaction ~0\n"
+      "and near-empty queues; PWC misses guarantees (tens of %%); ES+Clove protects\n"
+      "guarantees better but builds queues (large queue tail).\n");
+  return 0;
+}

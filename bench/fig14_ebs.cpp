@@ -1,0 +1,78 @@
+// Figure 14: EBS task completion times (storage scenario of §5.3).
+//
+// Storage Agents (S1-S4) stream 64 KB blocks to Block Agents (S5-S8) which
+// replicate to three Chunk Servers, while a Garbage Collector does periodic
+// read-modify-write cycles. Guarantees: SA 2 Gbps, BA 6 Gbps, GC 1 Gbps.
+// Latency bound converted to 10 Gbps: 2 ms average / 10 ms tail.
+#include <cstdio>
+#include <vector>
+
+#include "src/harness/experiment.hpp"
+#include "src/workload/apps.hpp"
+
+using namespace ufab;
+using namespace ufab::time_literals;
+using namespace ufab::unit_literals;
+using harness::Experiment;
+using harness::Scheme;
+using workload::EbsApp;
+
+namespace {
+
+constexpr TimeNs kRun = 250_ms;
+
+void run(Scheme scheme) {
+  Experiment exp(
+      scheme,
+      [](sim::Simulator& s, const topo::FabricOptions& o) { return topo::make_testbed(s, o); },
+      {}, {}, 23);
+  auto& fab = exp.fab();
+  auto& vms = fab.vms();
+
+  const TenantId sa_t = vms.add_tenant("SA", 2_Gbps);
+  const TenantId ba_t = vms.add_tenant("BA", 6_Gbps);
+  const TenantId gc_t = vms.add_tenant("GC", 1_Gbps);
+  std::vector<VmId> sas;
+  std::vector<VmId> bas;
+  std::vector<VmId> css;
+  std::vector<VmId> gcs;
+  for (int i = 0; i < 4; ++i) sas.push_back(vms.add_vm(sa_t, HostId{i}));
+  for (int i = 0; i < 4; ++i) {
+    bas.push_back(vms.add_vm(ba_t, HostId{4 + i}));
+    css.push_back(vms.add_vm(ba_t, HostId{4 + i}));
+    gcs.push_back(vms.add_vm(gc_t, HostId{4 + i}));
+  }
+  EbsApp::Config cfg;
+  cfg.stop = kRun;
+  EbsApp app(fab, sas, bas, css, gcs, cfg, fab.rng().fork("ebs"));
+  fab.sim().run_until(kRun + 50_ms);
+
+  std::printf("%-22s blocks=%5lld\n", harness::to_string(scheme),
+              static_cast<long long>(app.blocks_completed()));
+  const auto row = [](const char* task, const PercentileTracker& t) {
+    if (t.empty()) {
+      std::printf("  %-8s (no samples)\n", task);
+      return;
+    }
+    std::printf("  %-8s avg=%8.2fms  p90=%8.2fms  p99=%8.2fms  max=%8.2fms\n", task, t.mean(),
+                t.percentile(90), t.percentile(99), t.max());
+  };
+  row("SA", app.sa_tct_ms());
+  row("BA", app.ba_tct_ms());
+  row("Total", app.total_tct_ms());
+  row("GC", app.gc_tct_ms());
+}
+
+}  // namespace
+
+int main() {
+  harness::print_header(
+      "Figure 14 — EBS task completion time (SA 2G / BA 6G / GC 1G guarantees)");
+  std::printf("latency bound (10G-converted): 2 ms average, 10 ms tail\n\n");
+  for (const Scheme s : {Scheme::kPwc, Scheme::kEsClove, Scheme::kUfab}) run(s);
+  std::printf(
+      "\nExpected shape: uFAB completes I/O within the bound (avg << 2 ms, tail << 10 ms);\n"
+      "the composites blow past the tail bound by an order of magnitude (21x/33x in\n"
+      "the paper's testbed).\n");
+  return 0;
+}

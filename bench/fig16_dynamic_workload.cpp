@@ -1,0 +1,90 @@
+// Figure 16: 90-to-1 highly dynamic workload.
+//
+// 90 VFs (1 Gbps guarantee each) send to one receiver, flipping between a
+// fixed 500 Mbps demand and unlimited demand every 4 ms. Reproduces the rate
+// evolution and the RTT distribution; uFAB should bound the RTT within a few
+// tens of microseconds while the composites overshoot and queue.
+#include <cstdio>
+#include <vector>
+
+#include "src/harness/experiment.hpp"
+#include "src/workload/sources.hpp"
+
+using namespace ufab;
+using namespace ufab::time_literals;
+using namespace ufab::unit_literals;
+using harness::Experiment;
+using harness::Scheme;
+using workload::OnOffSource;
+
+namespace {
+
+constexpr int kSenders = 90;
+constexpr TimeNs kRun = 24_ms;
+
+void run(Scheme scheme) {
+  topo::FabricOptions opts;
+  opts.host_bw = Bandwidth::gbps(100);
+  opts.fabric_bw = Bandwidth::gbps(100);
+  opts.prop_delay = 1_us;
+  Experiment exp(
+      scheme,
+      [](sim::Simulator& s, const topo::FabricOptions& o) {
+        // 4 leaves x 23 hosts: senders on leaves 1-3, receiver on leaf 4.
+        return topo::make_leaf_spine(s, 4, 4, 23, o);
+      },
+      opts, {}, 13);
+  auto& fab = exp.fab();
+  auto& vms = fab.vms();
+
+  std::vector<std::unique_ptr<OnOffSource>> sources;
+  const HostId rx{91};
+  for (int i = 0; i < kSenders; ++i) {
+    const TenantId t = vms.add_tenant("VF" + std::to_string(i), 1_Gbps);
+    const VmPairId pair{vms.add_vm(t, HostId{i % 69}), vms.add_vm(t, rx)};
+    OnOffSource::Config cfg;
+    cfg.period = 4_ms;
+    cfg.limited_rate = 500_Mbps;
+    cfg.stop = kRun;
+    cfg.start_unlimited = i % 2 == 0;  // half start greedy, half paced
+    sources.push_back(std::make_unique<OnOffSource>(fab, pair, cfg));
+  }
+  fab.sim().run_until(kRun);
+
+  std::printf("\n--- %s ---\n", harness::to_string(scheme));
+  // Aggregate goodput at the receiver downlink per 1 ms.
+  std::printf("receiver goodput (Gbps) per ms: ");
+  const TenantId any{0};
+  (void)any;
+  double total = 0.0;
+  for (int ms = 0; ms < static_cast<int>(kRun.ms()); ++ms) {
+    double gbps = 0.0;
+    for (int i = 0; i < kSenders; ++i) {
+      gbps += exp.tenant_rate_gbps(TenantId{i}, TimeNs{ms * 1'000'000LL},
+                                   TimeNs{(ms + 1) * 1'000'000LL});
+    }
+    total += gbps;
+    if (ms % 2 == 0) std::printf(" %5.1f", gbps);
+  }
+  std::printf("\n");
+  const auto rtt = exp.aggregate_rtt_us();
+  harness::print_cdf_rows("RTT", rtt, "us");
+  std::printf("max queue %lld B, drops %lld\n", static_cast<long long>(exp.max_queue_bytes()),
+              static_cast<long long>(exp.total_drops()));
+}
+
+}  // namespace
+
+int main() {
+  harness::print_header(
+      "Figure 16 — 90-to-1 on/off dynamic demand (1G guarantees, 100GE, 4 ms phases)");
+  for (const Scheme s :
+       {Scheme::kPwc, Scheme::kEsClove, Scheme::kUfabPrime, Scheme::kUfab}) {
+    run(s);
+  }
+  std::printf(
+      "\nExpected shape: uFAB keeps goodput near the 95 Gbps target across phase flips\n"
+      "with a tightly bounded RTT; PWC overshoots/undershoots (utilization dips),\n"
+      "ES+Clove recovers fast but with much higher latency.\n");
+  return 0;
+}

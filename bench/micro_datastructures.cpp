@@ -1,0 +1,111 @@
+// Microbenchmarks for the hot data-plane data structures (google-benchmark):
+// the switch Bloom filter, the WFQ scheduler, the event queue, and the
+// per-probe INT processing path.
+#include <benchmark/benchmark.h>
+
+#include "src/sim/link.hpp"
+#include "src/sim/node.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/telemetry/bloom.hpp"
+#include "src/telemetry/core_agent.hpp"
+#include "src/ufab/token_assigner.hpp"
+#include "src/ufab/wfq.hpp"
+
+namespace {
+
+using namespace ufab;
+using namespace ufab::time_literals;
+using namespace ufab::unit_literals;
+
+void BM_BloomInsert(benchmark::State& state) {
+  telemetry::CountingBloomFilter bloom;
+  std::uint64_t key = 1;
+  for (auto _ : state) {
+    bloom.insert(key++);
+    if ((key & 0x3fff) == 0) bloom.clear();
+  }
+}
+BENCHMARK(BM_BloomInsert);
+
+void BM_BloomLookup(benchmark::State& state) {
+  telemetry::CountingBloomFilter bloom;
+  for (std::uint64_t k = 0; k < 20'000; ++k) bloom.insert(k * 7919);
+  std::uint64_t key = 1;
+  bool hit = false;
+  for (auto _ : state) {
+    hit ^= bloom.maybe_contains(key++);
+  }
+  benchmark::DoNotOptimize(hit);
+}
+BENCHMARK(BM_BloomLookup);
+
+void BM_WfqNext(benchmark::State& state) {
+  edge::WfqScheduler wfq(1.0);
+  const auto entities = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t e = 1; e <= entities; ++e) {
+    const TenantId t{static_cast<std::int32_t>(e % 16)};
+    wfq.set_tenant_weight(t, static_cast<double>(1 + e % 8));
+    wfq.add(t, e);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wfq.next([](std::uint64_t) { return 1500; }));
+  }
+}
+BENCHMARK(BM_WfqNext)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_EventQueue(benchmark::State& state) {
+  sim::Simulator sim;
+  std::int64_t t = 1;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      sim.at(TimeNs{t + (i * 7919) % 1000}, [] {});
+    }
+    sim.run();
+    t += 1000;
+  }
+  benchmark::DoNotOptimize(sim.events_processed());
+}
+BENCHMARK(BM_EventQueue);
+
+class NullNode final : public sim::Node {
+ public:
+  NullNode() : Node(NodeId{0}, "null") {}
+  void receive(sim::PacketPtr) override {}
+};
+
+void BM_CoreAgentProbe(benchmark::State& state) {
+  sim::Simulator sim;
+  NullNode sink;
+  sim::Link link(sim, LinkId{0}, "l", &sink, sim::LinkConfig{});
+  telemetry::CoreConfig cfg;
+  cfg.clean_period = TimeNs::zero();  // no sweeps during the benchmark
+  telemetry::CoreAgent agent(sim, cfg);
+  std::uint64_t key = 1;
+  for (auto _ : state) {
+    auto p = sim::Packet::make(sim::PacketKind::kProbe, VmPairId{VmId{1}, VmId{2}}, TenantId{0},
+                               HostId{0}, HostId{1}, sim::kProbeBaseBytes);
+    p->probe.reg_key = key;
+    key = key % 8192 + 1;  // steady-state pair population
+    p->probe.phi = 1e9;
+    p->probe.window = 30'000;
+    agent.on_probe_egress(*p, link, sim.now());
+    benchmark::DoNotOptimize(p->telemetry.size());
+  }
+}
+BENCHMARK(BM_CoreAgentProbe);
+
+void BM_TokenAssignment(benchmark::State& state) {
+  std::vector<edge::SenderPairView> pairs(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    pairs[i].demand_tokens = i % 3 == 0 ? 1e5 : 1e30;
+    pairs[i].receiver_tokens = 1e9;
+    pairs[i].receiver_known = i % 2 == 0;
+  }
+  for (auto _ : state) {
+    edge::assign_tokens(1e10, pairs);
+    benchmark::DoNotOptimize(pairs.back().assigned);
+  }
+}
+BENCHMARK(BM_TokenAssignment)->Arg(8)->Arg(128);
+
+}  // namespace

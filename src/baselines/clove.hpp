@@ -1,0 +1,54 @@
+// Clove: congestion-aware flowlet load balancing at the virtual edge
+// (Katta et al., CoNEXT'17), the path-selection component of both baseline
+// composites.
+//
+// The selector keeps a weight per candidate path, decreased multiplicatively
+// when the path returns ECN-marked ACKs (Clove-ECN) and slowly recovered
+// otherwise.  At flowlet boundaries (an inter-packet gap larger than the
+// configured flowlet gap) the next path is drawn with probability
+// proportional to the weights.  Crucially — and this is the paper's Case-2
+// point — the weights reflect *utilization/congestion*, not bandwidth
+// subscription, so migrations can stampede onto paths whose guarantees are
+// already fully subscribed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/rng.hpp"
+#include "src/core/time.hpp"
+
+namespace ufab::baselines {
+
+struct CloveConfig {
+  /// Inter-packet gap that opens a flowlet boundary (200 us recommended by
+  /// Clove; Fig. 5 also evaluates an aggressive 36 us = 1.5x baseRTT).
+  TimeNs flowlet_gap = TimeNs{200'000};
+  double ecn_decrease = 0.25;   ///< Multiplicative weight cut per marked ACK.
+  double recovery = 0.01;       ///< Additive weight recovery per clean ACK.
+  double min_weight = 0.05;
+};
+
+class CloveSelector {
+ public:
+  CloveSelector(CloveConfig cfg, std::size_t n_paths, Rng rng);
+
+  /// Returns the path index for the next packet sent at `now`.
+  std::int32_t select(TimeNs now);
+
+  /// Feeds ECN feedback from an ACK that used path `path_idx`.
+  void on_ack(std::int32_t path_idx, bool ecn_marked);
+
+  [[nodiscard]] const std::vector<double>& weights() const { return weights_; }
+  [[nodiscard]] std::int64_t path_switches() const { return switches_; }
+
+ private:
+  CloveConfig cfg_;
+  std::vector<double> weights_;
+  Rng rng_;
+  std::int32_t current_ = 0;
+  TimeNs last_send_ = TimeNs::zero();
+  std::int64_t switches_ = 0;
+};
+
+}  // namespace ufab::baselines

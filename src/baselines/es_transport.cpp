@@ -1,0 +1,176 @@
+#include "src/baselines/es_transport.hpp"
+
+#include <algorithm>
+
+#include "src/ufab/token_assigner.hpp"
+
+namespace ufab::baselines {
+
+namespace {
+using sim::Packet;
+using sim::PacketKind;
+using sim::PacketPtr;
+}  // namespace
+
+EsTransport::EsTransport(topo::Network& net, const harness::VmMap& vms, HostId host,
+                         EsConfig cfg, transport::TransportOptions topts, Rng rng)
+    : TransportStack(net, vms, host, topts, rng), cfg_(cfg) {}
+
+std::unique_ptr<transport::Connection> EsTransport::make_connection() {
+  return std::make_unique<EsConnection>();
+}
+
+void EsTransport::on_connection_created(transport::Connection& conn) {
+  auto& c = static_cast<EsConnection&>(conn);
+  int outgoing = 0;
+  for (transport::Connection* other : conn_order_) {
+    if (other->pair.src == c.pair.src) ++outgoing;
+  }
+  c.guarantee_bps = vms().vm_tokens(c.pair.src) / std::max(1, outgoing);
+  c.clove = std::make_unique<CloveSelector>(
+      cfg_.clove, std::max<std::size_t>(1, c.candidates.size()), rng().fork(c.pair.key()));
+  c.window_started = simulator().now();
+  ensure_gp_timer();
+}
+
+bool EsTransport::can_send(const transport::Connection& conn) const {
+  const auto& c = static_cast<const EsConnection&>(conn);
+  // Rate-based sending; an inflight cap of a few RTTs bounds sender memory.
+  const double cap =
+      c.rate_bps() * c.base_rtt.sec() * cfg_.inflight_cap_rtts + 3.0 * 1500.0;
+  return static_cast<double>(c.inflight_bytes) < cap;
+}
+
+TimeNs EsTransport::earliest_send(const transport::Connection& conn) const {
+  return static_cast<const EsConnection&>(conn).next_send_at;
+}
+
+void EsTransport::on_data_sent(transport::Connection& conn, const sim::Packet& pkt) {
+  auto& c = static_cast<EsConnection&>(conn);
+  const double rate = std::max(c.rate_bps(), 1e6);
+  const double gap_ns = static_cast<double>(pkt.size_bytes) * 8e9 / rate;
+  const TimeNs base = std::max(c.next_send_at, simulator().now());
+  c.next_send_at = base + TimeNs{static_cast<std::int64_t>(gap_ns)};
+}
+
+void EsTransport::on_ack(transport::Connection& conn, const sim::Packet& ack,
+                         std::optional<TimeNs> rtt) {
+  (void)rtt;
+  auto& c = static_cast<EsConnection&>(conn);
+  c.clove->on_ack(ack.path_tag.value(), ack.ecn_echo);
+  ++c.acks_in_window;
+  if (ack.ecn_echo) ++c.marked_in_window;
+
+  const TimeNs now = simulator().now();
+  if (now - c.window_started >= c.base_rtt && c.acks_in_window > 0) {
+    const double frac = static_cast<double>(c.marked_in_window) /
+                        static_cast<double>(c.acks_in_window);
+    const double weight =
+        std::max(c.guarantee_bps, 1e6) / cfg_.weight_unit_bps;
+    if (frac > 0.0) {
+      // RA decrease: only the work-conserving portion shrinks; the rate
+      // never drops below the guarantee (ElasticSwitch's defining choice).
+      c.wc_bps *= std::max(0.0, 1.0 - cfg_.wc_md * frac);
+    } else {
+      // Seawall-style weighted probing for spare bandwidth.
+      c.wc_bps += cfg_.wc_increase_mss * weight * 1500.0 * 8.0 / c.base_rtt.sec();
+    }
+    c.acks_in_window = 0;
+    c.marked_in_window = 0;
+    c.window_started = now;
+  }
+}
+
+void EsTransport::select_path(transport::Connection& conn) {
+  auto& c = static_cast<EsConnection&>(conn);
+  if (c.candidates.empty()) return;
+  c.path_idx = c.clove->select(simulator().now());
+}
+
+void EsTransport::on_data_received(const sim::Packet& pkt) {
+  auto& in = incoming_[pkt.pair.key()];
+  in.pair = pkt.pair;
+  in.tenant = pkt.tenant;
+  in.src_host = pkt.src_host;
+  in.bytes += pkt.payload;
+  in.last_seen = simulator().now();
+  ensure_gp_timer();
+}
+
+void EsTransport::ensure_gp_timer() {
+  if (gp_running_) return;
+  gp_running_ = true;
+  simulator().after(cfg_.gp_period, [this] {
+    gp_running_ = false;
+    gp_epoch();
+  });
+}
+
+void EsTransport::gp_epoch() {
+  const TimeNs now = simulator().now();
+
+  // Sender side: re-partition each local VM's guarantee across its pairs.
+  std::unordered_map<std::int32_t, std::vector<EsConnection*>> by_vm;
+  for (transport::Connection* conn : conn_order_) {
+    auto* c = static_cast<EsConnection*>(conn);
+    if (c->has_backlog() || c->inflight_bytes > 0 ||
+        now - c->last_activity < 4 * cfg_.gp_period) {
+      by_vm[c->pair.src.value()].push_back(c);
+    }
+  }
+  const double period_ns = static_cast<double>(cfg_.gp_period.ns());
+  for (auto& [vm, conns] : by_vm) {
+    std::vector<edge::SenderPairView> views(conns.size());
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      EsConnection* c = conns[i];
+      const double measured =
+          static_cast<double>(c->bytes_sent_total - c->bytes_at_epoch) * 8e9 / period_ns;
+      c->bytes_at_epoch = c->bytes_sent_total;
+      views[i].demand_tokens = c->has_backlog() ? 1e30 : measured;
+      views[i].receiver_tokens = c->remote_guarantee_bps;
+      views[i].receiver_known = c->remote_known;
+    }
+    edge::assign_tokens(vms().vm_tokens(VmId{vm}), views);
+    for (std::size_t i = 0; i < conns.size(); ++i) conns[i]->guarantee_bps = views[i].assigned;
+  }
+
+  // Receiver side: admit incoming pairs per destination VM (max-min) and
+  // advertise the admitted partition back in control messages.
+  std::unordered_map<std::int32_t, std::vector<Incoming*>> by_dst;
+  for (auto it = incoming_.begin(); it != incoming_.end();) {
+    if (now - it->second.last_seen > 8 * cfg_.gp_period) {
+      it = incoming_.erase(it);
+    } else {
+      by_dst[it->second.pair.dst.value()].push_back(&it->second);
+      ++it;
+    }
+  }
+  for (auto& [vm, entries] : by_dst) {
+    std::vector<edge::ReceiverPairView> views(entries.size());
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      views[i].requested_tokens =
+          static_cast<double>(entries[i]->bytes) * 8e9 / period_ns * 1.5 + 1e6;
+      entries[i]->bytes = 0;
+    }
+    edge::admit_tokens(vms().vm_tokens(VmId{vm}), views);
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      auto msg = Packet::make(PacketKind::kCredit, entries[i]->pair, entries[i]->tenant,
+                              host_id(), entries[i]->src_host, sim::kCreditBytes);
+      msg->credit_rate = Bandwidth::bps(views[i].admitted);
+      send_control_packet(std::move(msg));
+    }
+  }
+
+  if (!conn_order_.empty() || !incoming_.empty()) ensure_gp_timer();
+}
+
+void EsTransport::on_control_packet(PacketPtr pkt) {
+  if (pkt->kind != PacketKind::kCredit) return;
+  auto* conn = static_cast<EsConnection*>(find_connection(pkt->pair));
+  if (conn == nullptr) return;
+  conn->remote_guarantee_bps = pkt->credit_rate.bits_per_sec();
+  conn->remote_known = true;
+  kick();
+}
+
+}  // namespace ufab::baselines

@@ -1,0 +1,95 @@
+// ElasticSwitch + Clove (Popa et al., SIGCOMM'13 + Katta et al., CoNEXT'17).
+//
+//  * GP (Guarantee Partitioning): hose guarantees are divided among VM pairs
+//    each epoch — sender-side partitioning with receiver-side max-min
+//    admission advertised back in periodic control messages (we reuse the
+//    same Algorithm-1 implementation uFAB adopts, since uFAB took the idea
+//    from ElasticSwitch in the first place).
+//  * RA (Rate Allocation): each pair is rate-limited to
+//        rate = guarantee + wc_rate,
+//    where wc_rate probes for spare bandwidth with a weighted TCP-like AIMD
+//    driven by ECN echo. Crucially the rate never drops below the guarantee,
+//    even when the path is congested — which keeps guarantees but queues the
+//    fabric (the behaviour Figures 11c/11e and 14 show).
+//  * Clove selects flowlet paths by ECN feedback, with no subscription
+//    awareness.
+#pragma once
+
+#include <unordered_map>
+
+#include "src/baselines/clove.hpp"
+#include "src/transport/transport.hpp"
+
+namespace ufab::baselines {
+
+struct EsConfig {
+  CloveConfig clove;
+  /// Guarantee-partitioning epoch (ElasticSwitch runs GP at RTT timescales
+  /// but converges over many epochs; tens of milliseconds end to end).
+  TimeNs gp_period = TimeNs{500'000};  // 0.5 ms
+  /// Weighted additive increase of the work-conserving rate, per RTT, at
+  /// weight 1 (1 Gbps of guarantee).
+  double wc_increase_mss = 1.0;
+  /// Multiplicative decrease applied to the work-conserving rate when the
+  /// ECN-marked fraction of a window is `frac`: wc *= (1 - md * frac).
+  double wc_md = 0.5;
+  double weight_unit_bps = 1e9;
+  /// Inflight cap in RTTs at the current rate (bounds memory, not latency).
+  double inflight_cap_rtts = 4.0;
+};
+
+struct EsConnection : transport::Connection {
+  double guarantee_bps = 0.0;        ///< GP result for this pair.
+  double remote_guarantee_bps = 0.0; ///< Receiver-admitted partition.
+  bool remote_known = false;
+  double wc_bps = 0.0;               ///< Work-conserving rate above guarantee.
+  std::unique_ptr<CloveSelector> clove;
+  TimeNs next_send_at = TimeNs::zero();
+  // ECN window accounting (per ~RTT).
+  std::int64_t acks_in_window = 0;
+  std::int64_t marked_in_window = 0;
+  TimeNs window_started = TimeNs::zero();
+  std::int64_t bytes_at_epoch = 0;
+
+  [[nodiscard]] double rate_bps() const {
+    const double g = remote_known ? std::min(guarantee_bps, remote_guarantee_bps)
+                                  : guarantee_bps;
+    return g + wc_bps;
+  }
+};
+
+class EsTransport : public transport::TransportStack {
+ public:
+  EsTransport(topo::Network& net, const harness::VmMap& vms, HostId host, EsConfig cfg = {},
+              transport::TransportOptions topts = {}, Rng rng = Rng{1});
+
+ protected:
+  std::unique_ptr<transport::Connection> make_connection() override;
+  void on_connection_created(transport::Connection& conn) override;
+  bool can_send(const transport::Connection& conn) const override;
+  TimeNs earliest_send(const transport::Connection& conn) const override;
+  void on_data_sent(transport::Connection& conn, const sim::Packet& pkt) override;
+  void on_ack(transport::Connection& conn, const sim::Packet& ack,
+              std::optional<TimeNs> rtt) override;
+  void on_data_received(const sim::Packet& pkt) override;
+  void on_control_packet(sim::PacketPtr pkt) override;
+  void select_path(transport::Connection& conn) override;
+
+ private:
+  void gp_epoch();
+  void ensure_gp_timer();
+
+  EsConfig cfg_;
+  /// Receiver-side incoming pairs for GP admission.
+  struct Incoming {
+    VmPairId pair;
+    TenantId tenant;
+    HostId src_host;
+    std::int64_t bytes = 0;
+    TimeNs last_seen = TimeNs::zero();
+  };
+  std::unordered_map<std::uint64_t, Incoming> incoming_;
+  bool gp_running_ = false;
+};
+
+}  // namespace ufab::baselines

@@ -1,0 +1,28 @@
+// Precondition / invariant checks that stay on in release builds.
+//
+// The simulator's correctness depends on invariants (no negative queues, no
+// time travel); violating one silently would corrupt an experiment, so checks
+// abort with a message instead of being compiled out.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ufab::detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "ufab check failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+}  // namespace ufab::detail
+
+#define UFAB_CHECK(expr)                                                 \
+  do {                                                                   \
+    if (!(expr)) ::ufab::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define UFAB_CHECK_MSG(expr, msg)                                             \
+  do {                                                                        \
+    if (!(expr)) ::ufab::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (false)

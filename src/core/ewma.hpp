@@ -1,0 +1,35 @@
+// Exponentially weighted moving average with an explicit warm-up.
+#pragma once
+
+namespace ufab {
+
+/// EWMA that returns the first sample verbatim instead of decaying from zero.
+class Ewma {
+ public:
+  /// `alpha` is the weight of a new sample, in (0, 1].
+  explicit Ewma(double alpha = 0.125) : alpha_(alpha) {}
+
+  void add(double sample) {
+    if (!primed_) {
+      value_ = sample;
+      primed_ = true;
+    } else {
+      value_ += alpha_ * (sample - value_);
+    }
+  }
+
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] bool primed() const { return primed_; }
+
+  void reset() {
+    primed_ = false;
+    value_ = 0.0;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool primed_ = false;
+};
+
+}  // namespace ufab

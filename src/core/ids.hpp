@@ -1,0 +1,74 @@
+// Strong identifier types.
+//
+// Every entity in the simulated fabric is addressed by a small integer wrapped
+// in a distinct type, so a link index can never be passed where a host index
+// is expected.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace ufab {
+
+namespace detail {
+/// CRTP base for a 32-bit strong id with an explicit invalid state.
+template <typename Tag>
+class StrongId {
+ public:
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(std::int32_t v) : v_(v) {}
+
+  [[nodiscard]] constexpr std::int32_t value() const { return v_; }
+  [[nodiscard]] constexpr bool valid() const { return v_ >= 0; }
+  [[nodiscard]] static constexpr StrongId invalid() { return StrongId{}; }
+
+  constexpr auto operator<=>(const StrongId&) const = default;
+
+ private:
+  std::int32_t v_ = -1;
+};
+}  // namespace detail
+
+using NodeId = detail::StrongId<struct NodeTag>;      ///< Any switch or host.
+using HostId = detail::StrongId<struct HostTag>;      ///< Index into the host table.
+using LinkId = detail::StrongId<struct LinkTag>;      ///< Unidirectional link index.
+using VmId = detail::StrongId<struct VmTag>;          ///< A virtual machine.
+using TenantId = detail::StrongId<struct TenantTag>;  ///< A VF / tenant.
+using PathId = detail::StrongId<struct PathTag>;      ///< Index into a path set.
+
+/// A directional VM pair a -> b, the unit of guarantee assignment in uFAB.
+struct VmPairId {
+  VmId src;
+  VmId dst;
+
+  constexpr auto operator<=>(const VmPairId&) const = default;
+
+  [[nodiscard]] constexpr bool valid() const { return src.valid() && dst.valid(); }
+  /// A stable 64-bit key for hashing (used by switch Bloom filters).
+  [[nodiscard]] constexpr std::uint64_t key() const {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src.value())) << 32) |
+           static_cast<std::uint32_t>(dst.value());
+  }
+};
+
+}  // namespace ufab
+
+template <typename Tag>
+struct std::hash<ufab::detail::StrongId<Tag>> {
+  std::size_t operator()(const ufab::detail::StrongId<Tag>& id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value());
+  }
+};
+
+template <>
+struct std::hash<ufab::VmPairId> {
+  std::size_t operator()(const ufab::VmPairId& p) const noexcept {
+    // SplitMix64 finalizer over the packed key: cheap and well mixed.
+    std::uint64_t x = p.key() + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};

@@ -1,0 +1,34 @@
+#include "src/core/log.hpp"
+
+namespace ufab {
+
+namespace {
+LogLevel g_threshold = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_threshold() { return g_threshold; }
+void set_log_threshold(LogLevel level) { g_threshold = level; }
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[ufab %s] %s\n", level_name(level), msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace ufab

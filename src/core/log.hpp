@@ -1,0 +1,44 @@
+// Minimal leveled logging.
+//
+// The simulator is a library, so logging defaults to warnings only; tests and
+// benches can raise the level. Messages are plain lines on stderr.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace ufab {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide log threshold (not thread-safe by design: the simulator is
+/// single-threaded and experiments set this once at startup).
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+
+template <typename... Args>
+std::string format(const char* fmt, Args&&... args) {
+  const int n = std::snprintf(nullptr, 0, fmt, std::forward<Args>(args)...);
+  if (n <= 0) return {};
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::snprintf(out.data(), out.size() + 1, fmt, std::forward<Args>(args)...);
+  return out;
+}
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, const char* fmt, Args&&... args) {
+  if (level < log_threshold()) return;
+  detail::log_line(level, detail::format(fmt, std::forward<Args>(args)...));
+}
+
+#define UFAB_LOG_DEBUG(...) ::ufab::log(::ufab::LogLevel::kDebug, __VA_ARGS__)
+#define UFAB_LOG_INFO(...) ::ufab::log(::ufab::LogLevel::kInfo, __VA_ARGS__)
+#define UFAB_LOG_WARN(...) ::ufab::log(::ufab::LogLevel::kWarn, __VA_ARGS__)
+#define UFAB_LOG_ERROR(...) ::ufab::log(::ufab::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace ufab

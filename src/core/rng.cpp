@@ -1,0 +1,31 @@
+#include "src/core/rng.hpp"
+
+#include <cmath>
+
+namespace ufab {
+
+double Rng::exponential(double mean) {
+  // Inverse-CDF; clamp the uniform away from 0 to avoid log(0).
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+Rng Rng::fork(std::string_view tag) const {
+  // FNV-1a over the tag, mixed with this stream's state so different parents
+  // with the same tag produce different children.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : tag) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  std::uint64_t mix = s_[0] ^ (s_[3] + h);
+  return Rng{detail::splitmix64(mix)};
+}
+
+Rng Rng::fork(std::uint64_t tag) const {
+  std::uint64_t mix = s_[0] ^ (s_[3] + tag * 0x9e3779b97f4a7c15ULL);
+  return Rng{detail::splitmix64(mix)};
+}
+
+}  // namespace ufab

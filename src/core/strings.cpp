@@ -1,0 +1,37 @@
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/core/time.hpp"
+#include "src/core/units.hpp"
+
+namespace ufab {
+
+std::string to_string(TimeNs t) {
+  char buf[48];
+  const std::int64_t ns = t.ns();
+  if (ns < 10'000) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "ns", ns);
+  } else if (ns < 10'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", t.us());
+  } else if (ns < 10'000'000'000LL) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", t.ms());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", t.sec());
+  }
+  return buf;
+}
+
+std::string to_string(Bandwidth b) {
+  char buf[48];
+  const double bps = b.bits_per_sec();
+  if (bps < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fKbps", bps / 1e3);
+  } else if (bps < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.1fMbps", bps / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fGbps", bps / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace ufab

@@ -1,0 +1,77 @@
+// Fixed-point simulation time.
+//
+// All simulation time in this library is an integer number of nanoseconds
+// wrapped in the strong type `TimeNs`.  Integer time keeps event ordering
+// exact and reproducible (no floating-point drift across platforms), and one
+// nanosecond of resolution is fine enough to represent packet serialization
+// on a 100 Gbps link (a 64 B packet takes 5.12 ns) without meaningful
+// rounding error.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace ufab {
+
+/// A point in time or a duration, in integer nanoseconds.
+class TimeNs {
+ public:
+  constexpr TimeNs() = default;
+  constexpr explicit TimeNs(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  [[nodiscard]] static constexpr TimeNs zero() { return TimeNs{0}; }
+  [[nodiscard]] static constexpr TimeNs max() {
+    return TimeNs{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr auto operator<=>(const TimeNs&) const = default;
+
+  constexpr TimeNs& operator+=(TimeNs d) {
+    ns_ += d.ns_;
+    return *this;
+  }
+  constexpr TimeNs& operator-=(TimeNs d) {
+    ns_ -= d.ns_;
+    return *this;
+  }
+
+  friend constexpr TimeNs operator+(TimeNs a, TimeNs b) { return TimeNs{a.ns_ + b.ns_}; }
+  friend constexpr TimeNs operator-(TimeNs a, TimeNs b) { return TimeNs{a.ns_ - b.ns_}; }
+  friend constexpr TimeNs operator*(TimeNs a, std::int64_t k) { return TimeNs{a.ns_ * k}; }
+  friend constexpr TimeNs operator*(std::int64_t k, TimeNs a) { return TimeNs{a.ns_ * k}; }
+  friend constexpr std::int64_t operator/(TimeNs a, TimeNs b) { return a.ns_ / b.ns_; }
+  friend constexpr TimeNs operator/(TimeNs a, std::int64_t k) { return TimeNs{a.ns_ / k}; }
+
+  /// Scales a duration by a real factor (used for randomized backoffs).
+  [[nodiscard]] constexpr TimeNs scaled(double f) const {
+    return TimeNs{static_cast<std::int64_t>(static_cast<double>(ns_) * f)};
+  }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+namespace time_literals {
+constexpr TimeNs operator""_ns(unsigned long long v) { return TimeNs{static_cast<std::int64_t>(v)}; }
+constexpr TimeNs operator""_us(unsigned long long v) {
+  return TimeNs{static_cast<std::int64_t>(v) * 1000};
+}
+constexpr TimeNs operator""_ms(unsigned long long v) {
+  return TimeNs{static_cast<std::int64_t>(v) * 1000 * 1000};
+}
+constexpr TimeNs operator""_s(unsigned long long v) {
+  return TimeNs{static_cast<std::int64_t>(v) * 1000 * 1000 * 1000};
+}
+}  // namespace time_literals
+
+/// Human-readable rendering, e.g. "13.250us" — for logs and traces.
+std::string to_string(TimeNs t);
+
+}  // namespace ufab

@@ -1,0 +1,87 @@
+// Strong types for bandwidth and data size.
+//
+// Bandwidth is stored as double bits-per-second.  The conversions between
+// (bytes, bandwidth, duration) live here so that every module computes
+// serialization delays and rate estimates with the same arithmetic.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "src/core/time.hpp"
+
+namespace ufab {
+
+/// Link or flow bandwidth.
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+
+  [[nodiscard]] static constexpr Bandwidth bps(double v) { return Bandwidth{v}; }
+  [[nodiscard]] static constexpr Bandwidth kbps(double v) { return Bandwidth{v * 1e3}; }
+  [[nodiscard]] static constexpr Bandwidth mbps(double v) { return Bandwidth{v * 1e6}; }
+  [[nodiscard]] static constexpr Bandwidth gbps(double v) { return Bandwidth{v * 1e9}; }
+  [[nodiscard]] static constexpr Bandwidth zero() { return Bandwidth{0.0}; }
+
+  [[nodiscard]] constexpr double bits_per_sec() const { return bps_; }
+  [[nodiscard]] constexpr double gbit_per_sec() const { return bps_ / 1e9; }
+  [[nodiscard]] constexpr double bytes_per_sec() const { return bps_ / 8.0; }
+  [[nodiscard]] constexpr double bytes_per_ns() const { return bps_ / 8e9; }
+
+  /// Time to serialize `bytes` at this bandwidth (at least 1 ns for any
+  /// non-empty payload so events always make forward progress).
+  [[nodiscard]] TimeNs tx_time(std::int64_t bytes) const {
+    if (bytes <= 0 || bps_ <= 0.0) return TimeNs::zero();
+    const double ns = static_cast<double>(bytes) / bytes_per_ns();
+    return TimeNs{std::max<std::int64_t>(1, std::llround(ns))};
+  }
+
+  /// Bytes transferred in `d` at this bandwidth.
+  [[nodiscard]] double bytes_in(TimeNs d) const {
+    return bytes_per_ns() * static_cast<double>(d.ns());
+  }
+
+  /// Bandwidth-delay product in bytes.
+  [[nodiscard]] double bdp_bytes(TimeNs rtt) const { return bytes_in(rtt); }
+
+  constexpr auto operator<=>(const Bandwidth&) const = default;
+
+  friend constexpr Bandwidth operator+(Bandwidth a, Bandwidth b) {
+    return Bandwidth{a.bps_ + b.bps_};
+  }
+  friend constexpr Bandwidth operator-(Bandwidth a, Bandwidth b) {
+    return Bandwidth{a.bps_ - b.bps_};
+  }
+  friend constexpr Bandwidth operator*(Bandwidth a, double k) { return Bandwidth{a.bps_ * k}; }
+  friend constexpr Bandwidth operator*(double k, Bandwidth a) { return Bandwidth{a.bps_ * k}; }
+  friend constexpr Bandwidth operator/(Bandwidth a, double k) { return Bandwidth{a.bps_ / k}; }
+  friend constexpr double operator/(Bandwidth a, Bandwidth b) { return a.bps_ / b.bps_; }
+
+ private:
+  constexpr explicit Bandwidth(double bps) : bps_(bps) {}
+  double bps_ = 0.0;
+};
+
+namespace unit_literals {
+constexpr Bandwidth operator""_Gbps(unsigned long long v) {
+  return Bandwidth::gbps(static_cast<double>(v));
+}
+constexpr Bandwidth operator""_Mbps(unsigned long long v) {
+  return Bandwidth::mbps(static_cast<double>(v));
+}
+constexpr std::int64_t operator""_KB(unsigned long long v) {
+  return static_cast<std::int64_t>(v) * 1000;
+}
+constexpr std::int64_t operator""_KiB(unsigned long long v) {
+  return static_cast<std::int64_t>(v) * 1024;
+}
+constexpr std::int64_t operator""_MB(unsigned long long v) {
+  return static_cast<std::int64_t>(v) * 1000 * 1000;
+}
+}  // namespace unit_literals
+
+std::string to_string(Bandwidth b);
+
+}  // namespace ufab

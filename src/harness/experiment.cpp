@@ -1,0 +1,158 @@
+#include "src/harness/experiment.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/transport/transport.hpp"
+
+namespace ufab::harness {
+
+namespace {
+using namespace ufab::time_literals;
+
+double rate_over(RateMeter* m, TimeNs from, TimeNs to) {
+  if (m == nullptr || to <= from) return 0.0;
+  double bytes = 0.0;
+  for (const auto& s : m->series(to)) {
+    if (s.at >= from && s.at < to) bytes += s.rate.bytes_per_sec() * m->bucket_width().sec();
+  }
+  return bytes * 8.0 / 1e9 / (to - from).sec();
+}
+}  // namespace
+
+Experiment::Experiment(Scheme scheme, const TopoFn& topo_fn, topo::FabricOptions base_opts,
+                       SchemeOptions scheme_opts, std::uint64_t seed)
+    : scheme_(scheme), scheme_opts_(scheme_opts) {
+  const topo::FabricOptions opts = fabric_options_for(scheme, base_opts, scheme_opts);
+  fab_ = std::make_unique<Fabric>(
+      [&](sim::Simulator& s) { return topo_fn(s, opts); }, seed);
+  install_scheme(*fab_, scheme, scheme_opts_);
+  fab_->install_pair_metering(1_ms);
+  fab_->install_tenant_metering(1_ms);
+}
+
+double Experiment::pair_rate_gbps(VmPairId pair, TimeNs from, TimeNs to) {
+  return rate_over(fab_->pair_meter(pair), from, to);
+}
+
+double Experiment::tenant_rate_gbps(TenantId tenant, TimeNs from, TimeNs to) {
+  return rate_over(fab_->tenant_meter(tenant), from, to);
+}
+
+PercentileTracker Experiment::aggregate_rtt_us() const {
+  PercentileTracker out;
+  for (std::size_t h = 0; h < fab_->net().host_count(); ++h) {
+    const auto& stack = const_cast<Fabric&>(*fab_).stack_at(HostId{static_cast<std::int32_t>(h)});
+    for (const double v : stack.rtt_samples_us().sorted()) out.add(v);
+  }
+  return out;
+}
+
+std::int64_t Experiment::max_queue_bytes() const {
+  std::int64_t worst = 0;
+  for (const auto* l : fab_->net().links()) worst = std::max(worst, l->max_queue_bytes());
+  return worst;
+}
+
+std::int64_t Experiment::total_drops() const {
+  std::int64_t total = 0;
+  for (const auto* l : fab_->net().links()) total += l->drops();
+  return total;
+}
+
+double dissatisfaction_ratio(Fabric& fab, const std::vector<GuaranteeSpec>& specs,
+                             TimeNs until) {
+  double shortfall_bytes = 0.0;
+  double delivered_bytes = 0.0;
+  for (const GuaranteeSpec& g : specs) {
+    RateMeter* m = fab.pair_meter(g.pair);
+    const double bucket_sec = m != nullptr ? m->bucket_width().sec() : 1e-3;
+    if (m == nullptr) {
+      shortfall_bytes += g.min_bps / 8.0 * (std::min(until, g.to) - g.from).sec();
+      continue;
+    }
+    for (const auto& s : m->series(until)) {
+      if (s.at < g.from || s.at >= g.to) continue;
+      const double got = s.rate.bytes_per_sec() * bucket_sec;
+      const double want = g.min_bps / 8.0 * bucket_sec;
+      delivered_bytes += got;
+      shortfall_bytes += std::max(0.0, want - got);
+    }
+  }
+  return delivered_bytes + shortfall_bytes <= 0.0 ? 0.0
+                                                  : shortfall_bytes / std::max(delivered_bytes, 1.0);
+}
+
+TimeSeries dissatisfaction_series(Fabric& fab, const std::vector<GuaranteeSpec>& specs,
+                                  TimeNs until) {
+  TimeSeries out;
+  if (specs.empty()) return out;
+  RateMeter* first = fab.pair_meter(specs.front().pair);
+  const TimeNs bucket = first != nullptr ? first->bucket_width() : 1_ms;
+  for (TimeNs t = TimeNs::zero(); t < until; t += bucket) {
+    double shortfall = 0.0;
+    double want_total = 0.0;
+    for (const GuaranteeSpec& g : specs) {
+      if (t < g.from || t >= g.to) continue;
+      RateMeter* m = fab.pair_meter(g.pair);
+      double got = 0.0;
+      if (m != nullptr) {
+        for (const auto& s : m->series(t + bucket)) {
+          if (s.at == t) got = s.rate.bits_per_sec();
+        }
+      }
+      want_total += g.min_bps;
+      shortfall += std::max(0.0, g.min_bps - got);
+    }
+    if (want_total > 0.0) out.add(t, 100.0 * shortfall / want_total);
+  }
+  return out;
+}
+
+TimeNs rate_settle_time(Fabric& fab, VmPairId pair, TimeNs from, TimeNs until, double lo_gbps,
+                        double hi_gbps, TimeNs hold) {
+  RateMeter* m = fab.pair_meter(pair);
+  if (m == nullptr) return TimeNs::max();
+  TimeSeries ts;
+  for (const auto& s : m->series(until)) ts.add(s.at, s.rate.gbit_per_sec());
+  return ts.settle_time(from, lo_gbps, hi_gbps, hold);
+}
+
+void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+void print_rate_series(Fabric& fab, const std::vector<std::pair<std::string, VmPairId>>& pairs,
+                       TimeNs from, TimeNs to, TimeNs step) {
+  std::printf("%10s", "time_ms");
+  for (const auto& [name, pair] : pairs) std::printf("  %12s", name.c_str());
+  std::printf("\n");
+  for (TimeNs t = from; t < to; t += step) {
+    std::printf("%10.1f", t.ms());
+    for (const auto& [name, pair] : pairs) {
+      RateMeter* m = fab.pair_meter(pair);
+      double gbps = 0.0;
+      if (m != nullptr) {
+        for (const auto& s : m->series(t + step)) {
+          if (s.at >= t && s.at < t + step) gbps = s.rate.gbit_per_sec();
+        }
+      }
+      std::printf("  %12.2f", gbps);
+    }
+    std::printf("\n");
+  }
+}
+
+void print_cdf_rows(const std::string& label, const PercentileTracker& tracker,
+                    const std::string& unit) {
+  if (tracker.empty()) {
+    std::printf("%-24s  (no samples)\n", label.c_str());
+    return;
+  }
+  std::printf("%-24s  p50=%10.1f%s  p90=%10.1f%s  p99=%10.1f%s  p99.9=%10.1f%s  max=%10.1f%s\n",
+              label.c_str(), tracker.percentile(50), unit.c_str(), tracker.percentile(90),
+              unit.c_str(), tracker.percentile(99), unit.c_str(), tracker.percentile(99.9),
+              unit.c_str(), tracker.max(), unit.c_str());
+}
+
+}  // namespace ufab::harness

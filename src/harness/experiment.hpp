@@ -1,0 +1,72 @@
+// Shared experiment machinery for the figure/table benches.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/harness/fabric.hpp"
+#include "src/harness/schemes.hpp"
+#include "src/stats/cdf.hpp"
+#include "src/stats/timeseries.hpp"
+
+namespace ufab::harness {
+
+/// One scheme instantiated over a topology, with measurement helpers.
+class Experiment {
+ public:
+  using TopoFn =
+      std::function<std::unique_ptr<topo::Network>(sim::Simulator&, const topo::FabricOptions&)>;
+
+  Experiment(Scheme scheme, const TopoFn& topo_fn, topo::FabricOptions base_opts = {},
+             SchemeOptions scheme_opts = {}, std::uint64_t seed = 1);
+
+  [[nodiscard]] Fabric& fab() { return *fab_; }
+  [[nodiscard]] Scheme scheme() const { return scheme_; }
+
+  /// Average delivered rate of a pair / tenant over [from, to).
+  double pair_rate_gbps(VmPairId pair, TimeNs from, TimeNs to);
+  double tenant_rate_gbps(TenantId tenant, TimeNs from, TimeNs to);
+
+  /// All data-packet RTT samples across every host stack.
+  [[nodiscard]] PercentileTracker aggregate_rtt_us() const;
+
+  /// Worst queue observed across all fabric links.
+  [[nodiscard]] std::int64_t max_queue_bytes() const;
+  [[nodiscard]] std::int64_t total_drops() const;
+
+ private:
+  Scheme scheme_;
+  SchemeOptions scheme_opts_;
+  std::unique_ptr<Fabric> fab_;
+};
+
+/// A minimum-bandwidth expectation over an interval (for dissatisfaction).
+struct GuaranteeSpec {
+  VmPairId pair;
+  double min_bps;
+  TimeNs from;
+  TimeNs to;
+};
+
+/// Bandwidth-dissatisfaction ratio (§5.2, Fig 11d/17a): total guarantee
+/// shortfall over total delivered volume, computed per metering bucket.
+double dissatisfaction_ratio(Fabric& fab, const std::vector<GuaranteeSpec>& specs, TimeNs until);
+
+/// Per-bucket dissatisfaction percentage series (Fig 11d).
+TimeSeries dissatisfaction_series(Fabric& fab, const std::vector<GuaranteeSpec>& specs,
+                                  TimeNs until);
+
+/// Time for a pair's delivered rate to settle into [lo, hi] Gbps after
+/// `from`, holding for `hold`; TimeNs::max() if it never does.
+TimeNs rate_settle_time(Fabric& fab, VmPairId pair, TimeNs from, TimeNs until, double lo_gbps,
+                        double hi_gbps, TimeNs hold);
+
+// --- printing helpers shared by benches ---
+void print_header(const std::string& title);
+void print_rate_series(Fabric& fab, const std::vector<std::pair<std::string, VmPairId>>& pairs,
+                       TimeNs from, TimeNs to, TimeNs step);
+void print_cdf_rows(const std::string& label, const PercentileTracker& tracker,
+                    const std::string& unit);
+
+}  // namespace ufab::harness

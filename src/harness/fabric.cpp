@@ -1,0 +1,80 @@
+#include "src/harness/fabric.hpp"
+
+#include "src/core/assert.hpp"
+
+namespace ufab::harness {
+
+void Fabric::install_pair_metering(TimeNs bucket) {
+  for (auto& stack : stacks_) {
+    if (stack == nullptr) continue;
+    stack->add_rx_tap([this, bucket](const sim::Packet& pkt) {
+      auto [it, inserted] = pair_meters_.try_emplace(pkt.pair.key(), nullptr);
+      if (inserted) it->second = std::make_unique<RateMeter>(bucket);
+      it->second->add(sim_.now(), pkt.payload);
+    });
+  }
+}
+
+RateMeter* Fabric::pair_meter(VmPairId pair) {
+  auto it = pair_meters_.find(pair.key());
+  return it == pair_meters_.end() ? nullptr : it->second.get();
+}
+
+void Fabric::install_tenant_metering(TimeNs bucket) {
+  for (auto& stack : stacks_) {
+    if (stack == nullptr) continue;
+    stack->add_rx_tap([this, bucket](const sim::Packet& pkt) {
+      auto [it, inserted] = tenant_meters_.try_emplace(pkt.tenant.value(), nullptr);
+      if (inserted) it->second = std::make_unique<RateMeter>(bucket);
+      it->second->add(sim_.now(), pkt.payload);
+    });
+  }
+}
+
+RateMeter* Fabric::tenant_meter(TenantId tenant) {
+  auto it = tenant_meters_.find(tenant.value());
+  return it == tenant_meters_.end() ? nullptr : it->second.get();
+}
+
+std::uint64_t Fabric::send(VmPairId pair, std::int64_t bytes, std::uint64_t user_tag) {
+  const HostId src = vms_.host_of(pair.src);
+  transport::Message msg;
+  msg.pair = pair;
+  msg.tenant = vms_.tenant_of(pair.src);
+  msg.size_bytes = bytes;
+  msg.created_at = sim_.now();
+  msg.user_tag = user_tag;
+  return stack_at(src).send_message(msg);
+}
+
+void Fabric::keep_backlogged(VmPairId pair, TimeNs start, TimeNs stop,
+                             std::int64_t chunk_bytes) {
+  // Top-up loop: whenever the send queue dips below two chunks, enqueue one
+  // more, so the pair always has demand without unbounded queue growth.
+  auto top_up = std::make_shared<std::function<void()>>();
+  *top_up = [this, pair, stop, chunk_bytes, top_up] {
+    if (sim_.now() >= stop) return;
+    const HostId src = vms_.host_of(pair.src);
+    auto& stack = stack_at(src);
+    transport::Connection* conn = stack.find_connection(pair);
+    std::int64_t queued = conn != nullptr ? conn->queued_bytes() : 0;
+    while (queued < 2 * chunk_bytes) {
+      send(pair, chunk_bytes);
+      queued += chunk_bytes;
+    }
+    // Re-check roughly every chunk drain time at line rate (cheap, coarse).
+    sim_.after(TimeNs{200'000}, *top_up);
+  };
+  sim_.at(start, *top_up);
+}
+
+void Fabric::sample_queues(TimeNs period, TimeNs until, PercentileTracker& out) {
+  auto sample = std::make_shared<std::function<void()>>();
+  *sample = [this, period, until, &out, sample] {
+    for (const sim::Link* l : net_->links()) out.add(static_cast<double>(l->queue_bytes()));
+    if (sim_.now() + period <= until) sim_.after(period, *sample);
+  };
+  sim_.after(period, *sample);
+}
+
+}  // namespace ufab::harness

@@ -1,0 +1,109 @@
+// Experiment bundle: simulator + network + tenants + agents + metering.
+//
+// Fabric owns everything a testbed run needs and wires it together: the
+// event engine, a topology, the VM map, uFAB-C agents on every switch egress,
+// and one transport stack per host.  Benches and tests build a Fabric, add
+// tenants and traffic, then run and read the meters.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/rng.hpp"
+#include "src/harness/vm_map.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/stats/rate_meter.hpp"
+#include "src/telemetry/core_agent.hpp"
+#include "src/topo/network.hpp"
+#include "src/transport/transport.hpp"
+
+namespace ufab::harness {
+
+class Fabric {
+ public:
+  using Builder = std::function<std::unique_ptr<topo::Network>(sim::Simulator&)>;
+
+  explicit Fabric(const Builder& build, std::uint64_t seed = 1)
+      : rng_(seed), net_(build(sim_)) {
+    stacks_.resize(net_->host_count());
+  }
+
+  /// Attaches a uFAB-C agent to every switch egress port.
+  void instrument_cores(const telemetry::CoreConfig& cfg = {}) {
+    for (sim::Switch* sw : net_->switches()) {
+      auto agents = telemetry::instrument_switch(sim_, *sw, cfg);
+      for (auto& a : agents) core_agents_.push_back(std::move(a));
+    }
+  }
+
+  /// Installs a transport stack (takes ownership). One per host.
+  template <typename StackT>
+  StackT& adopt_stack(HostId host, std::unique_ptr<StackT> stack) {
+    StackT& ref = *stack;
+    ref.set_message_sink(&sink_mux_);
+    stacks_.at(static_cast<std::size_t>(host.value())) = std::move(stack);
+    return ref;
+  }
+
+  /// Message-delivery listeners (workload FCT recording, application logic).
+  using DeliveryListener = std::function<void(const transport::Message&, TimeNs)>;
+  void add_delivery_listener(DeliveryListener fn) {
+    sink_mux_.listeners.push_back(std::move(fn));
+  }
+
+  [[nodiscard]] transport::TransportStack& stack_at(HostId host) {
+    return *stacks_.at(static_cast<std::size_t>(host.value()));
+  }
+  template <typename StackT>
+  [[nodiscard]] StackT& stack_as(HostId host) {
+    return static_cast<StackT&>(stack_at(host));
+  }
+
+  /// Per-VM-pair delivered-byte meters (install before traffic starts).
+  void install_pair_metering(TimeNs bucket);
+  [[nodiscard]] RateMeter* pair_meter(VmPairId pair);
+  /// Per-tenant delivered-byte meters.
+  void install_tenant_metering(TimeNs bucket);
+  [[nodiscard]] RateMeter* tenant_meter(TenantId tenant);
+
+  /// Sends a message from a VM pair through the source host's stack.
+  std::uint64_t send(VmPairId pair, std::int64_t bytes, std::uint64_t user_tag = 0);
+
+  /// Keeps `pair` saturated between [start, stop): tops the send queue up to
+  /// two chunks whenever it drains.
+  void keep_backlogged(VmPairId pair, TimeNs start, TimeNs stop,
+                       std::int64_t chunk_bytes = 1'000'000);
+
+  /// Samples every link's queue into `out` each `period` until `until`.
+  void sample_queues(TimeNs period, TimeNs until, PercentileTracker& out);
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] topo::Network& net() { return *net_; }
+  [[nodiscard]] VmMap& vms() { return vms_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<telemetry::CoreAgent>>& core_agents() const {
+    return core_agents_;
+  }
+
+ private:
+  struct SinkMux final : transport::MessageSink {
+    std::vector<DeliveryListener> listeners;
+    void on_message_delivered(const transport::Message& msg, TimeNs at) override {
+      for (const auto& fn : listeners) fn(msg, at);
+    }
+  };
+
+  Rng rng_;
+  sim::Simulator sim_;
+  std::unique_ptr<topo::Network> net_;
+  VmMap vms_;
+  SinkMux sink_mux_;
+  std::vector<std::unique_ptr<telemetry::CoreAgent>> core_agents_;
+  std::vector<std::unique_ptr<transport::TransportStack>> stacks_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<RateMeter>> pair_meters_;
+  std::unordered_map<std::int32_t, std::unique_ptr<RateMeter>> tenant_meters_;
+};
+
+}  // namespace ufab::harness

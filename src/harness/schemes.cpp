@@ -1,0 +1,60 @@
+#include "src/harness/schemes.hpp"
+
+namespace ufab::harness {
+
+const char* to_string(Scheme s) {
+  switch (s) {
+    case Scheme::kUfab:
+      return "uFAB";
+    case Scheme::kUfabPrime:
+      return "uFAB'";
+    case Scheme::kPwc:
+      return "PicNIC'+WCC+Clove";
+    case Scheme::kEsClove:
+      return "ES+Clove";
+  }
+  return "?";
+}
+
+topo::FabricOptions fabric_options_for(Scheme s, topo::FabricOptions base,
+                                       const SchemeOptions& opts) {
+  if (s == Scheme::kPwc || s == Scheme::kEsClove) {
+    base.ecn_threshold_bytes = opts.baseline_ecn_threshold;
+  }
+  return base;
+}
+
+void install_scheme(Fabric& fab, Scheme s, const SchemeOptions& opts) {
+  const bool is_ufab = s == Scheme::kUfab || s == Scheme::kUfabPrime;
+  if (is_ufab) fab.instrument_cores(opts.core);
+  for (std::size_t h = 0; h < fab.net().host_count(); ++h) {
+    const HostId host{static_cast<std::int32_t>(h)};
+    Rng rng = fab.rng().fork(h);
+    switch (s) {
+      case Scheme::kUfab: {
+        fab.adopt_stack(host, std::make_unique<edge::EdgeAgent>(
+                                  fab.net(), fab.vms(), host, opts.ufab, opts.transport, rng));
+        break;
+      }
+      case Scheme::kUfabPrime: {
+        edge::EdgeConfig cfg = opts.ufab;
+        cfg.two_stage_admission = false;
+        fab.adopt_stack(host, std::make_unique<edge::EdgeAgent>(fab.net(), fab.vms(), host, cfg,
+                                                                opts.transport, rng));
+        break;
+      }
+      case Scheme::kPwc: {
+        fab.adopt_stack(host, std::make_unique<baselines::PwcTransport>(
+                                  fab.net(), fab.vms(), host, opts.pwc, opts.transport, rng));
+        break;
+      }
+      case Scheme::kEsClove: {
+        fab.adopt_stack(host, std::make_unique<baselines::EsTransport>(
+                                  fab.net(), fab.vms(), host, opts.es, opts.transport, rng));
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace ufab::harness

@@ -1,0 +1,43 @@
+// Scheme factory: the four systems the paper's evaluation compares.
+#pragma once
+
+#include <string>
+
+#include "src/baselines/es_transport.hpp"
+#include "src/baselines/pwc_transport.hpp"
+#include "src/harness/fabric.hpp"
+#include "src/topo/builders.hpp"
+#include "src/ufab/edge_agent.hpp"
+
+namespace ufab::harness {
+
+enum class Scheme {
+  kUfab,       ///< uFAB (full, with two-stage bounded-latency admission).
+  kUfabPrime,  ///< uFAB' — no bounded-latency optimization (Fig. 12).
+  kPwc,        ///< PicNIC' + WCC(Swift) + Clove.
+  kEsClove,    ///< ElasticSwitch + Clove.
+};
+
+[[nodiscard]] const char* to_string(Scheme s);
+
+struct SchemeOptions {
+  edge::EdgeConfig ufab;
+  baselines::PwcConfig pwc;
+  baselines::EsConfig es;
+  transport::TransportOptions transport;
+  telemetry::CoreConfig core;
+  /// ECN marking threshold installed on fabric links for the baselines
+  /// (Swift is delay-based but Clove and ElasticSwitch-RA need marks).
+  std::int64_t baseline_ecn_threshold = 30'000;
+};
+
+/// Per-scheme fabric tweaks (ECN thresholds for the baselines); apply before
+/// building the topology.
+[[nodiscard]] topo::FabricOptions fabric_options_for(Scheme s, topo::FabricOptions base,
+                                                     const SchemeOptions& opts = {});
+
+/// Installs one transport stack per host (and uFAB-C agents for the uFAB
+/// schemes). Call after the Fabric is constructed.
+void install_scheme(Fabric& fab, Scheme s, const SchemeOptions& opts = {});
+
+}  // namespace ufab::harness

@@ -1,0 +1,34 @@
+#include "src/harness/vm_map.hpp"
+
+#include "src/core/assert.hpp"
+
+namespace ufab::harness {
+
+TenantId VmMap::add_tenant(std::string name, Bandwidth per_vm_guarantee) {
+  const TenantId id{static_cast<std::int32_t>(tenant_name_.size())};
+  tenant_name_.push_back(std::move(name));
+  tenant_guarantee_.push_back(per_vm_guarantee);
+  tenant_vms_.emplace_back();
+  return id;
+}
+
+VmId VmMap::add_vm(TenantId tenant, HostId host) {
+  UFAB_CHECK(tenant.valid() && host.valid());
+  const VmId id{static_cast<std::int32_t>(vm_host_.size())};
+  vm_host_.push_back(host);
+  vm_tenant_.push_back(tenant);
+  tenant_vms_.at(static_cast<std::size_t>(tenant.value())).push_back(id);
+  const auto hi = static_cast<std::size_t>(host.value());
+  if (host_vms_.size() <= hi) host_vms_.resize(hi + 1);
+  host_vms_[hi].push_back(id);
+  return id;
+}
+
+const std::vector<VmId>& VmMap::vms_on(HostId h) const {
+  static const std::vector<VmId> kEmpty;
+  const auto hi = static_cast<std::size_t>(h.value());
+  if (hi >= host_vms_.size()) return kEmpty;
+  return host_vms_[hi];
+}
+
+}  // namespace ufab::harness

@@ -1,0 +1,62 @@
+// Tenant / VM placement and hose-model guarantees.
+//
+// uFAB abstracts each VF with the hose model: every VM of a tenant may send
+// and receive at its minimum guarantee.  VmMap records tenant membership, VM
+// placement (assumed done by a virtual-cluster allocator such as Oktopus),
+// and the per-VM guarantee that Guarantee Partitioning divides among VM pairs.
+//
+// Token convention: one token == 1 bps of minimum guarantee (B_u = 1 bps), so
+// token arithmetic and bandwidth arithmetic coincide; the switch registers
+// Phi_l then read directly as "subscribed bps".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/ids.hpp"
+#include "src/core/units.hpp"
+
+namespace ufab::harness {
+
+class VmMap {
+ public:
+  TenantId add_tenant(std::string name, Bandwidth per_vm_guarantee);
+  VmId add_vm(TenantId tenant, HostId host);
+
+  [[nodiscard]] HostId host_of(VmId vm) const { return vm_host_.at(idx(vm)); }
+  [[nodiscard]] TenantId tenant_of(VmId vm) const { return vm_tenant_.at(idx(vm)); }
+  [[nodiscard]] Bandwidth vm_guarantee(VmId vm) const {
+    return tenant_guarantee_.at(static_cast<std::size_t>(tenant_of(vm).value()));
+  }
+  /// Hose tokens of a VM (B_u = 1 bps => tokens == guaranteed bps).
+  [[nodiscard]] double vm_tokens(VmId vm) const { return vm_guarantee(vm).bits_per_sec(); }
+
+  [[nodiscard]] const std::string& tenant_name(TenantId t) const {
+    return tenant_name_.at(static_cast<std::size_t>(t.value()));
+  }
+  [[nodiscard]] Bandwidth tenant_guarantee(TenantId t) const {
+    return tenant_guarantee_.at(static_cast<std::size_t>(t.value()));
+  }
+
+  [[nodiscard]] std::size_t vm_count() const { return vm_host_.size(); }
+  [[nodiscard]] std::size_t tenant_count() const { return tenant_name_.size(); }
+
+  /// All VMs of a tenant, in creation order.
+  [[nodiscard]] const std::vector<VmId>& vms_of(TenantId t) const {
+    return tenant_vms_.at(static_cast<std::size_t>(t.value()));
+  }
+  /// All VMs placed on a host.
+  [[nodiscard]] const std::vector<VmId>& vms_on(HostId h) const;
+
+ private:
+  static std::size_t idx(VmId vm) { return static_cast<std::size_t>(vm.value()); }
+
+  std::vector<std::string> tenant_name_;
+  std::vector<Bandwidth> tenant_guarantee_;
+  std::vector<std::vector<VmId>> tenant_vms_;
+  std::vector<HostId> vm_host_;
+  std::vector<TenantId> vm_tenant_;
+  mutable std::vector<std::vector<VmId>> host_vms_;
+};
+
+}  // namespace ufab::harness

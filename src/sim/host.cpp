@@ -1,0 +1,15 @@
+#include "src/sim/host.hpp"
+
+#include "src/core/assert.hpp"
+
+namespace ufab::sim {
+
+void Host::attach_uplink(std::unique_ptr<Link> link) {
+  UFAB_CHECK_MSG(uplink_ == nullptr, "host already has an uplink");
+  uplink_ = std::move(link);
+  uplink_->set_source([this]() -> PacketPtr {
+    return stack_ != nullptr ? stack_->pull() : nullptr;
+  });
+}
+
+}  // namespace ufab::sim

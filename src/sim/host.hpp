@@ -1,0 +1,58 @@
+// Simulated host: one NIC uplink plus a pluggable transport stack.
+//
+// The NIC runs a pull model: when the wire goes idle the stack's scheduler is
+// asked for the next admissible packet.  Control packets (ACKs, probes,
+// responses, credits) can instead be pushed via `send_control` — the push
+// queue is drained before the pull source, giving control traffic strict
+// priority as on the paper's SmartNIC.
+#pragma once
+
+#include <memory>
+
+#include "src/sim/link.hpp"
+#include "src/sim/node.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace ufab::sim {
+
+/// The transport stack interface implemented by uFAB-E and all baselines.
+class HostStack {
+ public:
+  virtual ~HostStack() = default;
+  /// A packet arrived at this host.
+  virtual void on_packet(PacketPtr pkt) = 0;
+  /// The NIC is idle: return the next packet to transmit, or nullptr.
+  virtual PacketPtr pull() = 0;
+};
+
+class Host : public Node {
+ public:
+  Host(Simulator& sim, NodeId id, HostId hid, std::string name)
+      : Node(id, std::move(name)), sim_(sim), host_id_(hid) {}
+
+  void attach_uplink(std::unique_ptr<Link> link);
+
+  void set_stack(HostStack* stack) { stack_ = stack; }
+  [[nodiscard]] HostStack* stack() const { return stack_; }
+
+  void receive(PacketPtr pkt) override {
+    if (stack_ != nullptr) stack_->on_packet(std::move(pkt));
+  }
+
+  /// Pushes a control packet ahead of scheduled data.
+  void send_control(PacketPtr pkt) { uplink_->enqueue(std::move(pkt)); }
+
+  /// Tells the NIC new data became admissible.
+  void notify_sendable() { uplink_->kick(); }
+
+  [[nodiscard]] Link& nic() { return *uplink_; }
+  [[nodiscard]] HostId host_id() const { return host_id_; }
+
+ private:
+  Simulator& sim_;
+  HostId host_id_;
+  HostStack* stack_ = nullptr;
+  std::unique_ptr<Link> uplink_;
+};
+
+}  // namespace ufab::sim

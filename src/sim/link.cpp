@@ -1,0 +1,125 @@
+#include "src/sim/link.hpp"
+
+#include <utility>
+
+#include "src/core/assert.hpp"
+#include "src/sim/node.hpp"
+
+namespace ufab::sim {
+
+namespace {
+/// Retain enough checkpoints to answer rate queries up to this far back.
+constexpr TimeNs kMaxRateWindow{200'000};  // 200 us
+}  // namespace
+
+Link::Link(Simulator& sim, LinkId id, std::string name, Node* dst, LinkConfig cfg)
+    : sim_(sim), id_(id), name_(std::move(name)), dst_(dst), cfg_(cfg) {
+  UFAB_CHECK(dst_ != nullptr);
+  UFAB_CHECK(cfg_.capacity.bits_per_sec() > 0.0);
+}
+
+void Link::enqueue(PacketPtr pkt) {
+  UFAB_CHECK(pkt != nullptr);
+  if (down_) {
+    ++drops_;
+    return;
+  }
+  if (queue_bytes_ + pkt->size_bytes > cfg_.queue_limit_bytes) {
+    ++drops_;
+    return;  // tail drop
+  }
+  if (cfg_.ecn_threshold_bytes >= 0 && pkt->ecn_capable &&
+      queue_bytes_ > cfg_.ecn_threshold_bytes) {
+    pkt->ecn_ce = true;
+  }
+  queue_bytes_ += pkt->size_bytes;
+  max_queue_bytes_ = std::max(max_queue_bytes_, queue_bytes_);
+  queue_.push_back(std::move(pkt));
+  if (!busy_) start_next();
+}
+
+void Link::kick() {
+  if (!busy_ && !down_) start_next();
+}
+
+void Link::set_down(bool down) {
+  down_ = down;
+  if (down_) {
+    drops_ += static_cast<std::int64_t>(queue_.size());
+    queue_.clear();
+    queue_bytes_ = 0;
+    if (in_flight_) {
+      // The serializer event still fires but finds nothing to deliver.
+      in_flight_.reset();
+      ++drops_;
+    }
+  } else {
+    kick();
+  }
+}
+
+void Link::start_next() {
+  UFAB_CHECK(!busy_);
+  PacketPtr pkt;
+  if (!queue_.empty()) {
+    pkt = std::move(queue_.front());
+    queue_.pop_front();
+    queue_bytes_ -= pkt->size_bytes;
+  } else if (source_) {
+    pkt = source_();
+  }
+  if (!pkt) return;  // idle
+
+  busy_ = true;
+  const std::int32_t bytes = pkt->size_bytes;
+  in_flight_ = std::move(pkt);
+  sim_.after(cfg_.capacity.tx_time(bytes), [this, bytes] { finish_transmit(bytes); });
+}
+
+void Link::finish_transmit(std::int32_t bytes) {
+  busy_ = false;
+  if (in_flight_) {
+    tx_bytes_cum_ += bytes;
+    checkpoints_.emplace_back(sim_.now(), tx_bytes_cum_);
+    while (checkpoints_.size() > 2 &&
+           sim_.now() - checkpoints_.front().first > kMaxRateWindow) {
+      checkpoints_.pop_front();
+    }
+    // Hand the packet to the propagation stage; delivery is a future event.
+    PacketPtr pkt = std::move(in_flight_);
+    Node* dst = dst_;
+    sim_.after(cfg_.prop_delay, [dst, p = pkt.release()]() mutable {
+      dst->receive(PacketPtr{p});
+    });
+  }
+  if (!down_) start_next();
+}
+
+Bandwidth Link::tx_rate(TimeNs window) const {
+  if (checkpoints_.empty()) return Bandwidth::zero();
+  const TimeNs now = sim_.now();
+  const TimeNs cutoff = now - window;
+  // Find the most recent checkpoint at or before the cutoff.
+  std::int64_t base_bytes = 0;
+  TimeNs base_time = TimeNs::zero();
+  bool found = false;
+  for (auto it = checkpoints_.rbegin(); it != checkpoints_.rend(); ++it) {
+    if (it->first <= cutoff) {
+      base_bytes = it->second;
+      base_time = it->first;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    base_time = checkpoints_.front().first;
+    base_bytes = checkpoints_.front().second - 0;
+    // Use the oldest checkpoint; subtract its own packet to avoid inflating.
+  }
+  const TimeNs span = now - base_time;
+  if (span.ns() <= 0) return Bandwidth::zero();
+  const std::int64_t bytes = tx_bytes_cum_ - base_bytes;
+  return Bandwidth::bps(static_cast<double>(bytes) * 8e9 / static_cast<double>(span.ns()));
+}
+
+}  // namespace ufab::sim

@@ -1,0 +1,106 @@
+// Unidirectional link with an egress FIFO.
+//
+// A Link models one egress: a tail-drop FIFO, a serializer running at the
+// link capacity, and the propagation delay to the peer node.  Switch egresses
+// use the push queue; host NICs additionally register a pull source so the
+// host's packet scheduler is consulted exactly when the wire goes idle (this
+// is how the hierarchical WFQ of uFAB-E is enforced without a second queue).
+//
+// The link also owns the state the informative core reads: cumulative TX
+// bytes (for sender-side rate differentiation, as in HPCC), a short-window
+// rate estimate, instantaneous queue depth, and ECN marking.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "src/core/ids.hpp"
+#include "src/core/time.hpp"
+#include "src/core/units.hpp"
+#include "src/sim/packet.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace ufab::sim {
+
+class Node;
+
+struct LinkConfig {
+  Bandwidth capacity = Bandwidth::gbps(10);
+  TimeNs prop_delay = TimeNs{1000};
+  std::int64_t queue_limit_bytes = 2'000'000;
+  /// ECN marking threshold on enqueue; <0 disables marking.
+  std::int64_t ecn_threshold_bytes = -1;
+  /// Target utilization eta: the "target capacity" C_l = eta * capacity that
+  /// uFAB converges to (95% in the paper, leaving headroom for bursts).
+  double target_utilization = 0.95;
+};
+
+class Link {
+ public:
+  /// Returns the next packet to transmit, or nullptr if nothing is ready.
+  using PullSource = std::function<PacketPtr()>;
+
+  Link(Simulator& sim, LinkId id, std::string name, Node* dst, LinkConfig cfg);
+
+  /// Push-path entry (switch egress / host control packets). May tail-drop.
+  void enqueue(PacketPtr pkt);
+
+  /// Registers a pull source consulted when the queue is empty and the wire
+  /// is idle (host NIC mode).
+  void set_source(PullSource source) { source_ = std::move(source); }
+
+  /// Re-evaluates transmission; call after the pull source gains work.
+  void kick();
+
+  /// Administratively disables the link (failure injection); queued and
+  /// in-flight packets are dropped, future packets are dropped on arrival.
+  void set_down(bool down);
+  [[nodiscard]] bool down() const { return down_; }
+
+  // --- telemetry / observability ---
+  [[nodiscard]] LinkId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Bandwidth capacity() const { return cfg_.capacity; }
+  [[nodiscard]] Bandwidth target_capacity() const {
+    return cfg_.capacity * cfg_.target_utilization;
+  }
+  [[nodiscard]] TimeNs prop_delay() const { return cfg_.prop_delay; }
+  [[nodiscard]] std::int64_t queue_bytes() const { return queue_bytes_; }
+  [[nodiscard]] std::int64_t max_queue_bytes() const { return max_queue_bytes_; }
+  [[nodiscard]] std::int64_t tx_bytes_cum() const { return tx_bytes_cum_; }
+  [[nodiscard]] std::int64_t drops() const { return drops_; }
+  [[nodiscard]] Node* peer() const { return dst_; }
+
+  /// Bytes-over-window rate estimate from departure checkpoints.
+  [[nodiscard]] Bandwidth tx_rate(TimeNs window = TimeNs{10'000}) const;
+
+  void reset_max_queue() { max_queue_bytes_ = queue_bytes_; }
+
+ private:
+  void start_next();
+  void finish_transmit(std::int32_t bytes);
+
+  Simulator& sim_;
+  LinkId id_;
+  std::string name_;
+  Node* dst_;
+  LinkConfig cfg_;
+
+  std::deque<PacketPtr> queue_;
+  std::int64_t queue_bytes_ = 0;
+  std::int64_t max_queue_bytes_ = 0;
+  bool busy_ = false;
+  bool down_ = false;
+  PacketPtr in_flight_;  // the packet currently being serialized
+  PullSource source_;
+
+  std::int64_t tx_bytes_cum_ = 0;
+  std::int64_t drops_ = 0;
+
+  /// (time, cumulative bytes) checkpoints for windowed rate estimation.
+  std::deque<std::pair<TimeNs, std::int64_t>> checkpoints_;
+};
+
+}  // namespace ufab::sim

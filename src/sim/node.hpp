@@ -1,0 +1,29 @@
+// Base class for anything that can terminate a link (switch or host).
+#pragma once
+
+#include <string>
+
+#include "src/core/ids.hpp"
+#include "src/sim/packet.hpp"
+
+namespace ufab::sim {
+
+class Node {
+ public:
+  Node(NodeId id, std::string name) : id_(id), name_(std::move(name)) {}
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// A packet has fully arrived at this node.
+  virtual void receive(PacketPtr pkt) = 0;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  NodeId id_;
+  std::string name_;
+};
+
+}  // namespace ufab::sim

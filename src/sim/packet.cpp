@@ -1,0 +1,40 @@
+#include "src/sim/packet.hpp"
+
+namespace ufab::sim {
+
+namespace {
+std::uint64_t g_next_packet_id = 1;
+}  // namespace
+
+const char* to_string(PacketKind kind) {
+  switch (kind) {
+    case PacketKind::kData:
+      return "data";
+    case PacketKind::kAck:
+      return "ack";
+    case PacketKind::kProbe:
+      return "probe";
+    case PacketKind::kProbeResponse:
+      return "probe-resp";
+    case PacketKind::kFinishProbe:
+      return "finish";
+    case PacketKind::kCredit:
+      return "credit";
+  }
+  return "?";
+}
+
+PacketPtr Packet::make(PacketKind kind, VmPairId pair, TenantId tenant, HostId src, HostId dst,
+                       std::int32_t size_bytes) {
+  auto p = std::make_unique<Packet>();
+  p->kind = kind;
+  p->id = g_next_packet_id++;
+  p->pair = pair;
+  p->tenant = tenant;
+  p->src_host = src;
+  p->dst_host = dst;
+  p->size_bytes = size_bytes;
+  return p;
+}
+
+}  // namespace ufab::sim

@@ -1,0 +1,77 @@
+// The discrete-event engine.
+//
+// A single-threaded future-event list: events are (time, sequence, closure)
+// triples ordered by time with FIFO tie-breaking, which makes runs exactly
+// reproducible for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/core/assert.hpp"
+#include "src/core/time.hpp"
+
+namespace ufab::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] TimeNs now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (>= now).
+  void at(TimeNs t, std::function<void()> fn) {
+    UFAB_CHECK_MSG(t >= now_, "scheduling into the past");
+    queue_.push(Event{t, next_seq_++, std::move(fn)});
+  }
+
+  /// Schedules `fn` after `delay` from now.
+  void after(TimeNs delay, std::function<void()> fn) { at(now_ + delay, std::move(fn)); }
+
+  /// Runs until the event list drains.
+  void run() {
+    while (!queue_.empty()) step();
+  }
+
+  /// Runs all events with time <= `t`, then sets now to `t`.
+  void run_until(TimeNs t) {
+    while (!queue_.empty() && queue_.top().at <= t) step();
+    if (t > now_) now_ = t;
+  }
+
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    TimeNs at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void step() {
+    // Move the closure out before popping so it can schedule new events.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    ++processed_;
+    ev.fn();
+  }
+
+  TimeNs now_ = TimeNs::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace ufab::sim

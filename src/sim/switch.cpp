@@ -1,0 +1,69 @@
+#include "src/sim/switch.hpp"
+
+#include "src/core/assert.hpp"
+
+namespace ufab::sim {
+
+namespace {
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+std::int32_t Switch::add_port(std::unique_ptr<Link> link) {
+  UFAB_CHECK(link != nullptr);
+  ports_.push_back(std::move(link));
+  processors_.push_back(nullptr);
+  return static_cast<std::int32_t>(ports_.size() - 1);
+}
+
+void Switch::set_ecmp_ports(HostId dst, std::vector<std::int32_t> ports) {
+  const auto idx = static_cast<std::size_t>(dst.value());
+  if (ecmp_.size() <= idx) ecmp_.resize(idx + 1);
+  ecmp_[idx] = std::move(ports);
+}
+
+void Switch::set_egress_processor(std::int32_t port, EgressProcessor* proc) {
+  processors_.at(static_cast<std::size_t>(port)) = proc;
+}
+
+std::int32_t Switch::select_port(const Packet& pkt) const {
+  const auto idx = static_cast<std::size_t>(pkt.dst_host.value());
+  if (idx >= ecmp_.size() || ecmp_[idx].empty()) return -1;
+  const auto& candidates = ecmp_[idx];
+  if (candidates.size() == 1) return candidates[0];
+  // Flow-level ECMP: hash of (VM pair, message) plus this switch's salt.
+  const std::uint64_t flow_key = pkt.pair.key() ^ mix64(pkt.message_id);
+  const std::uint64_t h = mix64(flow_key ^ hash_salt_);
+  return candidates[h % candidates.size()];
+}
+
+void Switch::receive(PacketPtr pkt) {
+  std::int32_t out;
+  if (!pkt->route.empty()) {
+    UFAB_CHECK_MSG(pkt->hop < static_cast<std::int32_t>(pkt->route.size()),
+                   "source route exhausted before reaching destination");
+    out = pkt->route[static_cast<std::size_t>(pkt->hop)];
+    ++pkt->hop;
+  } else {
+    out = select_port(*pkt);
+    if (out < 0) {
+      ++no_route_drops_;
+      return;
+    }
+  }
+  Link& link = port(out);
+  if (pkt->kind == PacketKind::kProbe || pkt->kind == PacketKind::kFinishProbe) {
+    if (EgressProcessor* proc = processors_[static_cast<std::size_t>(out)]) {
+      proc->on_probe_egress(*pkt, link, sim_.now());
+    }
+    // Probe wire size grows as INT accumulates.
+    pkt->size_bytes = probe_wire_size(static_cast<std::int32_t>(pkt->telemetry.size()));
+  }
+  link.enqueue(std::move(pkt));
+}
+
+}  // namespace ufab::sim

@@ -1,0 +1,64 @@
+// Simulated switch: source-routed or ECMP forwarding plus egress hooks.
+//
+// The switch owns one Link per port. Forwarding consults the packet's source
+// route when present (uFAB and Clove pin paths at the edge), otherwise the
+// per-destination ECMP table with a configurable hash salt — sharing one salt
+// across tiers reproduces the hash-polarization pathology of Figure 3.
+//
+// Egress processors are the attachment point for uFAB-C: a processor sees
+// every probe just before it enters the egress FIFO, at which point it can
+// update its registers and append INT.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/sim/link.hpp"
+#include "src/sim/node.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace ufab::sim {
+
+/// Interface implemented by uFAB-C (telemetry::CoreAgent).
+class EgressProcessor {
+ public:
+  virtual ~EgressProcessor() = default;
+  /// Invoked for probe-family packets just before enqueue on `link`.
+  virtual void on_probe_egress(Packet& pkt, Link& link, TimeNs now) = 0;
+};
+
+class Switch : public Node {
+ public:
+  Switch(Simulator& sim, NodeId id, std::string name)
+      : Node(id, std::move(name)), sim_(sim) {}
+
+  /// Adds an egress link; returns the port index.
+  std::int32_t add_port(std::unique_ptr<Link> link);
+
+  void receive(PacketPtr pkt) override;
+
+  /// Installs the ECMP candidate ports toward a destination host.
+  void set_ecmp_ports(HostId dst, std::vector<std::int32_t> ports);
+
+  /// Hash salt for ECMP; distinct per switch unless polarization is modeled.
+  void set_hash_salt(std::uint64_t salt) { hash_salt_ = salt; }
+
+  void set_egress_processor(std::int32_t port, EgressProcessor* proc);
+
+  [[nodiscard]] Link& port(std::int32_t idx) { return *ports_.at(static_cast<std::size_t>(idx)); }
+  [[nodiscard]] std::int32_t port_count() const { return static_cast<std::int32_t>(ports_.size()); }
+  [[nodiscard]] std::int64_t no_route_drops() const { return no_route_drops_; }
+
+ private:
+  [[nodiscard]] std::int32_t select_port(const Packet& pkt) const;
+
+  Simulator& sim_;
+  std::vector<std::unique_ptr<Link>> ports_;
+  std::vector<EgressProcessor*> processors_;
+  std::vector<std::vector<std::int32_t>> ecmp_;  // indexed by dst HostId
+  std::uint64_t hash_salt_ = 0;
+  std::int64_t no_route_drops_ = 0;
+};
+
+}  // namespace ufab::sim

@@ -1,0 +1,33 @@
+#include "src/stats/cdf.hpp"
+
+#include <cstdio>
+
+namespace ufab {
+
+std::vector<CdfPoint> make_cdf(const PercentileTracker& tracker, int points) {
+  std::vector<CdfPoint> out;
+  if (tracker.empty() || points < 2) return out;
+  out.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double p = 100.0 * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.push_back({tracker.percentile(p), p / 100.0});
+  }
+  return out;
+}
+
+std::string latency_row(const std::string& label, const PercentileTracker& tracker,
+                        const std::string& unit) {
+  char buf[256];
+  if (tracker.empty()) {
+    std::snprintf(buf, sizeof(buf), "%-28s  (no samples)", label.c_str());
+    return buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "%-28s  p50=%9.1f%s  p90=%9.1f%s  p99=%9.1f%s  p99.9=%9.1f%s  max=%9.1f%s",
+                label.c_str(), tracker.percentile(50), unit.c_str(), tracker.percentile(90),
+                unit.c_str(), tracker.percentile(99), unit.c_str(), tracker.percentile(99.9),
+                unit.c_str(), tracker.max(), unit.c_str());
+  return buf;
+}
+
+}  // namespace ufab

@@ -1,0 +1,25 @@
+// CDF extraction and table printing helpers shared by benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/stats/percentile.hpp"
+
+namespace ufab {
+
+/// One (x, F(x)) point of an empirical CDF.
+struct CdfPoint {
+  double value;
+  double cum_prob;
+};
+
+/// Evenly spaced (in probability) CDF points from a tracker's samples.
+std::vector<CdfPoint> make_cdf(const PercentileTracker& tracker, int points = 50);
+
+/// Formats a row of the standard latency summary used across benches:
+/// median / p90 / p99 / p999 / max.
+std::string latency_row(const std::string& label, const PercentileTracker& tracker,
+                        const std::string& unit = "us");
+
+}  // namespace ufab

@@ -1,0 +1,67 @@
+#include "src/stats/percentile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/assert.hpp"
+
+namespace ufab {
+
+void PercentileTracker::add(double sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+  sum_ += sample;
+  sum_sq_ += sample * sample;
+}
+
+double PercentileTracker::mean() const {
+  if (samples_.empty()) return 0.0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double PercentileTracker::stddev() const {
+  const auto n = static_cast<double>(samples_.size());
+  if (n < 2.0) return 0.0;
+  const double m = mean();
+  const double var = std::max(0.0, sum_sq_ / n - m * m);
+  return std::sqrt(var);
+}
+
+const std::vector<double>& PercentileTracker::sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  return samples_;
+}
+
+double PercentileTracker::min() const {
+  UFAB_CHECK_MSG(!samples_.empty(), "min() on empty tracker");
+  return sorted().front();
+}
+
+double PercentileTracker::max() const {
+  UFAB_CHECK_MSG(!samples_.empty(), "max() on empty tracker");
+  return sorted().back();
+}
+
+double PercentileTracker::percentile(double p) const {
+  UFAB_CHECK_MSG(!samples_.empty(), "percentile() on empty tracker");
+  UFAB_CHECK(p >= 0.0 && p <= 100.0);
+  const auto& s = sorted();
+  if (s.size() == 1) return s.front();
+  const double rank = p / 100.0 * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, s.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return s[lo] + (s[hi] - s[lo]) * frac;
+}
+
+void PercentileTracker::clear() {
+  samples_.clear();
+  sorted_ = true;
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+}
+
+}  // namespace ufab

@@ -1,0 +1,43 @@
+// Exact percentile tracking over a stored sample set.
+//
+// Experiments in this repo record at most a few million scalar samples, so an
+// exact sorted-on-demand digest is both simpler and more trustworthy than a
+// streaming sketch when reproducing a paper's tail-latency claims.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ufab {
+
+/// Collects double samples and answers percentile / mean / extrema queries.
+class PercentileTracker {
+ public:
+  void add(double sample);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double stddev() const;
+
+  /// Percentile by linear interpolation between closest ranks; p in [0, 100].
+  /// Precondition: at least one sample.
+  [[nodiscard]] double percentile(double p) const;
+
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  /// Read-only access to (sorted) samples, e.g. for CDF dumps.
+  [[nodiscard]] const std::vector<double>& sorted() const;
+
+  void clear();
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace ufab

@@ -1,0 +1,42 @@
+#include "src/stats/rate_meter.hpp"
+
+#include "src/core/assert.hpp"
+
+namespace ufab {
+
+void RateMeter::add(TimeNs now, std::int64_t bytes) {
+  UFAB_CHECK(bytes >= 0);
+  const auto idx = static_cast<std::size_t>(bucket_index(now));
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+  buckets_[idx] += bytes;
+  total_ += bytes;
+}
+
+Bandwidth RateMeter::rate(TimeNs now) const { return trailing_rate(now, 1); }
+
+Bandwidth RateMeter::trailing_rate(TimeNs now, int n) const {
+  UFAB_CHECK(n >= 1);
+  const std::int64_t current = bucket_index(now);
+  if (current <= 0) return Bandwidth::zero();
+  const std::int64_t first = std::max<std::int64_t>(0, current - n);
+  std::int64_t bytes = 0;
+  for (std::int64_t i = first; i < current; ++i) {
+    if (i < static_cast<std::int64_t>(buckets_.size())) bytes += buckets_[static_cast<std::size_t>(i)];
+  }
+  const TimeNs span = width_ * (current - first);
+  if (span.ns() <= 0) return Bandwidth::zero();
+  return Bandwidth::bps(static_cast<double>(bytes) * 8e9 / static_cast<double>(span.ns()));
+}
+
+std::vector<RateMeter::Sample> RateMeter::series(TimeNs now) const {
+  std::vector<Sample> out;
+  const std::int64_t current = bucket_index(now);
+  for (std::int64_t i = 0; i < current && i < static_cast<std::int64_t>(buckets_.size()); ++i) {
+    const double bps =
+        static_cast<double>(buckets_[static_cast<std::size_t>(i)]) * 8e9 / static_cast<double>(width_.ns());
+    out.push_back({TimeNs{i * width_.ns()}, Bandwidth::bps(bps)});
+  }
+  return out;
+}
+
+}  // namespace ufab

@@ -1,0 +1,48 @@
+// Windowed throughput measurement.
+//
+// RateMeter counts bytes against wall (simulation) time and reports the rate
+// over the most recent closed window — the same measurement an experiment
+// operator would make when plotting "rate vs time" curves like Fig. 11/12/16.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/time.hpp"
+#include "src/core/units.hpp"
+
+namespace ufab {
+
+/// Accumulates bytes into fixed-width time buckets and reports per-bucket or
+/// trailing-window rates. Buckets are closed lazily as time advances.
+class RateMeter {
+ public:
+  explicit RateMeter(TimeNs bucket_width) : width_(bucket_width) {}
+
+  void add(TimeNs now, std::int64_t bytes);
+
+  /// Rate over the last fully closed bucket before `now` (zero if none).
+  [[nodiscard]] Bandwidth rate(TimeNs now) const;
+
+  /// Rate averaged over the trailing `n` closed buckets before `now`.
+  [[nodiscard]] Bandwidth trailing_rate(TimeNs now, int n) const;
+
+  /// Per-bucket series: (bucket start time, rate) for every closed bucket.
+  struct Sample {
+    TimeNs at;
+    Bandwidth rate;
+  };
+  [[nodiscard]] std::vector<Sample> series(TimeNs now) const;
+
+  [[nodiscard]] std::int64_t total_bytes() const { return total_; }
+  [[nodiscard]] TimeNs bucket_width() const { return width_; }
+
+ private:
+  [[nodiscard]] std::int64_t bucket_index(TimeNs t) const { return t.ns() / width_.ns(); }
+
+  TimeNs width_;
+  std::vector<std::int64_t> buckets_;  // bytes per bucket, index = bucket number
+  std::int64_t total_ = 0;
+};
+
+}  // namespace ufab

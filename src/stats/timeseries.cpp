@@ -1,0 +1,60 @@
+#include "src/stats/timeseries.hpp"
+
+#include <algorithm>
+
+namespace ufab {
+
+double TimeSeries::mean_in(TimeNs from, TimeNs to) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& p : points_) {
+    if (p.at >= from && p.at < to) {
+      sum += p.value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double TimeSeries::max_in(TimeNs from, TimeNs to) const {
+  double best = 0.0;
+  bool any = false;
+  for (const auto& p : points_) {
+    if (p.at >= from && p.at < to) {
+      best = any ? std::max(best, p.value) : p.value;
+      any = true;
+    }
+  }
+  return any ? best : 0.0;
+}
+
+double TimeSeries::value_at(TimeNs t, double fallback) const {
+  double v = fallback;
+  bool any = false;
+  for (const auto& p : points_) {
+    if (p.at <= t) {
+      v = p.value;
+      any = true;
+    } else {
+      break;  // points are appended in time order
+    }
+  }
+  return any ? v : fallback;
+}
+
+TimeNs TimeSeries::settle_time(TimeNs from, double lo, double hi, TimeNs hold) const {
+  TimeNs entered = TimeNs::max();
+  for (const auto& p : points_) {
+    if (p.at < from) continue;
+    const bool inside = p.value >= lo && p.value <= hi;
+    if (inside) {
+      if (entered == TimeNs::max()) entered = p.at;
+      if (p.at - entered >= hold) return entered;
+    } else {
+      entered = TimeNs::max();
+    }
+  }
+  return TimeNs::max();
+}
+
+}  // namespace ufab

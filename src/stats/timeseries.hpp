@@ -1,0 +1,42 @@
+// Timestamped scalar series, with helpers the benches use to print figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/time.hpp"
+
+namespace ufab {
+
+/// An append-only (time, value) series.
+class TimeSeries {
+ public:
+  struct Point {
+    TimeNs at;
+    double value;
+  };
+
+  void add(TimeNs at, double value) { points_.push_back({at, value}); }
+
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+
+  /// Mean of values with timestamps in [from, to).
+  [[nodiscard]] double mean_in(TimeNs from, TimeNs to) const;
+
+  /// Max of values with timestamps in [from, to); 0 when the range is empty.
+  [[nodiscard]] double max_in(TimeNs from, TimeNs to) const;
+
+  /// Last value at or before `t`; `fallback` when none exists.
+  [[nodiscard]] double value_at(TimeNs t, double fallback = 0.0) const;
+
+  /// First time >= `from` at which the value enters [lo, hi] and stays inside
+  /// for `hold`; returns TimeNs::max() if it never settles.
+  [[nodiscard]] TimeNs settle_time(TimeNs from, double lo, double hi, TimeNs hold) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace ufab

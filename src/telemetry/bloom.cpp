@@ -1,0 +1,72 @@
+#include "src/telemetry/bloom.hpp"
+
+#include <cmath>
+
+#include "src/core/assert.hpp"
+
+namespace ufab::telemetry {
+
+namespace {
+constexpr std::uint8_t kCounterMax = 15;  // 4-bit saturating counters
+
+std::uint64_t mix(std::uint64_t x, std::uint64_t salt) {
+  x ^= salt;
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+CountingBloomFilter::CountingBloomFilter(BloomConfig cfg) : cfg_(cfg) {
+  UFAB_CHECK(cfg_.counters > 0 && cfg_.hashes > 0);
+  counters_.assign(cfg_.counters, 0);
+}
+
+std::size_t CountingBloomFilter::slot(std::uint64_t key, int i) const {
+  // Each "hash function" indexes its own bank, mirroring the two parallel
+  // memory banks on the switch.
+  const std::size_t bank_size = counters_.size() / static_cast<std::size_t>(cfg_.hashes);
+  const std::size_t bank_base = static_cast<std::size_t>(i) * bank_size;
+  return bank_base + mix(key, 0xabcdef12u + static_cast<std::uint64_t>(i) * 0x9e37ULL) % bank_size;
+}
+
+void CountingBloomFilter::insert(std::uint64_t key) {
+  for (int i = 0; i < cfg_.hashes; ++i) {
+    std::uint8_t& c = counters_[slot(key, i)];
+    if (c < kCounterMax) ++c;
+  }
+  ++inserted_;
+}
+
+void CountingBloomFilter::remove(std::uint64_t key) {
+  for (int i = 0; i < cfg_.hashes; ++i) {
+    std::uint8_t& c = counters_[slot(key, i)];
+    if (c > 0 && c < kCounterMax) --c;  // saturated counters are sticky
+  }
+  if (inserted_ > 0) --inserted_;
+}
+
+bool CountingBloomFilter::maybe_contains(std::uint64_t key) const {
+  for (int i = 0; i < cfg_.hashes; ++i) {
+    if (counters_[slot(key, i)] == 0) return false;
+  }
+  return true;
+}
+
+double CountingBloomFilter::false_positive_rate() const {
+  // Standard approximation with per-bank occupancy: p = (1 - e^{-n/m'})^k
+  // where m' is the bank size and n the inserted keys.
+  const double bank =
+      static_cast<double>(counters_.size()) / static_cast<double>(cfg_.hashes);
+  const double n = static_cast<double>(inserted_);
+  const double p_one = 1.0 - std::exp(-n / bank);
+  return std::pow(p_one, cfg_.hashes);
+}
+
+void CountingBloomFilter::clear() {
+  counters_.assign(counters_.size(), 0);
+  inserted_ = 0;
+}
+
+}  // namespace ufab::telemetry

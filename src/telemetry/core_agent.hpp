@@ -1,0 +1,80 @@
+// uFAB-C: the informative core agent attached to one switch egress (§3.6, §4.2).
+//
+// For every probe that leaves through its egress, the agent
+//   (1) reads the VM-pair's claimed (phi, w) and folds them into the link
+//       registers Phi_l / W_l — gated by a Bloom-filter membership test, so a
+//       Bloom false positive omits the pair exactly as the paper describes;
+//   (2) appends an IntRecord carrying (Phi_l, W_l, cumulative TX bytes,
+//       timestamp, queue depth, capacity) for the edge to act on.
+//
+// Finish probes deregister a pair; per-switch acknowledgments are counted in
+// the probe so the edge can retry until every hop confirmed.  Pairs that quit
+// silently are aged out by a periodic sweep (10 s in the paper's deployment).
+//
+// Hardware-fidelity note: a Tofino keeps only the two registers plus a timing
+// Bloom filter; the per-entry map here is the simulation stand-in that lets
+// the sweep subtract exactly the aged pair's contribution.  Visibility is
+// still gated by the Bloom filter so its false-positive behaviour is modeled.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/core/time.hpp"
+#include "src/sim/link.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/sim/switch.hpp"
+#include "src/telemetry/bloom.hpp"
+
+namespace ufab::telemetry {
+
+struct CoreConfig {
+  BloomConfig bloom;
+  /// Sweep period for silently inactive pairs (paper: 10 s).
+  TimeNs clean_period = TimeNs{10'000'000'000};
+  /// Disable to give the switch exact membership (ablation studies).
+  bool use_bloom = true;
+  /// Quantize INT records to the 64-bit Appendix-G wire format before they
+  /// leave the switch (the edge then works from quantized telemetry).
+  bool quantize_int = false;
+};
+
+class CoreAgent final : public sim::EgressProcessor {
+ public:
+  CoreAgent(sim::Simulator& sim, CoreConfig cfg);
+
+  void on_probe_egress(sim::Packet& pkt, sim::Link& link, TimeNs now) override;
+
+  [[nodiscard]] double phi_total() const { return phi_total_; }
+  [[nodiscard]] double window_total() const { return window_total_; }
+  [[nodiscard]] std::size_t active_pairs() const { return registered_.size(); }
+  [[nodiscard]] std::int64_t false_positive_omissions() const { return fp_omissions_; }
+  [[nodiscard]] const CountingBloomFilter& bloom() const { return bloom_; }
+
+ private:
+  struct PairEntry {
+    double phi = 0.0;
+    double window = 0.0;
+    TimeNs last_seen;
+  };
+
+  void handle_probe(sim::Packet& pkt, TimeNs now);
+  void handle_finish(sim::Packet& pkt, TimeNs now);
+  void sweep(TimeNs now);
+  void clamp_registers();
+
+  sim::Simulator& sim_;
+  CoreConfig cfg_;
+  CountingBloomFilter bloom_;
+  std::unordered_map<std::uint64_t, PairEntry> registered_;
+  double phi_total_ = 0.0;
+  double window_total_ = 0.0;
+  std::int64_t fp_omissions_ = 0;
+};
+
+/// Attaches a CoreAgent to every egress port of `sw`; returns the agents.
+/// The switch does not own them — callers keep the vector alive.
+std::vector<std::unique_ptr<CoreAgent>> instrument_switch(sim::Simulator& sim, sim::Switch& sw,
+                                                          const CoreConfig& cfg);
+
+}  // namespace ufab::telemetry

@@ -1,0 +1,120 @@
+#include "src/topo/builders.hpp"
+
+#include <string>
+
+#include "src/core/assert.hpp"
+
+namespace ufab::topo {
+
+namespace {
+std::string num_name(const char* prefix, int i) { return std::string(prefix) + std::to_string(i); }
+}  // namespace
+
+std::unique_ptr<Network> make_dumbbell(sim::Simulator& sim, int n_left, int n_right,
+                                       const FabricOptions& opts) {
+  UFAB_CHECK(n_left > 0 && n_right > 0);
+  auto net = std::make_unique<Network>(sim);
+  const NodeId left = net->add_switch("ToR-L");
+  const NodeId right = net->add_switch("ToR-R");
+  net->connect(left, right, opts.fabric_link());
+  for (int i = 0; i < n_left; ++i) {
+    net->connect(left, net->add_host(num_name("L", i)), opts.host_link());
+  }
+  for (int i = 0; i < n_right; ++i) {
+    net->connect(right, net->add_host(num_name("R", i)), opts.host_link());
+  }
+  net->finalize();
+  return net;
+}
+
+std::unique_ptr<Network> make_leaf_spine(sim::Simulator& sim, int n_leaf, int n_spine,
+                                         int hosts_per_leaf, const FabricOptions& opts) {
+  UFAB_CHECK(n_leaf > 0 && n_spine > 0 && hosts_per_leaf > 0);
+  auto net = std::make_unique<Network>(sim);
+  std::vector<NodeId> leaves;
+  std::vector<NodeId> spines;
+  leaves.reserve(static_cast<std::size_t>(n_leaf));
+  spines.reserve(static_cast<std::size_t>(n_spine));
+  for (int i = 0; i < n_leaf; ++i) leaves.push_back(net->add_switch(num_name("Leaf", i + 1)));
+  for (int i = 0; i < n_spine; ++i) spines.push_back(net->add_switch(num_name("Spine", i + 1)));
+  for (const NodeId leaf : leaves) {
+    for (const NodeId spine : spines) net->connect(leaf, spine, opts.fabric_link());
+  }
+  int host_no = 1;
+  for (const NodeId leaf : leaves) {
+    for (int i = 0; i < hosts_per_leaf; ++i) {
+      net->connect(leaf, net->add_host(num_name("H", host_no++)), opts.host_link());
+    }
+  }
+  net->finalize();
+  return net;
+}
+
+std::unique_ptr<Network> make_testbed(sim::Simulator& sim, const FabricOptions& opts) {
+  auto net = std::make_unique<Network>(sim);
+  // 2 cores; per pod: 2 aggs + 2 ToRs; 2 hosts per ToR => S1..S8.
+  const NodeId core1 = net->add_switch("Core1");
+  const NodeId core2 = net->add_switch("Core2");
+  int host_no = 1;
+  for (int pod = 0; pod < 2; ++pod) {
+    const NodeId agg1 = net->add_switch(num_name("Agg", pod * 2 + 1));
+    const NodeId agg2 = net->add_switch(num_name("Agg", pod * 2 + 2));
+    net->connect(agg1, core1, opts.fabric_link());
+    net->connect(agg1, core2, opts.fabric_link());
+    net->connect(agg2, core1, opts.fabric_link());
+    net->connect(agg2, core2, opts.fabric_link());
+    for (int t = 0; t < 2; ++t) {
+      const NodeId tor = net->add_switch(num_name("ToR", pod * 2 + t + 1));
+      net->connect(tor, agg1, opts.fabric_link());
+      net->connect(tor, agg2, opts.fabric_link());
+      for (int h = 0; h < 2; ++h) {
+        net->connect(tor, net->add_host(num_name("S", host_no++)), opts.host_link());
+      }
+    }
+  }
+  net->finalize();
+  return net;
+}
+
+std::unique_ptr<Network> make_fat_tree(sim::Simulator& sim, int k, int oversub,
+                                       const FabricOptions& opts) {
+  UFAB_CHECK_MSG(k >= 2 && k % 2 == 0, "fat tree requires even k");
+  UFAB_CHECK(oversub >= 1);
+  const int half = k / 2;
+  const int cores_per_group = std::max(1, half / oversub);
+  auto net = std::make_unique<Network>(sim);
+
+  // Core groups: group g serves agg index g of every pod.
+  std::vector<std::vector<NodeId>> core_groups(static_cast<std::size_t>(half));
+  int core_no = 1;
+  for (int g = 0; g < half; ++g) {
+    for (int c = 0; c < cores_per_group; ++c) {
+      core_groups[static_cast<std::size_t>(g)].push_back(
+          net->add_switch(num_name("Core", core_no++)));
+    }
+  }
+
+  int host_no = 1;
+  for (int pod = 0; pod < k; ++pod) {
+    std::vector<NodeId> aggs;
+    aggs.reserve(static_cast<std::size_t>(half));
+    for (int a = 0; a < half; ++a) {
+      const NodeId agg = net->add_switch(num_name("Agg", pod * half + a + 1));
+      aggs.push_back(agg);
+      for (const NodeId core : core_groups[static_cast<std::size_t>(a)]) {
+        net->connect(agg, core, opts.fabric_link());
+      }
+    }
+    for (int e = 0; e < half; ++e) {
+      const NodeId edge = net->add_switch(num_name("Edge", pod * half + e + 1));
+      for (const NodeId agg : aggs) net->connect(edge, agg, opts.fabric_link());
+      for (int h = 0; h < half; ++h) {
+        net->connect(edge, net->add_host(num_name("H", host_no++)), opts.host_link());
+      }
+    }
+  }
+  net->finalize();
+  return net;
+}
+
+}  // namespace ufab::topo

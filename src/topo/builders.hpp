@@ -1,0 +1,50 @@
+// Topology builders for every fabric used in the paper's evaluation.
+#pragma once
+
+#include <memory>
+
+#include "src/topo/network.hpp"
+
+namespace ufab::topo {
+
+/// Knobs shared by all builders.
+struct FabricOptions {
+  Bandwidth host_bw = Bandwidth::gbps(10);    ///< Host NIC / ToR downlink speed.
+  Bandwidth fabric_bw = Bandwidth::gbps(10);  ///< Switch-to-switch speed.
+  /// Per-link propagation. 2 us/link puts the testbed's max base RTT near
+  /// the paper's 24 us; the NS3-style FatTree runs override this to 1 us.
+  TimeNs prop_delay = TimeNs{2000};
+  std::int64_t queue_limit_bytes = 4'000'000;
+  std::int64_t ecn_threshold_bytes = -1;  ///< >=0 enables ECN marking (baselines).
+  double target_utilization = 0.95;       ///< eta, the paper's 95% target.
+
+  [[nodiscard]] sim::LinkConfig host_link() const {
+    return {host_bw, prop_delay, queue_limit_bytes, ecn_threshold_bytes, target_utilization};
+  }
+  [[nodiscard]] sim::LinkConfig fabric_link() const {
+    return {fabric_bw, prop_delay, queue_limit_bytes, ecn_threshold_bytes, target_utilization};
+  }
+};
+
+/// Two ToRs joined by a single bottleneck link; `n_left`/`n_right` hosts.
+/// The smallest fabric with a shared core link — unit tests live here.
+std::unique_ptr<Network> make_dumbbell(sim::Simulator& sim, int n_left, int n_right,
+                                       const FabricOptions& opts = {});
+
+/// Leaf-spine: every leaf connects to every spine. `make_leaf_spine(2, 3, 4)`
+/// is the Case-2 fabric of Figure 5 (three parallel paths between two racks).
+std::unique_ptr<Network> make_leaf_spine(sim::Simulator& sim, int n_leaf, int n_spine,
+                                         int hosts_per_leaf, const FabricOptions& opts = {});
+
+/// The paper's hardware testbed (Figure 10): 2 pods, each with 2 ToRs
+/// (2 hosts each) and 2 Aggs; 2 Cores. 8 servers, 10 switches, 8 equal-cost
+/// paths between pods. Max base RTT ~ 24 us at 10 Gbps with 1 us links.
+std::unique_ptr<Network> make_testbed(sim::Simulator& sim, const FabricOptions& opts = {});
+
+/// k-ary FatTree: k pods x (k/2 edge + k/2 agg), (k/2)^2/oversub cores,
+/// k^3/4 hosts. `oversub` = 1 gives full bisection (1:1), 2 halves the core
+/// layer (1:2), matching the NS3 configurations in section 5.1.
+std::unique_ptr<Network> make_fat_tree(sim::Simulator& sim, int k, int oversub = 1,
+                                       const FabricOptions& opts = {});
+
+}  // namespace ufab::topo

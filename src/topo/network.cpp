@@ -1,0 +1,245 @@
+#include "src/topo/network.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/core/assert.hpp"
+
+namespace ufab::topo {
+
+namespace {
+constexpr std::int32_t kBfsUnreached = -1;
+
+std::uint64_t pair_key(HostId a, HostId b) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a.value())) << 32) |
+         static_cast<std::uint32_t>(b.value());
+}
+}  // namespace
+
+NodeId Network::add_switch(std::string name) {
+  UFAB_CHECK_MSG(!finalized_, "topology already finalized");
+  const NodeId id{static_cast<std::int32_t>(nodes_.size())};
+  nodes_.push_back(std::make_unique<sim::Switch>(sim_, id, std::move(name)));
+  adj_.emplace_back();
+  ++switch_count_;
+  return id;
+}
+
+HostId Network::add_host(std::string name) {
+  UFAB_CHECK_MSG(!finalized_, "topology already finalized");
+  const NodeId id{static_cast<std::int32_t>(nodes_.size())};
+  const HostId hid{static_cast<std::int32_t>(host_nodes_.size())};
+  nodes_.push_back(std::make_unique<sim::Host>(sim_, id, hid, std::move(name)));
+  adj_.emplace_back();
+  host_nodes_.push_back(id);
+  return hid;
+}
+
+void Network::connect(NodeId a, NodeId b, const sim::LinkConfig& cfg) {
+  UFAB_CHECK_MSG(!finalized_, "topology already finalized");
+  auto make_one = [&](NodeId from, NodeId to) -> std::pair<LinkId, std::int32_t> {
+    const LinkId lid{static_cast<std::int32_t>(links_.size())};
+    auto* dst_node = nodes_[static_cast<std::size_t>(to.value())].get();
+    auto name = nodes_[static_cast<std::size_t>(from.value())]->name() + "->" + dst_node->name();
+    auto link = std::make_unique<sim::Link>(sim_, lid, std::move(name), dst_node, cfg);
+    sim::Link* raw = link.get();
+    std::int32_t port;
+    auto* from_node = nodes_[static_cast<std::size_t>(from.value())].get();
+    if (auto* sw = dynamic_cast<sim::Switch*>(from_node)) {
+      port = sw->add_port(std::move(link));
+    } else {
+      auto* h = dynamic_cast<sim::Host*>(from_node);
+      UFAB_CHECK(h != nullptr);
+      h->attach_uplink(std::move(link));
+      port = 0;
+    }
+    links_.push_back(raw);
+    adj_[static_cast<std::size_t>(from.value())].push_back(Edge{port, lid, to});
+    return {lid, port};
+  };
+  const auto [lab, pab] = make_one(a, b);
+  const auto [lba, pba] = make_one(b, a);
+  (void)pab;
+  (void)pba;
+  // Record the duplex pairing for reverse-path construction.
+  if (reverse_link_.size() < links_.size()) reverse_link_.resize(links_.size(), LinkId::invalid());
+  reverse_link_[static_cast<std::size_t>(lab.value())] = lba;
+  reverse_link_[static_cast<std::size_t>(lba.value())] = lab;
+  if (link_owner_.size() < links_.size()) link_owner_.resize(links_.size(), NodeId::invalid());
+  if (link_port_.size() < links_.size()) link_port_.resize(links_.size(), -1);
+  link_owner_[static_cast<std::size_t>(lab.value())] = a;
+  link_port_[static_cast<std::size_t>(lab.value())] = pab;
+  link_owner_[static_cast<std::size_t>(lba.value())] = b;
+  link_port_[static_cast<std::size_t>(lba.value())] = pba;
+}
+
+sim::Switch& Network::switch_at(NodeId id) {
+  auto* sw = dynamic_cast<sim::Switch*>(nodes_.at(static_cast<std::size_t>(id.value())).get());
+  UFAB_CHECK_MSG(sw != nullptr, "node is not a switch");
+  return *sw;
+}
+
+sim::Host& Network::host(HostId id) {
+  const NodeId nid = node_of(id);
+  auto* h = dynamic_cast<sim::Host*>(nodes_.at(static_cast<std::size_t>(nid.value())).get());
+  UFAB_CHECK(h != nullptr);
+  return *h;
+}
+
+NodeId Network::node_of(HostId id) const {
+  return host_nodes_.at(static_cast<std::size_t>(id.value()));
+}
+
+sim::Link* Network::link(LinkId id) const {
+  return links_.at(static_cast<std::size_t>(id.value()));
+}
+
+std::vector<sim::Switch*> Network::switches() const {
+  std::vector<sim::Switch*> out;
+  out.reserve(switch_count_);
+  for (const auto& n : nodes_) {
+    if (auto* sw = dynamic_cast<sim::Switch*>(n.get())) out.push_back(sw);
+  }
+  return out;
+}
+
+std::vector<std::int32_t> Network::bfs_distances_to(NodeId dst) const {
+  std::vector<std::int32_t> dist(nodes_.size(), kBfsUnreached);
+  std::deque<NodeId> frontier;
+  dist[static_cast<std::size_t>(dst.value())] = 0;
+  frontier.push_back(dst);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    const auto ui = static_cast<std::size_t>(u.value());
+    // Hosts never forward: only the BFS root (the destination) expands.
+    const bool is_host =
+        dynamic_cast<const sim::Host*>(nodes_[ui].get()) != nullptr;
+    if (is_host && u != dst) continue;
+    for (const Edge& e : adj_[ui]) {
+      const auto vi = static_cast<std::size_t>(e.to.value());
+      if (dist[vi] == kBfsUnreached) {
+        dist[vi] = dist[ui] + 1;
+        frontier.push_back(e.to);
+      }
+    }
+  }
+  return dist;
+}
+
+void Network::finalize() {
+  UFAB_CHECK_MSG(!finalized_, "finalize() called twice");
+  finalized_ = true;
+  // Healthy hash configuration: a distinct salt per switch.
+  for (auto& n : nodes_) {
+    if (auto* sw = dynamic_cast<sim::Switch*>(n.get())) {
+      sw->set_hash_salt(0x5bd1e995ULL * static_cast<std::uint64_t>(sw->id().value() + 1));
+    }
+  }
+  // ECMP tables: for each destination host, every switch learns the ports on
+  // minimum-hop paths toward it.
+  for (std::size_t h = 0; h < host_nodes_.size(); ++h) {
+    const auto dist = bfs_distances_to(host_nodes_[h]);
+    for (auto& n : nodes_) {
+      auto* sw = dynamic_cast<sim::Switch*>(n.get());
+      if (sw == nullptr) continue;
+      const auto si = static_cast<std::size_t>(sw->id().value());
+      if (dist[si] == kBfsUnreached) continue;
+      std::vector<std::int32_t> ports;
+      for (const Edge& e : adj_[si]) {
+        const auto vi = static_cast<std::size_t>(e.to.value());
+        if (dist[vi] != kBfsUnreached && dist[vi] == dist[si] - 1) ports.push_back(e.port);
+      }
+      sw->set_ecmp_ports(HostId{static_cast<std::int32_t>(h)}, std::move(ports));
+    }
+  }
+}
+
+void Network::set_hash_polarization(bool polarized) {
+  std::uint64_t salt = 0xdecaf;
+  for (auto& n : nodes_) {
+    if (auto* sw = dynamic_cast<sim::Switch*>(n.get())) {
+      if (polarized) {
+        sw->set_hash_salt(salt);  // every tier hashes identically
+      } else {
+        sw->set_hash_salt(0x5bd1e995ULL * static_cast<std::uint64_t>(sw->id().value() + 1));
+      }
+    }
+  }
+}
+
+void Network::for_each_shortest_dfs(NodeId at, NodeId dst, const std::vector<std::int32_t>& dist,
+                                    Path& partial, std::vector<Path>& out,
+                                    std::size_t max_paths) {
+  if (out.size() >= max_paths) return;
+  if (at == dst) {
+    out.push_back(partial);
+    return;
+  }
+  const auto ai = static_cast<std::size_t>(at.value());
+  const bool at_switch = dynamic_cast<sim::Switch*>(nodes_[ai].get()) != nullptr;
+  for (const Edge& e : adj_[ai]) {
+    const auto vi = static_cast<std::size_t>(e.to.value());
+    if (dist[vi] == kBfsUnreached || dist[vi] != dist[ai] - 1) continue;
+    if (at_switch) {
+      partial.route.push_back(e.port);
+      partial.switches.push_back(at);
+    }
+    partial.links.push_back(e.link);
+    for_each_shortest_dfs(e.to, dst, dist, partial, out, max_paths);
+    partial.links.pop_back();
+    if (at_switch) {
+      partial.route.pop_back();
+      partial.switches.pop_back();
+    }
+  }
+}
+
+const std::vector<Path>& Network::paths(HostId src, HostId dst, std::size_t max_paths) {
+  UFAB_CHECK_MSG(finalized_, "call finalize() before querying paths");
+  UFAB_CHECK_MSG(src != dst, "paths() between a host and itself");
+  const std::uint64_t key = pair_key(src, dst);
+  if (auto it = path_cache_.find(key); it != path_cache_.end()) return it->second;
+  const auto dist = bfs_distances_to(node_of(dst));
+  std::vector<Path> out;
+  Path partial;
+  for_each_shortest_dfs(node_of(src), node_of(dst), dist, partial, out, max_paths);
+  UFAB_CHECK_MSG(!out.empty(), "no path between hosts");
+  auto [it, inserted] = path_cache_.emplace(key, std::move(out));
+  UFAB_CHECK(inserted);
+  return it->second;
+}
+
+Path Network::reverse(const Path& p, HostId src, HostId dst) {
+  (void)src;
+  (void)dst;
+  Path rev;
+  for (auto it = p.links.rbegin(); it != p.links.rend(); ++it) {
+    const LinkId back = reverse_link_.at(static_cast<std::size_t>(it->value()));
+    rev.links.push_back(back);
+    const NodeId owner = link_owner_.at(static_cast<std::size_t>(back.value()));
+    if (dynamic_cast<sim::Switch*>(nodes_[static_cast<std::size_t>(owner.value())].get()) !=
+        nullptr) {
+      rev.route.push_back(link_port_.at(static_cast<std::size_t>(back.value())));
+      rev.switches.push_back(owner);
+    }
+  }
+  return rev;
+}
+
+TimeNs Network::base_rtt(HostId src, HostId dst) {
+  const Path& p = paths(src, dst).front();
+  const Path rev = reverse(p, src, dst);
+  TimeNs total = TimeNs::zero();
+  for (LinkId lid : p.links) {
+    const sim::Link* l = link(lid);
+    total += l->prop_delay() + l->capacity().tx_time(sim::kMtuBytes);
+  }
+  for (LinkId lid : rev.links) {
+    const sim::Link* l = link(lid);
+    total += l->prop_delay() + l->capacity().tx_time(sim::kAckBytes);
+  }
+  return total;
+}
+
+}  // namespace ufab::topo

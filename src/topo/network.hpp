@@ -1,0 +1,100 @@
+// Fabric-level view: nodes + links + path queries.
+//
+// Network instantiates the simulated nodes and links, keeps the adjacency
+// needed to enumerate equal-cost paths (uFAB assumption: the DCN topology is
+// known a priori, so the edge knows all path candidates), and installs ECMP
+// tables for baselines that forward without source routes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/ids.hpp"
+#include "src/sim/host.hpp"
+#include "src/sim/link.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/sim/switch.hpp"
+
+namespace ufab::topo {
+
+/// One end-to-end underlay path between two hosts.
+struct Path {
+  /// Egress port index at each switch along the way (the source route).
+  std::vector<std::int32_t> route;
+  /// Every link the path traverses, starting with the source host uplink.
+  std::vector<LinkId> links;
+  /// Switches visited, in order.
+  std::vector<NodeId> switches;
+};
+
+class Network {
+ public:
+  explicit Network(sim::Simulator& sim) : sim_(sim) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  NodeId add_switch(std::string name);
+  HostId add_host(std::string name);
+
+  /// Connects two nodes with a duplex pair of links (same config each way).
+  void connect(NodeId a, NodeId b, const sim::LinkConfig& cfg);
+  void connect(NodeId a, HostId h, const sim::LinkConfig& cfg) { connect(a, node_of(h), cfg); }
+
+  /// Computes ECMP tables; call once after the topology is assembled.
+  void finalize();
+
+  // --- accessors ---
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] sim::Switch& switch_at(NodeId id);
+  [[nodiscard]] sim::Host& host(HostId id);
+  [[nodiscard]] NodeId node_of(HostId id) const;
+  [[nodiscard]] std::size_t host_count() const { return host_nodes_.size(); }
+  [[nodiscard]] std::size_t switch_count() const { return switch_count_; }
+  [[nodiscard]] sim::Link* link(LinkId id) const;
+  [[nodiscard]] const std::vector<sim::Link*>& links() const { return links_; }
+  /// All switches, in creation order.
+  [[nodiscard]] std::vector<sim::Switch*> switches() const;
+
+  /// All equal-cost (minimum-hop) paths between two hosts, capped at
+  /// `max_paths` in deterministic (port-order DFS) order. Cached.
+  const std::vector<Path>& paths(HostId src, HostId dst, std::size_t max_paths = 64);
+
+  /// The reverse of `p` (same physical links in the opposite direction),
+  /// expressed as a source route from dst back to src.
+  [[nodiscard]] Path reverse(const Path& p, HostId src, HostId dst);
+
+  /// Base RTT: forward MTU serialization + ACK return, no queueing.
+  TimeNs base_rtt(HostId src, HostId dst);
+
+  /// Makes every switch use the same ECMP hash salt (hash polarization) or
+  /// per-switch distinct salts (the default healthy configuration).
+  void set_hash_polarization(bool polarized);
+
+ private:
+  struct Edge {
+    std::int32_t port;  ///< Egress port index at `from`.
+    LinkId link;
+    NodeId to;
+  };
+
+  void for_each_shortest_dfs(NodeId at, NodeId dst, const std::vector<std::int32_t>& dist,
+                             Path& partial, std::vector<Path>& out, std::size_t max_paths);
+  [[nodiscard]] std::vector<std::int32_t> bfs_distances_to(NodeId dst) const;
+
+  sim::Simulator& sim_;
+  std::vector<std::unique_ptr<sim::Node>> nodes_;  // switches and hosts
+  std::vector<std::vector<Edge>> adj_;             // indexed by NodeId
+  std::vector<NodeId> host_nodes_;                 // HostId -> NodeId
+  std::vector<sim::Link*> links_;                  // LinkId -> link
+  std::vector<LinkId> reverse_link_;               // duplex pairing
+  std::vector<NodeId> link_owner_;                 // LinkId -> owning node
+  std::vector<std::int32_t> link_port_;            // LinkId -> port at owner
+  std::size_t switch_count_ = 0;
+  bool finalized_ = false;
+
+  std::unordered_map<std::uint64_t, std::vector<Path>> path_cache_;
+};
+
+}  // namespace ufab::topo

@@ -1,0 +1,31 @@
+// Application-visible message abstraction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/core/ids.hpp"
+#include "src/core/time.hpp"
+
+namespace ufab::transport {
+
+/// One application message (the unit of FCT accounting): a byte stream from
+/// VM pair.src to pair.dst.
+struct Message {
+  std::uint64_t id = 0;  ///< Assigned by the stack if zero.
+  VmPairId pair;
+  TenantId tenant;
+  std::int64_t size_bytes = 0;
+  TimeNs created_at;
+  /// Opaque application correlation tag (request id, task id, ...).
+  std::uint64_t user_tag = 0;
+};
+
+/// Receiver-side delivery notifications (wired by application models).
+class MessageSink {
+ public:
+  virtual ~MessageSink() = default;
+  virtual void on_message_delivered(const Message& msg, TimeNs delivered_at) = 0;
+};
+
+}  // namespace ufab::transport

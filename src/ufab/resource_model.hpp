@@ -1,0 +1,39 @@
+// Analytic hardware resource model (Tables 3 and 4).
+//
+// The paper reports FPGA (Xilinx Alveo U200) utilization for uFAB-E and
+// Tofino utilization for uFAB-C. Absolute synthesis results cannot be
+// reproduced without the chips; what *can* be reproduced is the state-size
+// arithmetic behind them — how much memory each module needs as a function
+// of supported VM pairs / tenants, normalized by the device budgets — and
+// the paper's scaling claim that uFAB-C grows only slightly with the number
+// of VM pairs (its per-pair state is just Bloom-filter bits).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ufab::edge {
+
+/// One row of Table 3: per-module utilization on an Alveo-U200-class device.
+struct EdgeResourceRow {
+  std::string module;
+  double lut_pct;
+  double registers_pct;
+  double bram_pct;
+  double uram_pct;
+};
+
+/// uFAB-E resource table for a given scale (paper: 8K pairs, 1K tenants).
+std::vector<EdgeResourceRow> edge_resource_table(int vm_pairs = 8192, int tenants = 1024);
+
+/// One row of Table 4: per-resource-type utilization on a Tofino-class chip.
+struct CoreResourceRow {
+  std::string resource;
+  double pct;
+};
+
+/// uFAB-C resource table for a given number of distinct VM pairs
+/// (paper columns: 20K, 40K, 80K).
+std::vector<CoreResourceRow> core_resource_table(int vm_pairs);
+
+}  // namespace ufab::edge

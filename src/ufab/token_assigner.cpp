@@ -1,0 +1,115 @@
+#include "src/ufab/token_assigner.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/core/assert.hpp"
+
+namespace ufab::edge {
+
+void assign_tokens(double vm_tokens, std::vector<SenderPairView>& pairs) {
+  if (pairs.empty()) return;
+  UFAB_CHECK(vm_tokens >= 0.0);
+  const auto ns = static_cast<double>(pairs.size());
+  double fair = vm_tokens / ns;
+  for (auto& p : pairs) p.assigned = 0.0;
+
+  // Stage 1 — demand-bounded pairs: they still reserve the fair share (so a
+  // returning burst can ramp within one RTT), but their spare capacity is
+  // redistributed to the rest. Worst-case transient over-assignment is 2x a
+  // pair's token, which the paper accepts deliberately (Appendix E).
+  double spare = 0.0;
+  std::size_t bounded = 0;
+  for (auto& p : pairs) {
+    if (fair > p.demand_tokens) {
+      spare += fair - p.demand_tokens;
+      p.assigned = fair;
+      ++bounded;
+    }
+  }
+  if (bounded < pairs.size()) fair += spare / static_cast<double>(pairs.size() - bounded);
+
+  // Stage 2+3 — max-min water-fill of the remaining budget over the open
+  // pairs, with each pair's demand being the receiver-admitted token (or
+  // unbounded while the receiver's answer is unknown). Pairs capped by their
+  // receiver get exactly phi_D; the freed tokens raise the level for others.
+  std::vector<SenderPairView*> open;
+  for (auto& p : pairs) {
+    if (p.assigned == 0.0) open.push_back(&p);
+  }
+  if (open.empty()) return;
+  std::sort(open.begin(), open.end(), [](const SenderPairView* a, const SenderPairView* b) {
+    const double da = a->receiver_known ? a->receiver_tokens : 1e300;
+    const double db = b->receiver_known ? b->receiver_tokens : 1e300;
+    return da < db;
+  });
+  double budget = fair * static_cast<double>(open.size());
+  std::size_t n = open.size();
+  for (SenderPairView* p : open) {
+    const double level = budget / static_cast<double>(n);
+    const double demand = p->receiver_known ? p->receiver_tokens : 1e300;
+    if (demand < level) {
+      p->assigned = demand;
+      budget -= demand;
+    } else {
+      p->assigned = level;
+      budget -= level;
+    }
+    --n;
+  }
+}
+
+void admit_tokens(double vm_tokens, std::vector<ReceiverPairView>& pairs) {
+  if (pairs.empty()) return;
+  UFAB_CHECK(vm_tokens >= 0.0);
+  double fair = vm_tokens / static_cast<double>(pairs.size());
+
+  // Max-min: pairs requesting less than the (rising) water level are
+  // admitted in full ("UNBOUND" in Algorithm 1); their slack raises the
+  // level for the rest.
+  std::vector<ReceiverPairView*> order;
+  order.reserve(pairs.size());
+  for (auto& p : pairs) order.push_back(&p);
+  std::sort(order.begin(), order.end(), [](const ReceiverPairView* a, const ReceiverPairView* b) {
+    return a->requested_tokens < b->requested_tokens;
+  });
+  std::size_t remaining = order.size();
+  for (ReceiverPairView* p : order) {
+    --remaining;
+    if (p->requested_tokens < fair) {
+      if (remaining > 0) fair += (fair - p->requested_tokens) / static_cast<double>(remaining);
+      p->admitted = p->requested_tokens;
+    } else {
+      p->admitted = fair;
+    }
+  }
+}
+
+std::vector<double> split_tokens_across_paths(double pair_tokens,
+                                              const std::vector<double>& path_demand_tokens) {
+  const std::size_t n = path_demand_tokens.size();
+  std::vector<double> out(n, 0.0);
+  if (n == 0) return out;
+  double fair = pair_tokens / static_cast<double>(n);
+
+  // Demand-starved paths keep the fair share (boosting future growth, line 7
+  // of Algorithm 2) while their spare is spread over busy paths.
+  double spare = 0.0;
+  std::size_t bounded = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (fair > path_demand_tokens[i]) {
+      out[i] = fair;
+      spare += fair - path_demand_tokens[i];
+      ++bounded;
+    }
+  }
+  if (bounded < n) {
+    const double boost = spare / static_cast<double>(n - bounded);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (out[i] == 0.0) out[i] = fair + boost;
+    }
+  }
+  return out;
+}
+
+}  // namespace ufab::edge

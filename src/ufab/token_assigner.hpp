@@ -1,0 +1,42 @@
+// Bandwidth-token assignment: hose-model guarantees -> VM-pair guarantees.
+//
+// uFAB adopts ElasticSwitch-style Guarantee Partitioning (Appendix E,
+// Algorithm 1): the sender apportions its VM's tokens across active VM pairs
+// — granting at least the fair share even to demand-bounded pairs so they can
+// ramp instantly, the paper's deliberate <=2x transient over-assignment — and
+// the receiver admits demands with max-min fairness.  Algorithm 2 (Appendix
+// F) splits one pair's token across multiple underlay paths the same way.
+//
+// Token unit convention: 1 token == 1 bps (B_u = 1), see harness::VmMap.
+#pragma once
+
+#include <vector>
+
+namespace ufab::edge {
+
+/// Sender-side view of one VM pair for TOKENASSIGNMENT.
+struct SenderPairView {
+  double demand_tokens = 0.0;    ///< Measured TX rate, in tokens (bps).
+  double receiver_tokens = 0.0;  ///< phi_D last admitted by the receiver.
+  bool receiver_known = false;   ///< false until the first response arrives.
+  double assigned = 0.0;         ///< Output: phi_s.
+};
+
+/// Receiver-side view of one VM pair for TOKENADMISSION.
+struct ReceiverPairView {
+  double requested_tokens = 0.0;  ///< phi_s conveyed in the sender's probes.
+  double admitted = 0.0;          ///< Output: phi_D.
+};
+
+/// Algorithm 1, sender half: partitions `vm_tokens` across `pairs`.
+void assign_tokens(double vm_tokens, std::vector<SenderPairView>& pairs);
+
+/// Algorithm 1, receiver half: max-min admission of requested tokens.
+void admit_tokens(double vm_tokens, std::vector<ReceiverPairView>& pairs);
+
+/// Algorithm 2: splits a pair's token across underlay paths; `demand[i]` is
+/// the measured TX rate on path i (tokens). Returns per-path tokens.
+std::vector<double> split_tokens_across_paths(double pair_tokens,
+                                              const std::vector<double>& path_demand_tokens);
+
+}  // namespace ufab::edge

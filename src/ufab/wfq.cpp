@@ -1,0 +1,144 @@
+#include "src/ufab/wfq.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/assert.hpp"
+
+namespace ufab::edge {
+
+int WfqScheduler::weight_to_level(double weight) const {
+  if (weight <= base_weight_) return 0;
+  const int level = static_cast<int>(std::floor(std::log2(weight / base_weight_) + 0.5));
+  return std::clamp(level, 0, kLevels - 1);
+}
+
+void WfqScheduler::set_tenant_weight(TenantId tenant, double weight) {
+  const int level = weight_to_level(weight);
+  auto it = tenant_level_.find(tenant.value());
+  if (it != tenant_level_.end() && it->second == level) return;
+  // Move existing entities if the tenant changes level.
+  std::vector<std::uint64_t> moved;
+  if (it != tenant_level_.end()) {
+    Level& old = levels_[it->second];
+    if (TenantQueue* tq = find_tenant(old, tenant)) {
+      moved = std::move(tq->entities);
+      old.tenants.erase(old.tenants.begin() + (tq - old.tenants.data()));
+      old.cursor = 0;
+    }
+  }
+  tenant_level_[tenant.value()] = level;
+  if (!moved.empty()) {
+    levels_[level].tenants.push_back(TenantQueue{tenant, std::move(moved), 0});
+  }
+}
+
+WfqScheduler::TenantQueue* WfqScheduler::find_tenant(Level& level, TenantId tenant) {
+  for (auto& tq : level.tenants) {
+    if (tq.tenant == tenant) return &tq;
+  }
+  return nullptr;
+}
+
+void WfqScheduler::add(TenantId tenant, std::uint64_t entity) {
+  auto it = tenant_level_.find(tenant.value());
+  const int level = it != tenant_level_.end() ? it->second : weight_to_level(base_weight_);
+  if (it == tenant_level_.end()) tenant_level_[tenant.value()] = level;
+  Level& L = levels_[level];
+  TenantQueue* tq = find_tenant(L, tenant);
+  if (tq == nullptr) {
+    L.tenants.push_back(TenantQueue{tenant, {}, 0});
+    tq = &L.tenants.back();
+  }
+  tq->entities.push_back(entity);
+  ++entity_count_;
+}
+
+void WfqScheduler::remove(TenantId tenant, std::uint64_t entity) {
+  auto it = tenant_level_.find(tenant.value());
+  if (it == tenant_level_.end()) return;
+  Level& L = levels_[it->second];
+  TenantQueue* tq = find_tenant(L, tenant);
+  if (tq == nullptr) return;
+  auto pos = std::find(tq->entities.begin(), tq->entities.end(), entity);
+  if (pos == tq->entities.end()) return;
+  tq->entities.erase(pos);
+  tq->cursor = 0;
+  --entity_count_;
+  if (tq->entities.empty()) {
+    L.tenants.erase(L.tenants.begin() + (tq - L.tenants.data()));
+    L.cursor = 0;
+  }
+}
+
+int WfqScheduler::level_of(TenantId tenant) const {
+  auto it = tenant_level_.find(tenant.value());
+  return it == tenant_level_.end() ? 0 : it->second;
+}
+
+std::uint64_t WfqScheduler::find_sendable(
+    Level& level, const std::function<std::int32_t(std::uint64_t)>& sendable,
+    std::int32_t& size_out, bool commit) {
+  if (level.tenants.empty()) return 0;
+  const std::size_t nt = level.tenants.size();
+  for (std::size_t t = 0; t < nt; ++t) {
+    TenantQueue& tq = level.tenants[(level.cursor + t) % nt];
+    const std::size_t ne = tq.entities.size();
+    for (std::size_t e = 0; e < ne; ++e) {
+      const std::size_t ei = (tq.cursor + e) % ne;
+      const std::uint64_t entity = tq.entities[ei];
+      const std::int32_t size = sendable(entity);
+      if (size > 0) {
+        if (commit) {
+          // Advance round-robin cursors past the served entity/tenant.
+          tq.cursor = (ei + 1) % ne;
+          level.cursor = ((level.cursor + t) + 1) % nt;
+        }
+        size_out = size;
+        return entity;
+      }
+    }
+  }
+  return 0;
+}
+
+std::uint64_t WfqScheduler::next(const std::function<std::int32_t(std::uint64_t)>& sendable) {
+  // Classic DRR adapted to pull-one semantics: the rotation pointer stays on
+  // a level while its deficit lasts; moving onto a level grants its quantum
+  // exactly once. A level with nothing sendable forfeits its deficit, as in
+  // standard DRR where an emptied queue resets its counter.
+  for (int i = 0; i < 2 * kLevels; ++i) {
+    Level& L = levels_[rr_level_];
+    if (!L.tenants.empty()) {
+      std::int32_t size = 0;
+      const std::uint64_t probe = find_sendable(L, sendable, size, /*commit=*/false);
+      if (probe != 0 && L.deficit >= size) {
+        const std::uint64_t entity = find_sendable(L, sendable, size, /*commit=*/true);
+        L.deficit -= size;
+        return entity;
+      }
+      if (probe == 0) L.deficit = 0.0;
+    }
+    // Advance the rotation and grant the next level its quantum.
+    rr_level_ = (rr_level_ + 1) % kLevels;
+    Level& N = levels_[rr_level_];
+    const double level_quantum =
+        static_cast<double>(quantum_) * static_cast<double>(1 << rr_level_);
+    N.deficit = std::min(N.deficit + level_quantum, 2.0 * level_quantum);
+  }
+  // Work-conserving fallback: never leave the wire idle because every level
+  // is deficit-blocked — serve the first sendable entity and let its level
+  // borrow (deficit goes negative, repaid on later rounds).
+  for (int li = 0; li < kLevels; ++li) {
+    Level& L = levels_[li];
+    if (L.tenants.empty()) continue;
+    std::int32_t size = 0;
+    const std::uint64_t entity = find_sendable(L, sendable, size, /*commit=*/true);
+    if (entity == 0) continue;
+    L.deficit -= size;
+    return entity;
+  }
+  return 0;
+}
+
+}  // namespace ufab::edge

@@ -1,0 +1,71 @@
+// Hierarchical weighted-fair packet scheduler (uFAB-E Packet Scheduler, §4.1).
+//
+// The FPGA implementation constrains the WFQ engine to 8 weighted queues with
+// distinct weight levels; VFs are binned into the nearest level and VFs
+// sharing a level are served round-robin, as are VM-pair queues inside a VF.
+// This scheduler reproduces that structure: deficit round robin across the 8
+// levels (quantum proportional to the level weight, which doubles per level),
+// round robin across tenants within a level, round robin across connections
+// within a tenant.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/ids.hpp"
+
+namespace ufab::edge {
+
+class WfqScheduler {
+ public:
+  static constexpr int kLevels = 8;
+
+  /// `base_weight` maps to level 0; each further level doubles the weight.
+  explicit WfqScheduler(double base_weight = 1.0, std::int32_t quantum_bytes = 1500)
+      : base_weight_(base_weight), quantum_(quantum_bytes) {}
+
+  /// Registers/updates a tenant's weight (its aggregate guarantee). Must be
+  /// called before entities of the tenant are added.
+  void set_tenant_weight(TenantId tenant, double weight);
+
+  /// Adds a schedulable entity (a VM-pair connection) under a tenant.
+  void add(TenantId tenant, std::uint64_t entity);
+  void remove(TenantId tenant, std::uint64_t entity);
+
+  /// Returns the next entity allowed to send, or 0 if none is sendable.
+  /// `sendable(entity)` returns the wire size of the entity's next packet, or
+  /// 0 if the entity has nothing admissible right now.
+  std::uint64_t next(const std::function<std::int32_t(std::uint64_t)>& sendable);
+
+  [[nodiscard]] int level_of(TenantId tenant) const;
+  [[nodiscard]] std::size_t entity_count() const { return entity_count_; }
+
+ private:
+  struct TenantQueue {
+    TenantId tenant;
+    std::vector<std::uint64_t> entities;
+    std::size_t cursor = 0;
+  };
+  struct Level {
+    std::vector<TenantQueue> tenants;
+    std::size_t cursor = 0;
+    double deficit = 0.0;
+  };
+
+  [[nodiscard]] int weight_to_level(double weight) const;
+  TenantQueue* find_tenant(Level& level, TenantId tenant);
+  std::uint64_t find_sendable(Level& level,
+                              const std::function<std::int32_t(std::uint64_t)>& sendable,
+                              std::int32_t& size_out, bool commit);
+
+  double base_weight_;
+  std::int32_t quantum_;
+  Level levels_[kLevels];
+  std::unordered_map<std::int32_t, int> tenant_level_;  // TenantId value -> level
+  std::size_t entity_count_ = 0;
+  int rr_level_ = 0;
+};
+
+}  // namespace ufab::edge

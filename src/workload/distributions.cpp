@@ -1,0 +1,75 @@
+#include "src/workload/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/assert.hpp"
+
+namespace ufab::workload {
+
+EmpiricalSizeDist::EmpiricalSizeDist(std::vector<Point> points) : points_(std::move(points)) {
+  UFAB_CHECK(points_.size() >= 2);
+  UFAB_CHECK(std::abs(points_.back().cum_prob - 1.0) < 1e-9);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    UFAB_CHECK(points_[i].cum_prob >= points_[i - 1].cum_prob);
+    UFAB_CHECK(points_[i].size_bytes >= points_[i - 1].size_bytes);
+  }
+}
+
+std::int64_t EmpiricalSizeDist::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  auto it = std::lower_bound(points_.begin(), points_.end(), u,
+                             [](const Point& p, double v) { return p.cum_prob < v; });
+  if (it == points_.begin()) return static_cast<std::int64_t>(it->size_bytes);
+  if (it == points_.end()) return static_cast<std::int64_t>(points_.back().size_bytes);
+  const Point& hi = *it;
+  const Point& lo = *(it - 1);
+  const double span = hi.cum_prob - lo.cum_prob;
+  const double frac = span <= 0.0 ? 0.0 : (u - lo.cum_prob) / span;
+  const double size = lo.size_bytes + frac * (hi.size_bytes - lo.size_bytes);
+  return std::max<std::int64_t>(1, static_cast<std::int64_t>(size));
+}
+
+double EmpiricalSizeDist::mean_bytes() const {
+  // Mean of the piecewise-linear distribution: trapezoid midpoints.
+  double mean = points_.front().size_bytes * points_.front().cum_prob;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double p = points_[i].cum_prob - points_[i - 1].cum_prob;
+    mean += p * 0.5 * (points_[i].size_bytes + points_[i - 1].size_bytes);
+  }
+  return mean;
+}
+
+EmpiricalSizeDist EmpiricalSizeDist::key_value() {
+  return EmpiricalSizeDist({
+      {64, 0.0},
+      {128, 0.10},
+      {256, 0.30},
+      {512, 0.50},
+      {1024, 0.70},
+      {2048, 0.80},
+      {4096, 0.90},
+      {8192, 0.96},
+      {16384, 0.99},
+      {65536, 1.0},
+  });
+}
+
+EmpiricalSizeDist EmpiricalSizeDist::websearch() {
+  return EmpiricalSizeDist({
+      {6'000, 0.0},
+      {10'000, 0.15},
+      {13'000, 0.20},
+      {19'000, 0.30},
+      {33'000, 0.40},
+      {53'000, 0.53},
+      {133'000, 0.60},
+      {667'000, 0.70},
+      {1'333'000, 0.80},
+      {3'333'000, 0.90},
+      {6'667'000, 0.97},
+      {20'000'000, 1.0},
+  });
+}
+
+}  // namespace ufab::workload

@@ -1,0 +1,56 @@
+// Flow/message-size distributions used by the evaluation workloads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/rng.hpp"
+
+namespace ufab::workload {
+
+/// Piecewise-linear inverse-CDF sampler over (size, cumulative probability)
+/// points. Points must be sorted by probability, ending at probability 1.
+class EmpiricalSizeDist {
+ public:
+  struct Point {
+    double size_bytes;
+    double cum_prob;
+  };
+
+  explicit EmpiricalSizeDist(std::vector<Point> points);
+
+  [[nodiscard]] std::int64_t sample(Rng& rng) const;
+  [[nodiscard]] double mean_bytes() const;
+
+  /// Key-value store object sizes (Atikoglu et al., SIGMETRICS'12 shape):
+  /// mostly sub-KB values with a tail of multi-KB objects; mean ~2 KB —
+  /// the Memcached workload of §5.3.
+  static EmpiricalSizeDist key_value();
+
+  /// Web-search style heavy-tailed flow sizes (as in the CONGA/DCTCP
+  /// evaluations the paper's §5.5 workload cites): half the flows are small,
+  /// but most bytes come from multi-MB flows.
+  static EmpiricalSizeDist websearch();
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// Poisson arrival process helper: exponential inter-arrival times sized to
+/// hit `target_load` on `link_bps` given the size distribution's mean.
+class PoissonArrivals {
+ public:
+  PoissonArrivals(double target_load, double link_bps, double mean_flow_bytes)
+      : mean_gap_sec_(mean_flow_bytes * 8.0 / (target_load * link_bps)) {}
+
+  /// Next inter-arrival gap in seconds.
+  [[nodiscard]] double next_gap_sec(Rng& rng) const {
+    return rng.exponential(mean_gap_sec_);
+  }
+  [[nodiscard]] double mean_gap_sec() const { return mean_gap_sec_; }
+
+ private:
+  double mean_gap_sec_;
+};
+
+}  // namespace ufab::workload

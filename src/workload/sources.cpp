@@ -1,0 +1,151 @@
+#include "src/workload/sources.hpp"
+
+#include <algorithm>
+
+#include "src/core/assert.hpp"
+
+namespace ufab::workload {
+
+// ---------------------------------------------------------------------------
+// OnOffSource
+// ---------------------------------------------------------------------------
+
+OnOffSource::OnOffSource(harness::Fabric& fab, VmPairId pair, Config cfg)
+    : fab_(fab), pair_(pair), cfg_(cfg), unlimited_(cfg.start_unlimited) {
+  fab_.sim().at(cfg_.start, [this] {
+    toggle_initial();
+  });
+}
+
+void OnOffSource::toggle_initial() {
+  // Enter the configured initial phase and schedule the flip cadence.
+  if (unlimited_) {
+    top_up_unlimited();
+  } else {
+    tick_limited();
+  }
+  toggle_scheduled();
+}
+
+void OnOffSource::toggle_scheduled() {
+  fab_.sim().after(cfg_.period, [this] {
+    if (fab_.sim().now() >= cfg_.stop) return;
+    unlimited_ = !unlimited_;
+    if (unlimited_) {
+      top_up_unlimited();
+    } else {
+      tick_limited();
+    }
+    toggle_scheduled();
+  });
+}
+
+void OnOffSource::tick_limited() {
+  if (unlimited_ || fab_.sim().now() >= cfg_.stop) return;
+  fab_.send(pair_, cfg_.chunk_bytes);
+  const double gap_ns =
+      static_cast<double>(cfg_.chunk_bytes) * 8e9 / cfg_.limited_rate.bits_per_sec();
+  fab_.sim().after(TimeNs{static_cast<std::int64_t>(gap_ns)}, [this] { tick_limited(); });
+}
+
+void OnOffSource::top_up_unlimited() {
+  if (!unlimited_ || fab_.sim().now() >= cfg_.stop) return;
+  const HostId src = fab_.vms().host_of(pair_.src);
+  auto* conn = fab_.stack_at(src).find_connection(pair_);
+  std::int64_t queued = conn != nullptr ? conn->queued_bytes() : 0;
+  while (queued < 2 * cfg_.chunk_bytes * 8) {
+    fab_.send(pair_, cfg_.chunk_bytes * 8);
+    queued += cfg_.chunk_bytes * 8;
+  }
+  fab_.sim().after(TimeNs{100'000}, [this] { top_up_unlimited(); });
+}
+
+// ---------------------------------------------------------------------------
+// FlowRecorder
+// ---------------------------------------------------------------------------
+
+void FlowRecorder::on_start(std::uint64_t tag, TimeNs started, double expected_sec,
+                            std::int64_t size_bytes) {
+  pending_[tag] = Pending{started, expected_sec, size_bytes};
+  ++started_;
+}
+
+void FlowRecorder::on_delivery(std::uint64_t tag, TimeNs delivered) {
+  auto it = pending_.find(tag);
+  if (it == pending_.end()) return;
+  const double fct_sec = (delivered - it->second.started).sec();
+  fct_us_.add(fct_sec * 1e6);
+  const double slow = fct_sec / std::max(it->second.expected_sec, 1e-9);
+  slowdown_.add(slow);
+  done_.push_back(Done{slow, it->second.size});
+  ++records_done_;
+  pending_.erase(it);
+}
+
+double FlowRecorder::violation_volume_pct() const {
+  double violated = 0.0;
+  double total = 0.0;
+  for (const Done& d : done_) {
+    total += static_cast<double>(d.size);
+    if (d.slowdown > 1.0) {
+      violated += static_cast<double>(d.size) * (1.0 - 1.0 / d.slowdown);
+    }
+  }
+  return total <= 0.0 ? 0.0 : 100.0 * violated / total;
+}
+
+PercentileTracker FlowRecorder::slowdown_for_sizes(std::int64_t min_bytes,
+                                                   std::int64_t max_bytes) const {
+  PercentileTracker out;
+  for (const Done& d : done_) {
+    if (d.size >= min_bytes && d.size < max_bytes) out.add(d.slowdown);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// PoissonFlowGenerator
+// ---------------------------------------------------------------------------
+
+PoissonFlowGenerator::PoissonFlowGenerator(harness::Fabric& fab, std::vector<VmPairId> pairs,
+                                           EmpiricalSizeDist dist, Config cfg, Rng rng)
+    : fab_(fab),
+      pairs_(std::move(pairs)),
+      dist_(std::move(dist)),
+      cfg_(cfg),
+      rng_(rng),
+      next_tag_(cfg.tag_base) {
+  UFAB_CHECK(!pairs_.empty());
+  // Interpret target_load against the aggregate sending capacity of the
+  // distinct source hosts feeding this generator.
+  std::vector<bool> seen(fab_.net().host_count(), false);
+  double total_bps = 0.0;
+  for (const VmPairId& p : pairs_) {
+    const HostId h = fab_.vms().host_of(p.src);
+    if (!seen[static_cast<std::size_t>(h.value())]) {
+      seen[static_cast<std::size_t>(h.value())] = true;
+      total_bps += fab_.net().host(h).nic().capacity().bits_per_sec();
+    }
+  }
+  mean_gap_sec_ = dist_.mean_bytes() * 8.0 / (cfg_.target_load * total_bps);
+
+  fab_.add_delivery_listener([this](const transport::Message& msg, TimeNs at) {
+    recorder_.on_delivery(msg.user_tag, at);
+  });
+  fab_.sim().at(cfg_.start, [this] { arrival(); });
+}
+
+void PoissonFlowGenerator::arrival() {
+  if (fab_.sim().now() >= cfg_.stop) return;
+  const VmPairId pair = pairs_[rng_.below(pairs_.size())];
+  const std::int64_t size = dist_.sample(rng_);
+  const std::uint64_t tag = next_tag_++;
+  const double guarantee_bps = fab_.vms().vm_guarantee(pair.src).bits_per_sec();
+  recorder_.on_start(tag, fab_.sim().now(), static_cast<double>(size) * 8.0 / guarantee_bps,
+                     size);
+  fab_.send(pair, size, tag);
+  const double gap = rng_.exponential(mean_gap_sec_);
+  fab_.sim().after(TimeNs{static_cast<std::int64_t>(gap * 1e9)}, [this] { arrival(); });
+}
+
+}  // namespace ufab::workload

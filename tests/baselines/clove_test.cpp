@@ -1,0 +1,75 @@
+// Unit tests for the Clove flowlet path selector.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/baselines/clove.hpp"
+
+namespace ufab::baselines {
+namespace {
+
+using namespace ufab::time_literals;
+
+TEST(Clove, SticksWithinFlowlet) {
+  CloveConfig cfg;
+  cfg.flowlet_gap = 200_us;
+  CloveSelector sel(cfg, 4, Rng{3});
+  TimeNs now = 1_ms;
+  const std::int32_t first = sel.select(now);
+  // Back-to-back packets (1 us apart) never switch paths.
+  for (int i = 0; i < 100; ++i) {
+    now += 1_us;
+    EXPECT_EQ(sel.select(now), first);
+  }
+  EXPECT_EQ(sel.path_switches(), 0);
+}
+
+TEST(Clove, GapOpensFlowletBoundary) {
+  CloveConfig cfg;
+  cfg.flowlet_gap = 36_us;
+  CloveSelector sel(cfg, 8, Rng{5});
+  TimeNs now = 1_ms;
+  std::map<std::int32_t, int> seen;
+  for (int i = 0; i < 300; ++i) {
+    now += 50_us;  // every packet is its own flowlet
+    ++seen[sel.select(now)];
+  }
+  EXPECT_GT(seen.size(), 4u);  // explores multiple paths
+}
+
+TEST(Clove, EcnShiftsTrafficAway) {
+  CloveConfig cfg;
+  cfg.flowlet_gap = 10_us;
+  CloveSelector sel(cfg, 2, Rng{7});
+  TimeNs now = 1_ms;
+  // Path 0 always marked, path 1 always clean.
+  std::map<std::int32_t, int> seen;
+  for (int i = 0; i < 2000; ++i) {
+    now += 20_us;
+    const std::int32_t p = sel.select(now);
+    ++seen[p];
+    sel.on_ack(p, /*ecn_marked=*/p == 0);
+  }
+  EXPECT_GT(seen[1], seen[0] * 3);
+}
+
+TEST(Clove, WeightsRecoverAfterCongestionClears) {
+  CloveConfig cfg;
+  CloveSelector sel(cfg, 2, Rng{9});
+  for (int i = 0; i < 50; ++i) sel.on_ack(0, true);
+  const double beaten = sel.weights()[0];
+  EXPECT_LE(beaten, cfg.min_weight + 1e-9);
+  for (int i = 0; i < 200; ++i) sel.on_ack(0, false);
+  EXPECT_GT(sel.weights()[0], 0.9);
+}
+
+TEST(Clove, IgnoresOutOfRangeFeedback) {
+  CloveSelector sel(CloveConfig{}, 2, Rng{1});
+  sel.on_ack(-1, true);
+  sel.on_ack(99, true);  // must not crash or corrupt
+  EXPECT_DOUBLE_EQ(sel.weights()[0], 1.0);
+  EXPECT_DOUBLE_EQ(sel.weights()[1], 1.0);
+}
+
+}  // namespace
+}  // namespace ufab::baselines

@@ -1,0 +1,170 @@
+// Unit tests for src/core: time, units, ids, rng, ewma.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/ewma.hpp"
+#include "src/core/ids.hpp"
+#include "src/core/rng.hpp"
+#include "src/core/time.hpp"
+#include "src/core/units.hpp"
+
+namespace ufab {
+namespace {
+
+using namespace ufab::time_literals;
+using namespace ufab::unit_literals;
+
+TEST(TimeNs, LiteralsAndArithmetic) {
+  EXPECT_EQ((3_us).ns(), 3000);
+  EXPECT_EQ((2_ms).ns(), 2'000'000);
+  EXPECT_EQ((1_s).ns(), 1'000'000'000);
+  EXPECT_EQ((5_us + 5_us).ns(), (10_us).ns());
+  EXPECT_EQ((10_us - 4_us).ns(), (6_us).ns());
+  EXPECT_EQ((3_us * 4).ns(), (12_us).ns());
+  EXPECT_EQ(12_us / 3_us, 4);
+  EXPECT_LT(1_us, 2_us);
+  EXPECT_DOUBLE_EQ((1500_ns).us(), 1.5);
+}
+
+TEST(TimeNs, ScaledRounds) {
+  EXPECT_EQ((10_us).scaled(1.5).ns(), 15'000);
+  EXPECT_EQ((10_us).scaled(0.0).ns(), 0);
+}
+
+TEST(Bandwidth, Conversions) {
+  const Bandwidth b = 10_Gbps;
+  EXPECT_DOUBLE_EQ(b.bits_per_sec(), 1e10);
+  EXPECT_DOUBLE_EQ(b.bytes_per_ns(), 1.25);
+  EXPECT_DOUBLE_EQ(b.gbit_per_sec(), 10.0);
+}
+
+TEST(Bandwidth, TxTimeIsExactForMtu) {
+  // 1500 B at 10 Gbps = 1200 ns exactly.
+  EXPECT_EQ((10_Gbps).tx_time(1500).ns(), 1200);
+  // 64 B at 100 Gbps = 5.12 ns, rounded to 5.
+  EXPECT_EQ((100_Gbps).tx_time(64).ns(), 5);
+  // Tiny payloads still take at least 1 ns.
+  EXPECT_EQ((100_Gbps).tx_time(1).ns(), 1);
+  EXPECT_EQ((10_Gbps).tx_time(0).ns(), 0);
+}
+
+TEST(Bandwidth, BdpBytes) {
+  // 10 Gbps * 24 us = 30 KB.
+  EXPECT_DOUBLE_EQ((10_Gbps).bdp_bytes(24_us), 30'000.0);
+}
+
+TEST(Bandwidth, ArithmeticAndRatios) {
+  EXPECT_DOUBLE_EQ((4_Gbps + 6_Gbps).gbit_per_sec(), 10.0);
+  EXPECT_DOUBLE_EQ((10_Gbps * 0.95).gbit_per_sec(), 9.5);
+  EXPECT_DOUBLE_EQ(8_Gbps / 2_Gbps, 4.0);
+}
+
+TEST(Ids, ValidityAndComparison) {
+  EXPECT_FALSE(HostId{}.valid());
+  EXPECT_TRUE(HostId{0}.valid());
+  EXPECT_EQ(HostId{3}, HostId{3});
+  EXPECT_NE(HostId{3}, HostId{4});
+}
+
+TEST(Ids, VmPairKeyIsInjective) {
+  std::set<std::uint64_t> keys;
+  for (int a = 0; a < 30; ++a) {
+    for (int b = 0; b < 30; ++b) {
+      keys.insert(VmPairId{VmId{a}, VmId{b}}.key());
+    }
+  }
+  EXPECT_EQ(keys.size(), 900u);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BelowIsUnbiasedEnough) {
+  Rng r(9);
+  int counts[5] = {};
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[r.below(5)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 5.0, n * 0.01);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = r.range(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(13);
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(99);
+  Rng a = parent.fork("alpha");
+  Rng b = parent.fork("beta");
+  Rng a2 = Rng(99).fork("alpha");
+  EXPECT_EQ(a(), a2());  // fork is a pure function of (seed, tag)
+  EXPECT_NE(a(), b());
+}
+
+TEST(Ewma, FirstSampleVerbatim) {
+  Ewma e(0.5);
+  EXPECT_FALSE(e.primed());
+  e.add(10.0);
+  EXPECT_TRUE(e.primed());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+  e.add(20.0);
+  EXPECT_DOUBLE_EQ(e.value(), 15.0);
+}
+
+TEST(Ewma, ConvergesToConstant) {
+  Ewma e(0.2);
+  for (int i = 0; i < 200; ++i) e.add(7.5);
+  EXPECT_DOUBLE_EQ(e.value(), 7.5);
+}
+
+TEST(Strings, RenderTimeAndBandwidth) {
+  EXPECT_EQ(to_string(1500_ns), "1500ns");
+  EXPECT_EQ(to_string(13250_ns), "13.250us");
+  EXPECT_EQ(to_string(10_Gbps), "10.00Gbps");
+}
+
+}  // namespace
+}  // namespace ufab

@@ -1,0 +1,205 @@
+// Cross-cutting property tests, parameterized over schemes / topologies /
+// seeds (TEST_P sweeps). These pin down invariants no single scenario test
+// covers: reliable delivery under every scheme, determinism, register
+// conservation, and uFAB's guarantee/queue bounds across random workloads.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/harness/experiment.hpp"
+#include "src/workload/sources.hpp"
+
+namespace ufab::harness {
+namespace {
+
+using namespace ufab::time_literals;
+using namespace ufab::unit_literals;
+
+// ---------------------------------------------------------------------------
+// Reliable delivery: every message injected under random traffic completes,
+// for every scheme, on every topology, across seeds.
+// ---------------------------------------------------------------------------
+
+using DeliveryParam = std::tuple<Scheme, int /*topology*/, std::uint64_t /*seed*/>;
+
+class ReliableDelivery : public ::testing::TestWithParam<DeliveryParam> {};
+
+Experiment::TopoFn topology(int which) {
+  switch (which) {
+    case 0:
+      return [](sim::Simulator& s, const topo::FabricOptions& o) {
+        return topo::make_dumbbell(s, 3, 3, o);
+      };
+    case 1:
+      return [](sim::Simulator& s, const topo::FabricOptions& o) {
+        return topo::make_leaf_spine(s, 2, 3, 3, o);
+      };
+    default:
+      return [](sim::Simulator& s, const topo::FabricOptions& o) {
+        return topo::make_testbed(s, o);
+      };
+  }
+}
+
+TEST_P(ReliableDelivery, AllMessagesComplete) {
+  const auto [scheme, topo_idx, seed] = GetParam();
+  Experiment exp(scheme, topology(topo_idx), {}, {}, seed);
+  auto& fab = exp.fab();
+  auto& vms = fab.vms();
+
+  // Random pairs across the fabric with mixed guarantees.
+  Rng rng = fab.rng().fork("prop");
+  const int hosts = static_cast<int>(fab.net().host_count());
+  std::vector<VmPairId> pairs;
+  for (int i = 0; i < 6; ++i) {
+    const TenantId t =
+        vms.add_tenant("T" + std::to_string(i), Bandwidth::gbps(1.0 + static_cast<double>(i % 3)));
+    const int a = static_cast<int>(rng.below(static_cast<std::uint64_t>(hosts)));
+    int b = static_cast<int>(rng.below(static_cast<std::uint64_t>(hosts)));
+    if (b == a) b = (b + 1) % hosts;
+    pairs.push_back(VmPairId{vms.add_vm(t, HostId{a}), vms.add_vm(t, HostId{b})});
+  }
+
+  std::int64_t sent_msgs = 0;
+  std::int64_t delivered = 0;
+  std::int64_t delivered_bytes = 0;
+  std::int64_t sent_bytes = 0;
+  fab.add_delivery_listener([&](const transport::Message& m, TimeNs) {
+    ++delivered;
+    delivered_bytes += m.size_bytes;
+  });
+  for (int burst = 0; burst < 40; ++burst) {
+    const auto& p = pairs[rng.below(pairs.size())];
+    const auto size = static_cast<std::int64_t>(1 + rng.below(200'000));
+    fab.sim().at(TimeNs{static_cast<std::int64_t>(rng.below(10'000'000))},
+                 [&fab, p, size] { fab.send(p, size); });
+    ++sent_msgs;
+    sent_bytes += size;
+  }
+  fab.sim().run_until(120_ms);  // generous drain
+
+  EXPECT_EQ(delivered, sent_msgs);
+  EXPECT_EQ(delivered_bytes, sent_bytes);
+}
+
+std::string delivery_param_name(const ::testing::TestParamInfo<DeliveryParam>& info) {
+  std::string name = to_string(std::get<0>(info.param));
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name + "_topo" + std::to_string(std::get<1>(info.param)) + "_seed" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ReliableDelivery,
+    ::testing::Combine(::testing::Values(Scheme::kUfab, Scheme::kUfabPrime, Scheme::kPwc,
+                                         Scheme::kEsClove),
+                       ::testing::Values(0, 1, 2), ::testing::Values(1u, 42u)),
+    delivery_param_name);
+
+// ---------------------------------------------------------------------------
+// uFAB guarantee/queue invariants across seeds.
+// ---------------------------------------------------------------------------
+
+class UfabInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UfabInvariants, GuaranteesAndQueueBoundHold) {
+  const std::uint64_t seed = GetParam();
+  Experiment exp(Scheme::kUfab, topology(2), {}, {}, seed);
+  auto& fab = exp.fab();
+  auto& vms = fab.vms();
+  // Feasible permutation: 3 VFs per source host, 1+2+4 = 7G < 9.5G.
+  std::vector<GuaranteeSpec> specs;
+  std::vector<VmPairId> pairs;
+  for (int h = 0; h < 4; ++h) {
+    for (const double g : {1.0, 2.0, 4.0}) {
+      const TenantId t = vms.add_tenant("T" + std::to_string(h) + std::to_string(int(g)),
+                                        Bandwidth::gbps(g));
+      const VmPairId p{vms.add_vm(t, HostId{h}), vms.add_vm(t, HostId{4 + h})};
+      pairs.push_back(p);
+      fab.keep_backlogged(p, 0_ms, 60_ms);
+      specs.push_back(GuaranteeSpec{p, g * 1e9, 10_ms, 60_ms});
+    }
+  }
+  fab.sim().run_until(60_ms);
+
+  // Guarantees: low dissatisfaction in steady state.
+  EXPECT_LT(dissatisfaction_ratio(fab, specs, 60_ms), 0.05) << "seed " << seed;
+  // Queue bound: every link below ~3x its BDP (24 us max baseRTT).
+  for (const auto* l : fab.net().links()) {
+    const double bdp = l->target_capacity().bdp_bytes(TimeNs{26'000});
+    EXPECT_LT(static_cast<double>(l->max_queue_bytes()), 3.0 * bdp + 4500.0)
+        << l->name() << " seed " << seed;
+    EXPECT_EQ(l->drops(), 0) << l->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UfabInvariants, ::testing::Values(1u, 7u, 13u, 99u));
+
+// ---------------------------------------------------------------------------
+// Register conservation: after all traffic drains and idle-finish fires,
+// every switch register returns to zero.
+// ---------------------------------------------------------------------------
+
+TEST(RegisterConservation, DrainsToZeroAfterTraffic) {
+  SchemeOptions opts;
+  // Short silent-quit sweep so zero-token scout registrations also age out
+  // within the test horizon.
+  opts.core.clean_period = 20_ms;
+  Experiment exp(Scheme::kUfab, topology(2), {}, opts, 5);
+  auto& fab = exp.fab();
+  auto& vms = fab.vms();
+  Rng rng = fab.rng().fork("x");
+  for (int i = 0; i < 8; ++i) {
+    const TenantId t = vms.add_tenant("T" + std::to_string(i), 1_Gbps);
+    const int a = static_cast<int>(rng.below(8));
+    const int b = (a + 1 + static_cast<int>(rng.below(7))) % 8;
+    const VmPairId p{vms.add_vm(t, HostId{a}), vms.add_vm(t, HostId{b})};
+    fab.send(p, static_cast<std::int64_t>(10'000 + rng.below(500'000)));
+  }
+  fab.sim().run_until(80_ms);  // >> idle finish timeout
+
+  double total_phi = 0.0;
+  double total_w = 0.0;
+  std::size_t total_pairs = 0;
+  for (const auto& agent : fab.core_agents()) {
+    total_phi += agent->phi_total();
+    total_w += agent->window_total();
+    total_pairs += agent->active_pairs();
+  }
+  EXPECT_NEAR(total_phi, 0.0, 1.0);  // float residue from delta chains
+  EXPECT_NEAR(total_w, 0.0, 1.0);
+  EXPECT_EQ(total_pairs, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: identical seeds produce bit-identical outcomes.
+// ---------------------------------------------------------------------------
+
+TEST(Determinism, SameSeedSameBytes) {
+  const auto run = [](std::uint64_t seed) {
+    Experiment exp(Scheme::kUfab, topology(1), {}, {}, seed);
+    auto& fab = exp.fab();
+    auto& vms = fab.vms();
+    const TenantId t = vms.add_tenant("A", 2_Gbps);
+    const TenantId u = vms.add_tenant("B", 1_Gbps);
+    const VmPairId p1{vms.add_vm(t, HostId{0}), vms.add_vm(t, HostId{3})};
+    const VmPairId p2{vms.add_vm(u, HostId{1}), vms.add_vm(u, HostId{4})};
+    fab.keep_backlogged(p1, 0_ms, 20_ms);
+    fab.keep_backlogged(p2, 1_ms, 20_ms);
+    fab.sim().run_until(20_ms);
+    std::int64_t sig = 0;
+    for (const auto* l : fab.net().links()) sig += l->tx_bytes_cum() * (l->id().value() + 1);
+    return std::pair<std::int64_t, std::uint64_t>{sig, fab.sim().events_processed()};
+  };
+  const auto a = run(77);
+  const auto b = run(77);
+  const auto c = run(78);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_NE(a.first, c.first);  // different seed perturbs the run
+}
+
+}  // namespace
+}  // namespace ufab::harness

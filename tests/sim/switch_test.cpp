@@ -1,0 +1,133 @@
+// Switch-specific behaviours: source-route consumption, INT growth on the
+// probe path, no-route accounting, ECMP stability per flow.
+#include <gtest/gtest.h>
+
+#include "src/telemetry/core_agent.hpp"
+#include "src/topo/builders.hpp"
+
+namespace ufab::sim {
+namespace {
+
+using namespace ufab::time_literals;
+using namespace ufab::unit_literals;
+
+struct Capture final : HostStack {
+  std::vector<PacketPtr> got;
+  void on_packet(PacketPtr pkt) override { got.push_back(std::move(pkt)); }
+  PacketPtr pull() override { return nullptr; }
+};
+
+TEST(SwitchTest, ProbeGrowsByOneIntRecordPerHop) {
+  Simulator sim;
+  auto net = topo::make_testbed(sim);
+  std::vector<std::unique_ptr<telemetry::CoreAgent>> agents;
+  telemetry::CoreConfig cfg;
+  cfg.clean_period = 1_s;
+  for (sim::Switch* sw : net->switches()) {
+    auto a = telemetry::instrument_switch(sim, *sw, cfg);
+    for (auto& x : a) agents.push_back(std::move(x));
+  }
+  Capture rx;
+  net->host(HostId{4}).set_stack(&rx);
+
+  const auto& path = net->paths(HostId{0}, HostId{4}).front();
+  auto probe = Packet::make(PacketKind::kProbe, VmPairId{VmId{0}, VmId{4}}, TenantId{0},
+                            HostId{0}, HostId{4}, probe_wire_size(0));
+  probe->probe.reg_key = 42;
+  probe->probe.phi = 1e9;
+  probe->probe.window = 10'000;
+  probe->route = path.route;
+  net->host(HostId{0}).send_control(std::move(probe));
+  sim.run_until(1_ms);
+
+  ASSERT_EQ(rx.got.size(), 1u);
+  const Packet& arrived = *rx.got[0];
+  // One INT record per switch traversed (5 on a cross-pod path).
+  EXPECT_EQ(arrived.telemetry.size(), path.switches.size());
+  EXPECT_EQ(arrived.size_bytes,
+            probe_wire_size(static_cast<std::int32_t>(path.switches.size())));
+  // Hop order: records follow the path's link order.
+  for (std::size_t i = 0; i < arrived.telemetry.size(); ++i) {
+    EXPECT_EQ(arrived.telemetry[i].link, path.links[i + 1]) << i;  // [0] = host uplink
+    EXPECT_DOUBLE_EQ(arrived.telemetry[i].phi_total, 1e9);
+  }
+}
+
+TEST(SwitchTest, NoRouteCountsDrop) {
+  Simulator sim;
+  Switch sw(sim, NodeId{0}, "sw");
+  auto pkt = Packet::make(PacketKind::kData, VmPairId{VmId{0}, VmId{1}}, TenantId{0}, HostId{0},
+                          HostId{9}, 1500);
+  // No ECMP table for host 9 and no source route.
+  sw.receive(std::move(pkt));
+  EXPECT_EQ(sw.no_route_drops(), 1);
+}
+
+TEST(SwitchTest, EcmpIsStablePerFlow) {
+  Simulator sim;
+  auto net = topo::make_leaf_spine(sim, 2, 4, 2);
+  Capture rx;
+  net->host(HostId{2}).set_stack(&rx);
+  // Same (pair, message) always takes the same spine.
+  for (int copy = 0; copy < 20; ++copy) {
+    auto pkt = Packet::make(PacketKind::kData, VmPairId{VmId{0}, VmId{2}}, TenantId{0},
+                            HostId{0}, HostId{2}, 1500);
+    pkt->message_id = 1234;
+    net->host(HostId{0}).send_control(std::move(pkt));
+    sim.run();
+  }
+  int used = 0;
+  for (const auto* l : net->links()) {
+    if (l->name().rfind("Leaf1->Spine", 0) == 0 && l->tx_bytes_cum() > 0) ++used;
+  }
+  EXPECT_EQ(used, 1);
+}
+
+TEST(SwitchTest, SourceRouteOverridesEcmp) {
+  Simulator sim;
+  auto net = topo::make_leaf_spine(sim, 2, 3, 2);
+  Capture rx;
+  net->host(HostId{2}).set_stack(&rx);
+  const auto& paths = net->paths(HostId{0}, HostId{2});
+  // Force each spine explicitly; all must deliver.
+  for (const auto& p : paths) {
+    auto pkt = Packet::make(PacketKind::kData, VmPairId{VmId{0}, VmId{2}}, TenantId{0},
+                            HostId{0}, HostId{2}, 1500);
+    pkt->route = p.route;
+    net->host(HostId{0}).send_control(std::move(pkt));
+  }
+  sim.run();
+  EXPECT_EQ(rx.got.size(), paths.size());
+  int used = 0;
+  for (const auto* l : net->links()) {
+    if (l->name().rfind("Leaf1->Spine", 0) == 0 && l->tx_bytes_cum() > 0) ++used;
+  }
+  EXPECT_EQ(used, 3);
+}
+
+TEST(SwitchTest, FinishProbeDoesNotAccumulateInt) {
+  Simulator sim;
+  auto net = topo::make_dumbbell(sim, 1, 1);
+  std::vector<std::unique_ptr<telemetry::CoreAgent>> agents;
+  telemetry::CoreConfig cfg;
+  cfg.clean_period = 1_s;
+  for (sim::Switch* sw : net->switches()) {
+    auto a = telemetry::instrument_switch(sim, *sw, cfg);
+    for (auto& x : a) agents.push_back(std::move(x));
+  }
+  Capture rx;
+  net->host(HostId{1}).set_stack(&rx);
+  const auto& path = net->paths(HostId{0}, HostId{1}).front();
+  auto fin = Packet::make(PacketKind::kFinishProbe, VmPairId{VmId{0}, VmId{1}}, TenantId{0},
+                          HostId{0}, HostId{1}, kProbeBaseBytes);
+  fin->probe.reg_key = 9;
+  fin->route = path.route;
+  net->host(HostId{0}).send_control(std::move(fin));
+  sim.run_until(1_ms);
+  ASSERT_EQ(rx.got.size(), 1u);
+  EXPECT_TRUE(rx.got[0]->telemetry.empty());
+  EXPECT_EQ(rx.got[0]->probe.finish_acks, static_cast<std::int32_t>(path.switches.size()));
+}
+
+}  // namespace
+}  // namespace ufab::sim

@@ -1,0 +1,151 @@
+// Unit tests for src/stats.
+#include <gtest/gtest.h>
+
+#include "src/stats/cdf.hpp"
+#include "src/stats/percentile.hpp"
+#include "src/stats/rate_meter.hpp"
+#include "src/stats/timeseries.hpp"
+
+namespace ufab {
+namespace {
+
+using namespace ufab::time_literals;
+
+TEST(PercentileTracker, BasicStatistics) {
+  PercentileTracker t;
+  for (int i = 1; i <= 100; ++i) t.add(i);
+  EXPECT_EQ(t.count(), 100u);
+  EXPECT_DOUBLE_EQ(t.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(t.min(), 1.0);
+  EXPECT_DOUBLE_EQ(t.max(), 100.0);
+  EXPECT_NEAR(t.percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(t.percentile(99), 99.01, 0.01);
+  EXPECT_DOUBLE_EQ(t.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(t.percentile(100), 100.0);
+}
+
+TEST(PercentileTracker, SingleSample) {
+  PercentileTracker t;
+  t.add(42.0);
+  EXPECT_DOUBLE_EQ(t.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(t.percentile(99.9), 42.0);
+  EXPECT_DOUBLE_EQ(t.stddev(), 0.0);
+}
+
+TEST(PercentileTracker, InterleavedAddAndQuery) {
+  PercentileTracker t;
+  t.add(5.0);
+  t.add(1.0);
+  EXPECT_DOUBLE_EQ(t.median(), 3.0);
+  t.add(9.0);  // must re-sort transparently
+  EXPECT_DOUBLE_EQ(t.median(), 5.0);
+}
+
+TEST(PercentileTracker, StddevOfKnownSet) {
+  PercentileTracker t;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) t.add(v);
+  EXPECT_NEAR(t.stddev(), 2.0, 1e-9);
+}
+
+TEST(PercentileTracker, ClearResets) {
+  PercentileTracker t;
+  t.add(1.0);
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  t.add(3.0);
+  EXPECT_DOUBLE_EQ(t.mean(), 3.0);
+}
+
+TEST(RateMeter, SingleBucketRate) {
+  RateMeter m(10_us);
+  // 12500 bytes in the first 10 us bucket = 10 Gbps.
+  m.add(2_us, 6250);
+  m.add(8_us, 6250);
+  EXPECT_NEAR(m.rate(15_us).gbit_per_sec(), 10.0, 1e-9);
+}
+
+TEST(RateMeter, ZeroBeforeFirstBucketCloses) {
+  RateMeter m(10_us);
+  m.add(2_us, 1000);
+  EXPECT_DOUBLE_EQ(m.rate(5_us).bits_per_sec(), 0.0);
+}
+
+TEST(RateMeter, TrailingWindowAverages) {
+  RateMeter m(10_us);
+  m.add(5_us, 12500);   // bucket 0: 10 Gbps
+  m.add(15_us, 0);      // bucket 1: 0
+  EXPECT_NEAR(m.trailing_rate(20_us, 2).gbit_per_sec(), 5.0, 1e-9);
+}
+
+TEST(RateMeter, SeriesCoversClosedBuckets) {
+  RateMeter m(10_us);
+  m.add(5_us, 12500);
+  m.add(25_us, 12500);
+  const auto s = m.series(30_us);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_NEAR(s[0].rate.gbit_per_sec(), 10.0, 1e-9);
+  EXPECT_NEAR(s[1].rate.gbit_per_sec(), 0.0, 1e-9);
+  EXPECT_NEAR(s[2].rate.gbit_per_sec(), 10.0, 1e-9);
+  EXPECT_EQ(m.total_bytes(), 25000);
+}
+
+TEST(TimeSeries, MeanMaxInWindow) {
+  TimeSeries ts;
+  ts.add(1_us, 10.0);
+  ts.add(2_us, 20.0);
+  ts.add(3_us, 30.0);
+  EXPECT_DOUBLE_EQ(ts.mean_in(1_us, 3_us), 15.0);
+  EXPECT_DOUBLE_EQ(ts.max_in(0_us, 10_us), 30.0);
+  EXPECT_DOUBLE_EQ(ts.mean_in(5_us, 6_us), 0.0);
+}
+
+TEST(TimeSeries, ValueAt) {
+  TimeSeries ts;
+  ts.add(10_us, 1.0);
+  ts.add(20_us, 2.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(5_us, -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(10_us), 1.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(15_us), 1.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(25_us), 2.0);
+}
+
+TEST(TimeSeries, SettleTimeDetectsConvergence) {
+  TimeSeries ts;
+  // Oscillates, then converges to 10 at t=50us.
+  for (int i = 0; i < 5; ++i) ts.add(TimeNs{i * 10'000}, i % 2 == 0 ? 5.0 : 15.0);
+  for (int i = 5; i < 20; ++i) ts.add(TimeNs{i * 10'000}, 10.0);
+  const TimeNs settle = ts.settle_time(0_us, 9.0, 11.0, 50_us);
+  EXPECT_EQ(settle.ns(), 50'000);
+}
+
+TEST(TimeSeries, SettleTimeNeverSettles) {
+  TimeSeries ts;
+  for (int i = 0; i < 20; ++i) ts.add(TimeNs{i * 1000}, i % 2 == 0 ? 0.0 : 100.0);
+  EXPECT_EQ(ts.settle_time(0_us, 40.0, 60.0, 5_us), TimeNs::max());
+}
+
+TEST(Cdf, PointsAreMonotonic) {
+  PercentileTracker t;
+  for (int i = 0; i < 1000; ++i) t.add(i * 0.5);
+  const auto cdf = make_cdf(t, 20);
+  ASSERT_EQ(cdf.size(), 20u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GT(cdf[i].cum_prob, cdf[i - 1].cum_prob);
+  }
+  EXPECT_DOUBLE_EQ(cdf.front().cum_prob, 0.0);
+  EXPECT_DOUBLE_EQ(cdf.back().cum_prob, 1.0);
+}
+
+TEST(Cdf, LatencyRowFormatting) {
+  PercentileTracker t;
+  t.add(1.0);
+  const auto row = latency_row("test", t);
+  EXPECT_NE(row.find("test"), std::string::npos);
+  EXPECT_NE(row.find("p99"), std::string::npos);
+  PercentileTracker empty;
+  EXPECT_NE(latency_row("x", empty).find("no samples"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ufab

@@ -1,0 +1,178 @@
+// Unit tests for the informative core: Bloom filter and CoreAgent registers.
+#include <gtest/gtest.h>
+
+#include "src/sim/link.hpp"
+#include "src/sim/node.hpp"
+#include "src/telemetry/bloom.hpp"
+#include "src/telemetry/core_agent.hpp"
+
+namespace ufab::telemetry {
+namespace {
+
+using namespace ufab::time_literals;
+using namespace ufab::unit_literals;
+
+TEST(Bloom, InsertContainsRemove) {
+  CountingBloomFilter bloom;
+  EXPECT_FALSE(bloom.maybe_contains(42));
+  bloom.insert(42);
+  EXPECT_TRUE(bloom.maybe_contains(42));
+  bloom.remove(42);
+  EXPECT_FALSE(bloom.maybe_contains(42));
+}
+
+TEST(Bloom, NoFalseNegatives) {
+  CountingBloomFilter bloom;
+  for (std::uint64_t k = 0; k < 5000; ++k) bloom.insert(k * 977 + 13);
+  for (std::uint64_t k = 0; k < 5000; ++k) EXPECT_TRUE(bloom.maybe_contains(k * 977 + 13));
+}
+
+TEST(Bloom, FalsePositiveRateAtPaperScale) {
+  // 20 KB (1-bit cells) / 2 banks with 20K pairs stays under ~5% (§4.2).
+  CountingBloomFilter bloom(BloomConfig{163'840, 2});
+  for (std::uint64_t k = 0; k < 20'000; ++k) bloom.insert(k * 2654435761ULL + 1);
+  int fp = 0;
+  const int probes = 20'000;
+  for (int i = 0; i < probes; ++i) {
+    // Keys disjoint from the inserted set.
+    if (bloom.maybe_contains(0xdead000000ULL + static_cast<std::uint64_t>(i))) ++fp;
+  }
+  const double rate = static_cast<double>(fp) / probes;
+  EXPECT_LT(rate, 0.08);
+  EXPECT_NEAR(bloom.false_positive_rate(), rate, 0.05);
+}
+
+TEST(Bloom, CountingSurvivesSharedSlots) {
+  CountingBloomFilter bloom(BloomConfig{64, 2});  // tiny: forced collisions
+  for (std::uint64_t k = 0; k < 40; ++k) bloom.insert(k);
+  for (std::uint64_t k = 0; k < 20; ++k) bloom.remove(k);
+  // The remaining 20 keys must still be present (no false negatives from
+  // removal of colliding keys thanks to counters).
+  int present = 0;
+  for (std::uint64_t k = 20; k < 40; ++k) present += bloom.maybe_contains(k) ? 1 : 0;
+  EXPECT_EQ(present, 20);
+}
+
+// --- CoreAgent ---
+
+class NullNode : public sim::Node {
+ public:
+  NullNode() : Node(NodeId{0}, "null") {}
+  void receive(sim::PacketPtr) override {}
+};
+
+sim::PacketPtr make_probe(std::uint64_t reg_key, double phi, double window) {
+  auto p = sim::Packet::make(sim::PacketKind::kProbe, VmPairId{VmId{1}, VmId{2}}, TenantId{0},
+                             HostId{0}, HostId{1}, sim::kProbeBaseBytes);
+  p->probe.reg_key = reg_key;
+  p->probe.phi = phi;
+  p->probe.window = window;
+  return p;
+}
+
+struct AgentFixture : ::testing::Test {
+  sim::Simulator sim;
+  NullNode sink;
+  sim::Link link{sim, LinkId{0}, "l", &sink, sim::LinkConfig{10_Gbps, 1_us, 2'000'000, -1, 0.95}};
+  CoreConfig cfg;
+  AgentFixture() { cfg.clean_period = 1_s; }
+};
+
+TEST_F(AgentFixture, RegistersNewPairAndWritesInt) {
+  CoreAgent agent(sim, cfg);
+  auto p = make_probe(111, 2e9, 30'000);
+  agent.on_probe_egress(*p, link, sim.now());
+  EXPECT_DOUBLE_EQ(agent.phi_total(), 2e9);
+  EXPECT_DOUBLE_EQ(agent.window_total(), 30'000);
+  ASSERT_EQ(p->telemetry.size(), 1u);
+  EXPECT_DOUBLE_EQ(p->telemetry[0].phi_total, 2e9);
+  EXPECT_DOUBLE_EQ(p->telemetry[0].window_total, 30'000);
+  EXPECT_EQ(p->telemetry[0].queue_bytes, 0);
+  EXPECT_DOUBLE_EQ(p->telemetry[0].capacity.gbit_per_sec(), 10.0);
+}
+
+TEST_F(AgentFixture, DeltaUpdatesOnRepeatedProbes) {
+  CoreAgent agent(sim, cfg);
+  auto p1 = make_probe(111, 2e9, 30'000);
+  agent.on_probe_egress(*p1, link, sim.now());
+  auto p2 = make_probe(111, 3e9, 10'000);
+  agent.on_probe_egress(*p2, link, sim.now());
+  EXPECT_DOUBLE_EQ(agent.phi_total(), 3e9);
+  EXPECT_DOUBLE_EQ(agent.window_total(), 10'000);
+  EXPECT_EQ(agent.active_pairs(), 1u);
+}
+
+TEST_F(AgentFixture, AggregatesDistinctPairs) {
+  CoreAgent agent(sim, cfg);
+  for (int i = 0; i < 10; ++i) {
+    auto p = make_probe(1000 + static_cast<std::uint64_t>(i), 1e9, 1000);
+    agent.on_probe_egress(*p, link, sim.now());
+  }
+  EXPECT_DOUBLE_EQ(agent.phi_total(), 1e10);
+  EXPECT_DOUBLE_EQ(agent.window_total(), 10'000);
+  EXPECT_EQ(agent.active_pairs(), 10u);
+}
+
+TEST_F(AgentFixture, FinishProbeDeregistersAndAcks) {
+  CoreAgent agent(sim, cfg);
+  auto p = make_probe(77, 5e9, 12'000);
+  agent.on_probe_egress(*p, link, sim.now());
+  auto fin = make_probe(77, 0, 0);
+  fin->kind = sim::PacketKind::kFinishProbe;
+  agent.on_probe_egress(*fin, link, sim.now());
+  EXPECT_DOUBLE_EQ(agent.phi_total(), 0.0);
+  EXPECT_DOUBLE_EQ(agent.window_total(), 0.0);
+  EXPECT_EQ(fin->probe.finish_acks, 1);
+  EXPECT_EQ(agent.active_pairs(), 0u);
+  // Finish for an unknown pair still acks (idempotent).
+  auto fin2 = make_probe(77, 0, 0);
+  fin2->kind = sim::PacketKind::kFinishProbe;
+  agent.on_probe_egress(*fin2, link, sim.now());
+  EXPECT_EQ(fin2->probe.finish_acks, 1);
+}
+
+TEST_F(AgentFixture, SweepRemovesSilentPairs) {
+  CoreAgent agent(sim, cfg);
+  auto p = make_probe(55, 1e9, 1000);
+  agent.on_probe_egress(*p, link, sim.now());
+  EXPECT_EQ(agent.active_pairs(), 1u);
+  // Pair 55 stays silent; pair 56 keeps probing.
+  sim.after(500'000'000_ns * 1, [&] {
+    auto q = make_probe(56, 2e9, 2000);
+    agent.on_probe_egress(*q, link, sim.now());
+  });
+  sim.run_until(1500_ms);
+  // After one sweep (1 s period): 55 aged out, 56 survives until its own age.
+  EXPECT_EQ(agent.active_pairs(), 1u);
+  EXPECT_DOUBLE_EQ(agent.phi_total(), 2e9);
+}
+
+TEST_F(AgentFixture, BloomFalsePositiveOmitsPair) {
+  // With use_bloom and a tiny filter, saturate it so new pairs collide.
+  cfg.use_bloom = true;
+  cfg.bloom = BloomConfig{8, 2};
+  CoreAgent agent(sim, cfg);
+  for (std::uint64_t k = 1; k <= 50; ++k) {
+    auto p = make_probe(k, 1e9, 1000);
+    agent.on_probe_egress(*p, link, sim.now());
+  }
+  // With 8 counters and 50 keys, most later inserts hit saturated slots and
+  // are treated as "seen" without a register entry => omissions counted and
+  // registers smaller than the 50e9 truth.
+  EXPECT_GT(agent.false_positive_omissions(), 0);
+  EXPECT_LT(agent.phi_total(), 50e9);
+}
+
+TEST_F(AgentFixture, ExactModeNeverOmits) {
+  cfg.use_bloom = false;
+  CoreAgent agent(sim, cfg);
+  for (std::uint64_t k = 1; k <= 500; ++k) {
+    auto p = make_probe(k, 1e9, 1000);
+    agent.on_probe_egress(*p, link, sim.now());
+  }
+  EXPECT_EQ(agent.false_positive_omissions(), 0);
+  EXPECT_DOUBLE_EQ(agent.phi_total(), 500e9);
+}
+
+}  // namespace
+}  // namespace ufab::telemetry

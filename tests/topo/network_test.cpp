@@ -1,0 +1,219 @@
+// Tests for Network wiring, path enumeration, ECMP tables and builders.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/topo/builders.hpp"
+#include "src/topo/network.hpp"
+
+namespace ufab::topo {
+namespace {
+
+using namespace ufab::time_literals;
+using namespace ufab::unit_literals;
+
+TEST(Builders, DumbbellShape) {
+  sim::Simulator sim;
+  auto net = make_dumbbell(sim, 2, 3);
+  EXPECT_EQ(net->host_count(), 5u);
+  EXPECT_EQ(net->switch_count(), 2u);
+  // 1 trunk + 5 host links, duplex.
+  EXPECT_EQ(net->links().size(), 12u);
+}
+
+TEST(Builders, TestbedMatchesPaper) {
+  sim::Simulator sim;
+  auto net = make_testbed(sim);
+  EXPECT_EQ(net->host_count(), 8u);
+  EXPECT_EQ(net->switch_count(), 10u);  // 2 core + 4 agg + 4 tor
+}
+
+TEST(Builders, FatTreeK4Counts) {
+  sim::Simulator sim;
+  auto net = make_fat_tree(sim, 4);
+  EXPECT_EQ(net->host_count(), 16u);  // k^3/4
+  EXPECT_EQ(net->switch_count(), 20u);  // 4 cores + 8 agg + 8 edge
+}
+
+TEST(Builders, FatTreeOversubscriptionHalvesCores) {
+  sim::Simulator sim1;
+  auto full = make_fat_tree(sim1, 4, 1);
+  sim::Simulator sim2;
+  auto half = make_fat_tree(sim2, 4, 2);
+  EXPECT_EQ(full->switch_count() - half->switch_count(), 2u);  // 4 -> 2 cores
+}
+
+TEST(Network, PathsWithinRackAreSingleHop) {
+  sim::Simulator sim;
+  auto net = make_dumbbell(sim, 2, 2);
+  const auto& paths = net->paths(HostId{0}, HostId{1});
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].switches.size(), 1u);
+  EXPECT_EQ(paths[0].links.size(), 2u);  // host uplink + ToR downlink
+}
+
+TEST(Network, LeafSpineHasOnePathPerSpine) {
+  sim::Simulator sim;
+  auto net = make_leaf_spine(sim, 2, 3, 4);
+  // Host 0 is on leaf 1, host 4 on leaf 2.
+  const auto& paths = net->paths(HostId{0}, HostId{4});
+  EXPECT_EQ(paths.size(), 3u);
+  for (const auto& p : paths) {
+    EXPECT_EQ(p.switches.size(), 3u);  // leaf, spine, leaf
+    EXPECT_EQ(p.links.size(), 4u);
+  }
+  // The three paths traverse three distinct spines.
+  std::set<std::int32_t> spines;
+  for (const auto& p : paths) spines.insert(p.switches[1].value());
+  EXPECT_EQ(spines.size(), 3u);
+}
+
+TEST(Network, TestbedCrossPodPathCount) {
+  sim::Simulator sim;
+  auto net = make_testbed(sim);
+  // S1 (pod 1) to S5 (pod 2): 2 aggs x 2 cores x 2 dst aggs = 8 paths.
+  const auto& paths = net->paths(HostId{0}, HostId{4});
+  EXPECT_EQ(paths.size(), 8u);
+  for (const auto& p : paths) EXPECT_EQ(p.switches.size(), 5u);
+}
+
+TEST(Network, ReversePathMirrorsForward) {
+  sim::Simulator sim;
+  auto net = make_leaf_spine(sim, 2, 3, 2);
+  const auto& fwd = net->paths(HostId{0}, HostId{2});
+  const Path rev = net->reverse(fwd[0], HostId{0}, HostId{2});
+  EXPECT_EQ(rev.links.size(), fwd[0].links.size());
+  EXPECT_EQ(rev.switches.size(), fwd[0].switches.size());
+  // Reverse visits the same switches in opposite order.
+  for (std::size_t i = 0; i < rev.switches.size(); ++i) {
+    EXPECT_EQ(rev.switches[i], fwd[0].switches[fwd[0].switches.size() - 1 - i]);
+  }
+  // Reverse links are the duplex partners: they connect the same node pairs.
+  for (std::size_t i = 0; i < rev.links.size(); ++i) {
+    const auto* f = net->link(fwd[0].links[fwd[0].links.size() - 1 - i]);
+    const auto* r = net->link(rev.links[i]);
+    EXPECT_NE(f, r);
+    EXPECT_EQ(f->capacity(), r->capacity());
+  }
+}
+
+TEST(Network, BaseRttMatchesHandComputation) {
+  sim::Simulator sim;
+  FabricOptions opts;
+  opts.prop_delay = 1_us;
+  auto net = make_testbed(sim, opts);
+  // Cross-pod: 6 links each way. Forward: 6 x (1 us + 1.2 us MTU @10G).
+  // Reverse: 6 x (1 us + 51 ns ack). Total = 13.2 + 6.3... = 19.5 us.
+  const TimeNs rtt = net->base_rtt(HostId{0}, HostId{4});
+  const std::int64_t expect =
+      6 * (1000 + 1200) + 6 * (1000 + Bandwidth::gbps(10).tx_time(64).ns());
+  EXPECT_EQ(rtt.ns(), expect);
+  EXPECT_NEAR(rtt.us(), 19.5, 0.5);  // close to the paper's 24 us scale
+}
+
+TEST(Network, SourceRouteDeliversToDestination) {
+  sim::Simulator sim;
+  auto net = make_testbed(sim);
+  const auto& paths = net->paths(HostId{0}, HostId{7});
+
+  struct Capture : sim::HostStack {
+    std::vector<sim::PacketPtr> got;
+    void on_packet(sim::PacketPtr pkt) override { got.push_back(std::move(pkt)); }
+    sim::PacketPtr pull() override { return nullptr; }
+  };
+  Capture rx;
+  net->host(HostId{7}).set_stack(&rx);
+
+  for (const auto& path : paths) {
+    auto pkt = sim::Packet::make(sim::PacketKind::kData, VmPairId{VmId{0}, VmId{7}}, TenantId{0},
+                                 HostId{0}, HostId{7}, 1500);
+    pkt->route = path.route;
+    net->host(HostId{0}).send_control(std::move(pkt));
+    sim.run();
+  }
+  EXPECT_EQ(rx.got.size(), paths.size());
+}
+
+TEST(Network, EcmpDeliversWithoutSourceRoute) {
+  sim::Simulator sim;
+  auto net = make_testbed(sim);
+
+  struct Capture : sim::HostStack {
+    int got = 0;
+    void on_packet(sim::PacketPtr) override { ++got; }
+    sim::PacketPtr pull() override { return nullptr; }
+  };
+  Capture rx;
+  net->host(HostId{6}).set_stack(&rx);
+
+  for (int flow = 0; flow < 32; ++flow) {
+    auto pkt = sim::Packet::make(sim::PacketKind::kData, VmPairId{VmId{0}, VmId{6}}, TenantId{0},
+                                 HostId{0}, HostId{6}, 1500);
+    pkt->message_id = static_cast<std::uint64_t>(flow);
+    net->host(HostId{0}).send_control(std::move(pkt));
+  }
+  sim.run();
+  EXPECT_EQ(rx.got, 32);
+}
+
+TEST(Network, EcmpSpreadsFlowsAcrossSpines) {
+  sim::Simulator sim;
+  auto net = make_leaf_spine(sim, 2, 4, 2);
+
+  struct Capture : sim::HostStack {
+    void on_packet(sim::PacketPtr) override {}
+    sim::PacketPtr pull() override { return nullptr; }
+  };
+  Capture rx;
+  net->host(HostId{2}).set_stack(&rx);
+
+  for (int flow = 0; flow < 400; ++flow) {
+    auto pkt = sim::Packet::make(sim::PacketKind::kData, VmPairId{VmId{0}, VmId{2}}, TenantId{0},
+                                 HostId{0}, HostId{2}, 1500);
+    pkt->message_id = static_cast<std::uint64_t>(flow);
+    net->host(HostId{0}).send_control(std::move(pkt));
+    sim.run();
+  }
+  // Each leaf->spine link should carry a reasonable share of the 400 flows.
+  int used_uplinks = 0;
+  for (const auto* l : net->links()) {
+    if (l->name().rfind("Leaf1->Spine", 0) == 0 && l->tx_bytes_cum() > 0) ++used_uplinks;
+  }
+  EXPECT_EQ(used_uplinks, 4);
+}
+
+TEST(Network, HashPolarizationCollapsesPathDiversity) {
+  // With the same hash salt at both tiers, second-tier choices correlate with
+  // first-tier choices, so some core links stay idle (the Fig. 3 pathology).
+  sim::Simulator sim;
+  auto net = make_fat_tree(sim, 4);
+  net->set_hash_polarization(true);
+
+  struct Capture : sim::HostStack {
+    void on_packet(sim::PacketPtr) override {}
+    sim::PacketPtr pull() override { return nullptr; }
+  };
+  Capture rx;
+  // Cross-pod pair in a k=4 fat tree: host 0 (pod 1) -> host 15 (pod 4).
+  net->host(HostId{15}).set_stack(&rx);
+  for (int flow = 0; flow < 600; ++flow) {
+    auto pkt = sim::Packet::make(sim::PacketKind::kData, VmPairId{VmId{0}, VmId{15}}, TenantId{0},
+                                 HostId{0}, HostId{15}, 1500);
+    pkt->message_id = static_cast<std::uint64_t>(flow);
+    net->host(HostId{0}).send_control(std::move(pkt));
+    sim.run();
+  }
+  int used_agg_up = 0;
+  int total_agg_up = 0;
+  for (const auto* l : net->links()) {
+    if (l->name().rfind("Agg1->Core", 0) == 0 || l->name().rfind("Agg2->Core", 0) == 0) {
+      ++total_agg_up;
+      if (l->tx_bytes_cum() > 0) ++used_agg_up;
+    }
+  }
+  EXPECT_EQ(total_agg_up, 4);
+  EXPECT_LT(used_agg_up, 3);  // polarization: correlated tiers use fewer uplinks
+}
+
+}  // namespace
+}  // namespace ufab::topo

@@ -1,0 +1,115 @@
+// Unit tests for Guarantee Partitioning (Algorithms 1 and 2).
+#include <gtest/gtest.h>
+
+#include "src/ufab/token_assigner.hpp"
+
+namespace ufab::edge {
+namespace {
+
+constexpr double kUnbounded = 1e30;
+
+SenderPairView sender_view(double demand, double receiver = 0.0, bool known = false) {
+  return SenderPairView{demand, receiver, known, 0.0};
+}
+
+TEST(AssignTokens, EqualSplitWithUnboundedDemand) {
+  std::vector<SenderPairView> pairs(4, sender_view(kUnbounded));
+  assign_tokens(8.0, pairs);
+  for (const auto& p : pairs) EXPECT_DOUBLE_EQ(p.assigned, 2.0);
+}
+
+TEST(AssignTokens, SinglePairGetsEverything) {
+  std::vector<SenderPairView> pairs{sender_view(kUnbounded)};
+  assign_tokens(5.0, pairs);
+  EXPECT_DOUBLE_EQ(pairs[0].assigned, 5.0);
+}
+
+TEST(AssignTokens, DemandBoundedPairKeepsFairShareAndSpareRedistributed) {
+  // Appendix E, Fig 21b: pair with demand epsilon still gets phi-bar, while
+  // the others split the spare.
+  std::vector<SenderPairView> pairs{sender_view(0.5), sender_view(kUnbounded),
+                                    sender_view(kUnbounded)};
+  assign_tokens(9.0, pairs);
+  // fair = 3; pair0 bounded: reserves 3, spare 2.5 split across 2 others.
+  EXPECT_DOUBLE_EQ(pairs[0].assigned, 3.0);
+  EXPECT_DOUBLE_EQ(pairs[1].assigned, 3.0 + 1.25);
+  EXPECT_DOUBLE_EQ(pairs[2].assigned, 3.0 + 1.25);
+}
+
+TEST(AssignTokens, ReceiverBoundedPairFreesTokens) {
+  std::vector<SenderPairView> pairs{sender_view(kUnbounded, 1.0, true),
+                                    sender_view(kUnbounded), sender_view(kUnbounded)};
+  assign_tokens(9.0, pairs);
+  // fair = 3; pair0 capped by receiver at 1; spare 2 water-fills the rest.
+  EXPECT_DOUBLE_EQ(pairs[0].assigned, 1.0);
+  EXPECT_DOUBLE_EQ(pairs[1].assigned, 4.0);
+  EXPECT_DOUBLE_EQ(pairs[2].assigned, 4.0);
+}
+
+TEST(AssignTokens, UnknownReceiverDoesNotBound) {
+  std::vector<SenderPairView> pairs{sender_view(kUnbounded, 0.0, false),
+                                    sender_view(kUnbounded, 0.0, false)};
+  assign_tokens(4.0, pairs);
+  EXPECT_DOUBLE_EQ(pairs[0].assigned, 2.0);
+  EXPECT_DOUBLE_EQ(pairs[1].assigned, 2.0);
+}
+
+TEST(AssignTokens, EmptyPairsIsNoop) {
+  std::vector<SenderPairView> pairs;
+  assign_tokens(4.0, pairs);  // must not crash
+  EXPECT_TRUE(pairs.empty());
+}
+
+TEST(AdmitTokens, FairShareWhenAllGreedy) {
+  std::vector<ReceiverPairView> pairs(4);
+  for (auto& p : pairs) p.requested_tokens = 100.0;
+  admit_tokens(8.0, pairs);
+  for (const auto& p : pairs) EXPECT_DOUBLE_EQ(p.admitted, 2.0);
+}
+
+TEST(AdmitTokens, SmallRequestsAdmittedInFull) {
+  // Appendix E, Fig 21a: a6 responds 1/3 phi to a1 and 2/3 phi to a4 when
+  // a1 demands phi/3 and a4 demands phi.
+  std::vector<ReceiverPairView> pairs{{1.0 / 3.0, 0.0}, {1.0, 0.0}};
+  admit_tokens(1.0, pairs);
+  EXPECT_DOUBLE_EQ(pairs[0].admitted, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(pairs[1].admitted, 2.0 / 3.0);
+}
+
+TEST(AdmitTokens, MaxMinWaterfilling) {
+  std::vector<ReceiverPairView> pairs{{1.0, 0.0}, {2.0, 0.0}, {10.0, 0.0}, {10.0, 0.0}};
+  admit_tokens(12.0, pairs);
+  EXPECT_DOUBLE_EQ(pairs[0].admitted, 1.0);
+  EXPECT_DOUBLE_EQ(pairs[1].admitted, 2.0);
+  EXPECT_DOUBLE_EQ(pairs[2].admitted, 4.5);
+  EXPECT_DOUBLE_EQ(pairs[3].admitted, 4.5);
+}
+
+TEST(AdmitTokens, TotalAdmittedNeverExceedsVmTokens) {
+  std::vector<ReceiverPairView> pairs{{5.0, 0.0}, {3.0, 0.0}, {8.0, 0.0}};
+  admit_tokens(6.0, pairs);
+  double total = 0.0;
+  for (const auto& p : pairs) total += p.admitted;
+  EXPECT_LE(total, 6.0 + 1e-9);
+}
+
+TEST(SplitTokens, EqualAcrossIdlePaths) {
+  const auto out = split_tokens_across_paths(8.0, {kUnbounded, kUnbounded});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 4.0);
+  EXPECT_DOUBLE_EQ(out[1], 4.0);
+}
+
+TEST(SplitTokens, StarvedPathKeepsFairShareOthersGetSpare) {
+  const auto out = split_tokens_across_paths(9.0, {0.0, kUnbounded, kUnbounded});
+  EXPECT_DOUBLE_EQ(out[0], 3.0);  // fairness floor (Algorithm 2 line 7)
+  EXPECT_DOUBLE_EQ(out[1], 4.5);
+  EXPECT_DOUBLE_EQ(out[2], 4.5);
+}
+
+TEST(SplitTokens, EmptyPathsReturnsEmpty) {
+  EXPECT_TRUE(split_tokens_across_paths(5.0, {}).empty());
+}
+
+}  // namespace
+}  // namespace ufab::edge

@@ -1,0 +1,128 @@
+// Unit tests for the hierarchical WFQ scheduler.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/ufab/wfq.hpp"
+
+namespace ufab::edge {
+namespace {
+
+/// Runs `rounds` pulls with every entity always sendable at `pkt` bytes and
+/// returns bytes served per entity.
+std::map<std::uint64_t, std::int64_t> serve(WfqScheduler& wfq, int rounds, std::int32_t pkt) {
+  std::map<std::uint64_t, std::int64_t> bytes;
+  for (int i = 0; i < rounds; ++i) {
+    const std::uint64_t e = wfq.next([pkt](std::uint64_t) { return pkt; });
+    if (e == 0) break;
+    bytes[e] += pkt;
+  }
+  return bytes;
+}
+
+TEST(Wfq, EmptySchedulerReturnsZero) {
+  WfqScheduler wfq;
+  EXPECT_EQ(wfq.next([](std::uint64_t) { return 1500; }), 0u);
+}
+
+TEST(Wfq, SingleEntityAlwaysServed) {
+  WfqScheduler wfq;
+  wfq.set_tenant_weight(TenantId{0}, 1.0);
+  wfq.add(TenantId{0}, 7);
+  const auto bytes = serve(wfq, 10, 1500);
+  EXPECT_EQ(bytes.at(7), 15'000);
+}
+
+TEST(Wfq, EqualWeightsShareEqually) {
+  WfqScheduler wfq(1.0);
+  wfq.set_tenant_weight(TenantId{0}, 1.0);
+  wfq.set_tenant_weight(TenantId{1}, 1.0);
+  wfq.add(TenantId{0}, 1);
+  wfq.add(TenantId{1}, 2);
+  const auto bytes = serve(wfq, 1000, 1500);
+  EXPECT_NEAR(static_cast<double>(bytes.at(1)) / static_cast<double>(bytes.at(2)), 1.0, 0.05);
+}
+
+TEST(Wfq, WeightedSharesFollowLevels) {
+  WfqScheduler wfq(1.0);
+  wfq.set_tenant_weight(TenantId{0}, 1.0);  // level 0
+  wfq.set_tenant_weight(TenantId{1}, 4.0);  // level 2
+  wfq.add(TenantId{0}, 1);
+  wfq.add(TenantId{1}, 2);
+  const auto bytes = serve(wfq, 5000, 1500);
+  const double ratio = static_cast<double>(bytes.at(2)) / static_cast<double>(bytes.at(1));
+  EXPECT_NEAR(ratio, 4.0, 0.8);
+}
+
+TEST(Wfq, WeightsQuantizedToEightLevels) {
+  WfqScheduler wfq(1.0);
+  EXPECT_EQ(wfq.level_of(TenantId{9}), 0);  // unknown tenant
+  wfq.set_tenant_weight(TenantId{0}, 0.25);
+  wfq.set_tenant_weight(TenantId{1}, 1.0);
+  wfq.set_tenant_weight(TenantId{2}, 2.0);
+  wfq.set_tenant_weight(TenantId{3}, 1000.0);  // clamped to top level
+  EXPECT_EQ(wfq.level_of(TenantId{0}), 0);
+  EXPECT_EQ(wfq.level_of(TenantId{1}), 0);
+  EXPECT_EQ(wfq.level_of(TenantId{2}), 1);
+  EXPECT_EQ(wfq.level_of(TenantId{3}), 7);
+}
+
+TEST(Wfq, RoundRobinWithinTenant) {
+  WfqScheduler wfq;
+  wfq.set_tenant_weight(TenantId{0}, 1.0);
+  wfq.add(TenantId{0}, 1);
+  wfq.add(TenantId{0}, 2);
+  wfq.add(TenantId{0}, 3);
+  const auto bytes = serve(wfq, 300, 1000);
+  EXPECT_EQ(bytes.at(1), bytes.at(2));
+  EXPECT_EQ(bytes.at(2), bytes.at(3));
+}
+
+TEST(Wfq, SkipsUnsendableEntities) {
+  WfqScheduler wfq;
+  wfq.set_tenant_weight(TenantId{0}, 1.0);
+  wfq.add(TenantId{0}, 1);
+  wfq.add(TenantId{0}, 2);
+  // Entity 1 never sendable.
+  std::int64_t served2 = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto e = wfq.next([](std::uint64_t ent) { return ent == 2 ? 1500 : 0; });
+    ASSERT_NE(e, 1u);
+    if (e == 2) ++served2;
+  }
+  EXPECT_EQ(served2, 50);
+}
+
+TEST(Wfq, RemoveStopsService) {
+  WfqScheduler wfq;
+  wfq.set_tenant_weight(TenantId{0}, 1.0);
+  wfq.add(TenantId{0}, 1);
+  wfq.remove(TenantId{0}, 1);
+  EXPECT_EQ(wfq.next([](std::uint64_t) { return 1500; }), 0u);
+  EXPECT_EQ(wfq.entity_count(), 0u);
+}
+
+TEST(Wfq, TenantWeightChangeMovesEntities) {
+  WfqScheduler wfq(1.0);
+  wfq.set_tenant_weight(TenantId{0}, 1.0);
+  wfq.add(TenantId{0}, 1);
+  wfq.set_tenant_weight(TenantId{0}, 128.0);  // move to level 7
+  EXPECT_EQ(wfq.level_of(TenantId{0}), 7);
+  // Still schedulable after the move.
+  EXPECT_EQ(wfq.next([](std::uint64_t) { return 1500; }), 1u);
+}
+
+TEST(Wfq, WorkConservingUnderMixedLoad) {
+  // Even when high-weight levels dominate, low levels are never starved.
+  WfqScheduler wfq(1.0);
+  wfq.set_tenant_weight(TenantId{0}, 1.0);
+  wfq.set_tenant_weight(TenantId{1}, 128.0);
+  wfq.add(TenantId{0}, 1);
+  wfq.add(TenantId{1}, 2);
+  const auto bytes = serve(wfq, 4000, 1500);
+  EXPECT_GT(bytes.at(1), 0);
+  EXPECT_GT(bytes.at(2), bytes.at(1));
+}
+
+}  // namespace
+}  // namespace ufab::edge
