@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_burst_interference.dir/fig01_burst_interference.cpp.o"
+  "CMakeFiles/fig01_burst_interference.dir/fig01_burst_interference.cpp.o.d"
+  "fig01_burst_interference"
+  "fig01_burst_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_burst_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_hash_polarization.dir/fig03_hash_polarization.cpp.o"
+  "CMakeFiles/fig03_hash_polarization.dir/fig03_hash_polarization.cpp.o.d"
+  "fig03_hash_polarization"
+  "fig03_hash_polarization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_hash_polarization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

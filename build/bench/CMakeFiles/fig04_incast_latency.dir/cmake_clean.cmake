@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_incast_latency.dir/fig04_incast_latency.cpp.o"
+  "CMakeFiles/fig04_incast_latency.dir/fig04_incast_latency.cpp.o.d"
+  "fig04_incast_latency"
+  "fig04_incast_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_incast_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

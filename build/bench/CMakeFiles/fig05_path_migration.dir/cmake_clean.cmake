@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_path_migration.dir/fig05_path_migration.cpp.o"
+  "CMakeFiles/fig05_path_migration.dir/fig05_path_migration.cpp.o.d"
+  "fig05_path_migration"
+  "fig05_path_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_path_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_bandwidth_guarantee.dir/fig11_bandwidth_guarantee.cpp.o"
+  "CMakeFiles/fig11_bandwidth_guarantee.dir/fig11_bandwidth_guarantee.cpp.o.d"
+  "fig11_bandwidth_guarantee"
+  "fig11_bandwidth_guarantee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_bandwidth_guarantee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

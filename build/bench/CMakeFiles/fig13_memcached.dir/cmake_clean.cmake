@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_memcached.dir/fig13_memcached.cpp.o"
+  "CMakeFiles/fig13_memcached.dir/fig13_memcached.cpp.o.d"
+  "fig13_memcached"
+  "fig13_memcached.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_memcached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_ebs.dir/fig14_ebs.cpp.o"
+  "CMakeFiles/fig14_ebs.dir/fig14_ebs.cpp.o.d"
+  "fig14_ebs"
+  "fig14_ebs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_ebs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

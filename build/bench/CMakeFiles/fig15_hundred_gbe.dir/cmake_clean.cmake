@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_hundred_gbe.dir/fig15_hundred_gbe.cpp.o"
+  "CMakeFiles/fig15_hundred_gbe.dir/fig15_hundred_gbe.cpp.o.d"
+  "fig15_hundred_gbe"
+  "fig15_hundred_gbe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_hundred_gbe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_probe_overhead.dir/fig15_probe_overhead.cpp.o"
+  "CMakeFiles/fig15_probe_overhead.dir/fig15_probe_overhead.cpp.o.d"
+  "fig15_probe_overhead"
+  "fig15_probe_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_probe_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

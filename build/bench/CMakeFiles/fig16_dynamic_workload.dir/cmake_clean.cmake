@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_dynamic_workload.dir/fig16_dynamic_workload.cpp.o"
+  "CMakeFiles/fig16_dynamic_workload.dir/fig16_dynamic_workload.cpp.o.d"
+  "fig16_dynamic_workload"
+  "fig16_dynamic_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_dynamic_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

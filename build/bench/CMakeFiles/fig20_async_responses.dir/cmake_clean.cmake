@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_async_responses.dir/fig20_async_responses.cpp.o"
+  "CMakeFiles/fig20_async_responses.dir/fig20_async_responses.cpp.o.d"
+  "fig20_async_responses"
+  "fig20_async_responses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_async_responses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_edge_resources.dir/table03_edge_resources.cpp.o"
+  "CMakeFiles/table03_edge_resources.dir/table03_edge_resources.cpp.o.d"
+  "table03_edge_resources"
+  "table03_edge_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_edge_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

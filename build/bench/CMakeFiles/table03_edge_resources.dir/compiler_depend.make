@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table03_edge_resources.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_core_resources.dir/table04_core_resources.cpp.o"
+  "CMakeFiles/table04_core_resources.dir/table04_core_resources.cpp.o.d"
+  "table04_core_resources"
+  "table04_core_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_core_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

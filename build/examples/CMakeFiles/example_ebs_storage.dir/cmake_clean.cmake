@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ebs_storage.dir/ebs_storage.cpp.o"
+  "CMakeFiles/example_ebs_storage.dir/ebs_storage.cpp.o.d"
+  "example_ebs_storage"
+  "example_ebs_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ebs_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ecs_memcached.dir/ecs_memcached.cpp.o"
+  "CMakeFiles/example_ecs_memcached.dir/ecs_memcached.cpp.o.d"
+  "example_ecs_memcached"
+  "example_ecs_memcached.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ecs_memcached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

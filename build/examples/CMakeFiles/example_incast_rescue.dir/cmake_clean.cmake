@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_incast_rescue.dir/incast_rescue.cpp.o"
+  "CMakeFiles/example_incast_rescue.dir/incast_rescue.cpp.o.d"
+  "example_incast_rescue"
+  "example_incast_rescue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_incast_rescue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/clove.cpp" "src/CMakeFiles/ufab.dir/baselines/clove.cpp.o" "gcc" "src/CMakeFiles/ufab.dir/baselines/clove.cpp.o.d"
+  "/root/repo/src/baselines/es_transport.cpp" "src/CMakeFiles/ufab.dir/baselines/es_transport.cpp.o" "gcc" "src/CMakeFiles/ufab.dir/baselines/es_transport.cpp.o.d"
+  "/root/repo/src/baselines/pwc_transport.cpp" "src/CMakeFiles/ufab.dir/baselines/pwc_transport.cpp.o" "gcc" "src/CMakeFiles/ufab.dir/baselines/pwc_transport.cpp.o.d"
+  "/root/repo/src/baselines/swift.cpp" "src/CMakeFiles/ufab.dir/baselines/swift.cpp.o" "gcc" "src/CMakeFiles/ufab.dir/baselines/swift.cpp.o.d"
+  "/root/repo/src/core/log.cpp" "src/CMakeFiles/ufab.dir/core/log.cpp.o" "gcc" "src/CMakeFiles/ufab.dir/core/log.cpp.o.d"
+  "/root/repo/src/core/rng.cpp" "src/CMakeFiles/ufab.dir/core/rng.cpp.o" "gcc" "src/CMakeFiles/ufab.dir/core/rng.cpp.o.d"
+  "/root/repo/src/core/strings.cpp" "src/CMakeFiles/ufab.dir/core/strings.cpp.o" "gcc" "src/CMakeFiles/ufab.dir/core/strings.cpp.o.d"
+  "/root/repo/src/harness/experiment.cpp" "src/CMakeFiles/ufab.dir/harness/experiment.cpp.o" "gcc" "src/CMakeFiles/ufab.dir/harness/experiment.cpp.o.d"
+  "/root/repo/src/harness/fabric.cpp" "src/CMakeFiles/ufab.dir/harness/fabric.cpp.o" "gcc" "src/CMakeFiles/ufab.dir/harness/fabric.cpp.o.d"
+  "/root/repo/src/harness/schemes.cpp" "src/CMakeFiles/ufab.dir/harness/schemes.cpp.o" "gcc" "src/CMakeFiles/ufab.dir/harness/schemes.cpp.o.d"
+  "/root/repo/src/harness/vm_map.cpp" "src/CMakeFiles/ufab.dir/harness/vm_map.cpp.o" "gcc" "src/CMakeFiles/ufab.dir/harness/vm_map.cpp.o.d"
+  "/root/repo/src/sim/host.cpp" "src/CMakeFiles/ufab.dir/sim/host.cpp.o" "gcc" "src/CMakeFiles/ufab.dir/sim/host.cpp.o.d"
+  "/root/repo/src/sim/link.cpp" "src/CMakeFiles/ufab.dir/sim/link.cpp.o" "gcc" "src/CMakeFiles/ufab.dir/sim/link.cpp.o.d"
+  "/root/repo/src/sim/packet.cpp" "src/CMakeFiles/ufab.dir/sim/packet.cpp.o" "gcc" "src/CMakeFiles/ufab.dir/sim/packet.cpp.o.d"
+  "/root/repo/src/sim/switch.cpp" "src/CMakeFiles/ufab.dir/sim/switch.cpp.o" "gcc" "src/CMakeFiles/ufab.dir/sim/switch.cpp.o.d"
+  "/root/repo/src/stats/cdf.cpp" "src/CMakeFiles/ufab.dir/stats/cdf.cpp.o" "gcc" "src/CMakeFiles/ufab.dir/stats/cdf.cpp.o.d"
+  "/root/repo/src/stats/percentile.cpp" "src/CMakeFiles/ufab.dir/stats/percentile.cpp.o" "gcc" "src/CMakeFiles/ufab.dir/stats/percentile.cpp.o.d"
+  "/root/repo/src/stats/rate_meter.cpp" "src/CMakeFiles/ufab.dir/stats/rate_meter.cpp.o" "gcc" "src/CMakeFiles/ufab.dir/stats/rate_meter.cpp.o.d"
+  "/root/repo/src/stats/timeseries.cpp" "src/CMakeFiles/ufab.dir/stats/timeseries.cpp.o" "gcc" "src/CMakeFiles/ufab.dir/stats/timeseries.cpp.o.d"
+  "/root/repo/src/telemetry/bloom.cpp" "src/CMakeFiles/ufab.dir/telemetry/bloom.cpp.o" "gcc" "src/CMakeFiles/ufab.dir/telemetry/bloom.cpp.o.d"
+  "/root/repo/src/telemetry/core_agent.cpp" "src/CMakeFiles/ufab.dir/telemetry/core_agent.cpp.o" "gcc" "src/CMakeFiles/ufab.dir/telemetry/core_agent.cpp.o.d"
+  "/root/repo/src/telemetry/int_codec.cpp" "src/CMakeFiles/ufab.dir/telemetry/int_codec.cpp.o" "gcc" "src/CMakeFiles/ufab.dir/telemetry/int_codec.cpp.o.d"
+  "/root/repo/src/topo/builders.cpp" "src/CMakeFiles/ufab.dir/topo/builders.cpp.o" "gcc" "src/CMakeFiles/ufab.dir/topo/builders.cpp.o.d"
+  "/root/repo/src/topo/network.cpp" "src/CMakeFiles/ufab.dir/topo/network.cpp.o" "gcc" "src/CMakeFiles/ufab.dir/topo/network.cpp.o.d"
+  "/root/repo/src/transport/transport.cpp" "src/CMakeFiles/ufab.dir/transport/transport.cpp.o" "gcc" "src/CMakeFiles/ufab.dir/transport/transport.cpp.o.d"
+  "/root/repo/src/ufab/edge_agent.cpp" "src/CMakeFiles/ufab.dir/ufab/edge_agent.cpp.o" "gcc" "src/CMakeFiles/ufab.dir/ufab/edge_agent.cpp.o.d"
+  "/root/repo/src/ufab/resource_model.cpp" "src/CMakeFiles/ufab.dir/ufab/resource_model.cpp.o" "gcc" "src/CMakeFiles/ufab.dir/ufab/resource_model.cpp.o.d"
+  "/root/repo/src/ufab/token_assigner.cpp" "src/CMakeFiles/ufab.dir/ufab/token_assigner.cpp.o" "gcc" "src/CMakeFiles/ufab.dir/ufab/token_assigner.cpp.o.d"
+  "/root/repo/src/ufab/wfq.cpp" "src/CMakeFiles/ufab.dir/ufab/wfq.cpp.o" "gcc" "src/CMakeFiles/ufab.dir/ufab/wfq.cpp.o.d"
+  "/root/repo/src/workload/apps.cpp" "src/CMakeFiles/ufab.dir/workload/apps.cpp.o" "gcc" "src/CMakeFiles/ufab.dir/workload/apps.cpp.o.d"
+  "/root/repo/src/workload/distributions.cpp" "src/CMakeFiles/ufab.dir/workload/distributions.cpp.o" "gcc" "src/CMakeFiles/ufab.dir/workload/distributions.cpp.o.d"
+  "/root/repo/src/workload/sources.cpp" "src/CMakeFiles/ufab.dir/workload/sources.cpp.o" "gcc" "src/CMakeFiles/ufab.dir/workload/sources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

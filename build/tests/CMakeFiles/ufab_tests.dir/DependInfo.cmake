@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/clove_test.cpp" "tests/CMakeFiles/ufab_tests.dir/baselines/clove_test.cpp.o" "gcc" "tests/CMakeFiles/ufab_tests.dir/baselines/clove_test.cpp.o.d"
+  "/root/repo/tests/baselines/swift_test.cpp" "tests/CMakeFiles/ufab_tests.dir/baselines/swift_test.cpp.o" "gcc" "tests/CMakeFiles/ufab_tests.dir/baselines/swift_test.cpp.o.d"
+  "/root/repo/tests/baselines/transport_integration_test.cpp" "tests/CMakeFiles/ufab_tests.dir/baselines/transport_integration_test.cpp.o" "gcc" "tests/CMakeFiles/ufab_tests.dir/baselines/transport_integration_test.cpp.o.d"
+  "/root/repo/tests/core/core_test.cpp" "tests/CMakeFiles/ufab_tests.dir/core/core_test.cpp.o" "gcc" "tests/CMakeFiles/ufab_tests.dir/core/core_test.cpp.o.d"
+  "/root/repo/tests/harness/harness_test.cpp" "tests/CMakeFiles/ufab_tests.dir/harness/harness_test.cpp.o" "gcc" "tests/CMakeFiles/ufab_tests.dir/harness/harness_test.cpp.o.d"
+  "/root/repo/tests/integration/apps_across_schemes_test.cpp" "tests/CMakeFiles/ufab_tests.dir/integration/apps_across_schemes_test.cpp.o" "gcc" "tests/CMakeFiles/ufab_tests.dir/integration/apps_across_schemes_test.cpp.o.d"
+  "/root/repo/tests/integration/property_test.cpp" "tests/CMakeFiles/ufab_tests.dir/integration/property_test.cpp.o" "gcc" "tests/CMakeFiles/ufab_tests.dir/integration/property_test.cpp.o.d"
+  "/root/repo/tests/sim/link_test.cpp" "tests/CMakeFiles/ufab_tests.dir/sim/link_test.cpp.o" "gcc" "tests/CMakeFiles/ufab_tests.dir/sim/link_test.cpp.o.d"
+  "/root/repo/tests/sim/simulator_test.cpp" "tests/CMakeFiles/ufab_tests.dir/sim/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/ufab_tests.dir/sim/simulator_test.cpp.o.d"
+  "/root/repo/tests/sim/switch_test.cpp" "tests/CMakeFiles/ufab_tests.dir/sim/switch_test.cpp.o" "gcc" "tests/CMakeFiles/ufab_tests.dir/sim/switch_test.cpp.o.d"
+  "/root/repo/tests/stats/stats_test.cpp" "tests/CMakeFiles/ufab_tests.dir/stats/stats_test.cpp.o" "gcc" "tests/CMakeFiles/ufab_tests.dir/stats/stats_test.cpp.o.d"
+  "/root/repo/tests/telemetry/int_codec_test.cpp" "tests/CMakeFiles/ufab_tests.dir/telemetry/int_codec_test.cpp.o" "gcc" "tests/CMakeFiles/ufab_tests.dir/telemetry/int_codec_test.cpp.o.d"
+  "/root/repo/tests/telemetry/telemetry_test.cpp" "tests/CMakeFiles/ufab_tests.dir/telemetry/telemetry_test.cpp.o" "gcc" "tests/CMakeFiles/ufab_tests.dir/telemetry/telemetry_test.cpp.o.d"
+  "/root/repo/tests/topo/network_test.cpp" "tests/CMakeFiles/ufab_tests.dir/topo/network_test.cpp.o" "gcc" "tests/CMakeFiles/ufab_tests.dir/topo/network_test.cpp.o.d"
+  "/root/repo/tests/transport/transport_test.cpp" "tests/CMakeFiles/ufab_tests.dir/transport/transport_test.cpp.o" "gcc" "tests/CMakeFiles/ufab_tests.dir/transport/transport_test.cpp.o.d"
+  "/root/repo/tests/ufab/edge_agent_options_test.cpp" "tests/CMakeFiles/ufab_tests.dir/ufab/edge_agent_options_test.cpp.o" "gcc" "tests/CMakeFiles/ufab_tests.dir/ufab/edge_agent_options_test.cpp.o.d"
+  "/root/repo/tests/ufab/edge_agent_test.cpp" "tests/CMakeFiles/ufab_tests.dir/ufab/edge_agent_test.cpp.o" "gcc" "tests/CMakeFiles/ufab_tests.dir/ufab/edge_agent_test.cpp.o.d"
+  "/root/repo/tests/ufab/token_assigner_test.cpp" "tests/CMakeFiles/ufab_tests.dir/ufab/token_assigner_test.cpp.o" "gcc" "tests/CMakeFiles/ufab_tests.dir/ufab/token_assigner_test.cpp.o.d"
+  "/root/repo/tests/ufab/wfq_test.cpp" "tests/CMakeFiles/ufab_tests.dir/ufab/wfq_test.cpp.o" "gcc" "tests/CMakeFiles/ufab_tests.dir/ufab/wfq_test.cpp.o.d"
+  "/root/repo/tests/workload/workload_test.cpp" "tests/CMakeFiles/ufab_tests.dir/workload/workload_test.cpp.o" "gcc" "tests/CMakeFiles/ufab_tests.dir/workload/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ufab.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
