@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build, and run the full test suite.
+#
+#   scripts/run_tier1.sh                 # plain RelWithDebInfo build
+#   scripts/run_tier1.sh address,undefined
+#                                        # sanitized lane (ASan+UBSan), own
+#                                        # build dir so object files never mix
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SANITIZE="${1:-}"
+if [[ -n "${SANITIZE}" ]]; then
+  BUILD_DIR="build-sanitize"
+  CMAKE_ARGS=(-DUFAB_SANITIZE="${SANITIZE}")
+else
+  BUILD_DIR="build"
+  CMAKE_ARGS=(-DUFAB_SANITIZE=)
+fi
+
+cmake -B "${BUILD_DIR}" -S . "${CMAKE_ARGS[@]}"
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+ctest --test-dir "${BUILD_DIR}" -j "$(nproc)" --output-on-failure

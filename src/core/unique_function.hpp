@@ -1,0 +1,47 @@
+// Type-erased move-only `void()` callable.
+//
+// Like `std::function<void()>` but accepts non-copyable captures, which lets
+// simulator events own the objects they deliver (e.g. a packet in flight on a
+// link's propagation stage). Ownership matters at shutdown: when
+// `run_until(t)` cuts a run with events still pending, their captures are
+// destroyed with the event queue instead of leaking.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace ufab {
+
+class UniqueFunction {
+ public:
+  UniqueFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, UniqueFunction>>>
+  UniqueFunction(F&& fn)  // NOLINT(google-explicit-constructor): mirrors std::function
+      : impl_(std::make_unique<Model<std::decay_t<F>>>(std::forward<F>(fn))) {}
+
+  UniqueFunction(UniqueFunction&&) = default;
+  UniqueFunction& operator=(UniqueFunction&&) = default;
+
+  void operator()() { impl_->call(); }
+
+  [[nodiscard]] explicit operator bool() const { return impl_ != nullptr; }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual void call() = 0;
+  };
+  template <typename F>
+  struct Model final : Concept {
+    explicit Model(F fn) : fn_(std::move(fn)) {}
+    void call() override { fn_(); }
+    F fn_;
+  };
+
+  std::unique_ptr<Concept> impl_;
+};
+
+}  // namespace ufab

@@ -1,0 +1,176 @@
+#include "src/faults/fault_plane.hpp"
+
+#include <utility>
+
+#include "src/core/assert.hpp"
+
+namespace ufab::faults {
+
+const char* to_string(LossClass c) {
+  switch (c) {
+    case LossClass::kAll:
+      return "all";
+    case LossClass::kProbeOnly:
+      return "probe-only";
+    case LossClass::kDataOnly:
+      return "data-only";
+  }
+  return "?";
+}
+
+FaultPlane::FaultPlane(harness::Fabric& fab, std::uint64_t seed)
+    : fab_(fab), rng_(Rng{seed}.fork("fault-plane")) {}
+
+FaultPlane& FaultPlane::flap(LinkId link, TimeNs down_at, TimeNs up_at, int repeats,
+                             TimeNs period) {
+  UFAB_CHECK_MSG(fab_.net().link(link) != nullptr, "flap on unknown link");
+  UFAB_CHECK_MSG(up_at > down_at, "flap must come back up after going down");
+  UFAB_CHECK_MSG(repeats == 1 || period > up_at - down_at,
+                 "repeating flap period must exceed the outage");
+  flaps_.push_back(FlapSpec{link, down_at, up_at, repeats, period});
+  return *this;
+}
+
+FaultPlane& FaultPlane::loss(LinkId link, double rate, LossClass klass, TimeNs from,
+                             TimeNs until) {
+  UFAB_CHECK_MSG(fab_.net().link(link) != nullptr, "loss on unknown link");
+  UFAB_CHECK_MSG(rate >= 0.0 && rate <= 1.0, "loss rate must be a probability");
+  loss_rules_[link.value()].push_back(LossRule{rate, klass, from, until});
+  return *this;
+}
+
+FaultPlane& FaultPlane::reset_switch_state(NodeId sw, TimeNs at) {
+  UFAB_CHECK_MSG(!fab_.core_agents_of(sw).empty(),
+                 "reset_switch_state on a switch without uFAB-C agents");
+  resets_.push_back(ResetSpec{sw, at});
+  return *this;
+}
+
+FaultPlane& FaultPlane::stale_telemetry(NodeId sw, TimeNs from, TimeNs until) {
+  UFAB_CHECK_MSG(!fab_.core_agents_of(sw).empty(),
+                 "stale_telemetry on a switch without uFAB-C agents");
+  tampers_[sw.value()].push_back(TamperSpec{TamperKind::kFreezeStamp, 1.0, from, until});
+  return *this;
+}
+
+FaultPlane& FaultPlane::corrupt_telemetry(NodeId sw, double scale, TimeNs from, TimeNs until) {
+  UFAB_CHECK_MSG(!fab_.core_agents_of(sw).empty(),
+                 "corrupt_telemetry on a switch without uFAB-C agents");
+  UFAB_CHECK_MSG(scale >= 0.0, "register scale must be non-negative");
+  tampers_[sw.value()].push_back(TamperSpec{TamperKind::kScaleRegisters, scale, from, until});
+  return *this;
+}
+
+FaultPlane& FaultPlane::strip_telemetry(NodeId sw, TimeNs from, TimeNs until) {
+  UFAB_CHECK_MSG(!fab_.core_agents_of(sw).empty(),
+                 "strip_telemetry on a switch without uFAB-C agents");
+  tampers_[sw.value()].push_back(TamperSpec{TamperKind::kStrip, 1.0, from, until});
+  return *this;
+}
+
+FaultPlane& FaultPlane::saturate_bloom(NodeId sw, std::size_t junk_keys, TimeNs at) {
+  UFAB_CHECK_MSG(!fab_.core_agents_of(sw).empty(),
+                 "saturate_bloom on a switch without uFAB-C agents");
+  blooms_.push_back(BloomSpec{sw, junk_keys, at});
+  return *this;
+}
+
+bool FaultPlane::matches(LossClass klass, const sim::Packet& pkt) {
+  switch (klass) {
+    case LossClass::kAll:
+      return true;
+    case LossClass::kProbeOnly:
+      return pkt.kind == sim::PacketKind::kProbe || pkt.kind == sim::PacketKind::kProbeResponse ||
+             pkt.kind == sim::PacketKind::kFinishProbe;
+    case LossClass::kDataOnly:
+      return pkt.kind == sim::PacketKind::kData;
+  }
+  return false;
+}
+
+void FaultPlane::arm_flap(const FlapSpec& spec) {
+  sim::Link* link = fab_.net().link(spec.link);
+  for (int k = 0; k < spec.repeats; ++k) {
+    const TimeNs shift = spec.period * k;
+    fab_.sim().at(spec.down_at + shift, [this, link] {
+      link->set_down(true);
+      ++counters_.link_downs;
+    });
+    fab_.sim().at(spec.up_at + shift, [this, link] {
+      link->set_down(false);
+      ++counters_.link_ups;
+    });
+  }
+}
+
+void FaultPlane::arm() {
+  UFAB_CHECK_MSG(!armed_, "FaultPlane::arm() called twice");
+  armed_ = true;
+
+  for (const FlapSpec& spec : flaps_) arm_flap(spec);
+
+  // One filter per link, scanning that link's rules in declaration order.
+  // A packet is dropped by the first rule whose window and class match and
+  // whose Bernoulli draw fires; draws are only consumed for matching rules,
+  // keeping unrelated scenarios on the same seed independent.
+  for (auto& [link_value, rules] : loss_rules_) {
+    sim::Link* link = fab_.net().link(LinkId{link_value});
+    link->set_fault_filter([this, rules = rules](const sim::Packet& pkt) {
+      const TimeNs now = fab_.sim().now();
+      for (const LossRule& rule : rules) {
+        if (now < rule.from || now >= rule.until) continue;
+        if (!matches(rule.klass, pkt)) continue;
+        if (rng_.uniform() < rule.rate) {
+          ++counters_.loss_drops;
+          return true;
+        }
+      }
+      return false;
+    });
+  }
+
+  for (const ResetSpec& spec : resets_) {
+    fab_.sim().at(spec.at, [this, sw = spec.sw] {
+      for (telemetry::CoreAgent* agent : fab_.core_agents_of(sw)) agent->reset_state();
+      ++counters_.switch_resets;
+    });
+  }
+
+  for (auto& [sw_value, specs] : tampers_) {
+    for (telemetry::CoreAgent* agent : fab_.core_agents_of(NodeId{sw_value})) {
+      agent->set_int_tamper([this, specs = specs](sim::IntRecord& rec, TimeNs now) {
+        for (const TamperSpec& spec : specs) {
+          if (now < spec.from || now >= spec.until) continue;
+          switch (spec.kind) {
+            case TamperKind::kFreezeStamp:
+              rec.stamp = spec.from;
+              ++counters_.stale_records;
+              break;
+            case TamperKind::kScaleRegisters:
+              rec.phi_total *= spec.scale;
+              rec.window_total *= spec.scale;
+              ++counters_.corrupted_records;
+              break;
+            case TamperKind::kStrip:
+              ++counters_.stripped_records;
+              return false;
+          }
+        }
+        return true;
+      });
+    }
+  }
+
+  for (const BloomSpec& spec : blooms_) {
+    fab_.sim().at(spec.at, [this, spec] {
+      for (telemetry::CoreAgent* agent : fab_.core_agents_of(spec.sw)) {
+        for (std::size_t i = 0; i < spec.junk_keys; ++i) {
+          agent->inject_bloom_junk(rng_());
+          ++counters_.bloom_junk_keys;
+        }
+      }
+    });
+  }
+}
+
+}  // namespace ufab::faults

@@ -1,0 +1,163 @@
+// Deterministic fault-injection plane.
+//
+// A FaultPlane compiles a declarative fault scenario into simulator events
+// and hooks on the fabric it targets:
+//
+//   * link flaps — administrative down/up schedules, optionally repeating;
+//   * random wire loss — per-link Bernoulli loss within a time window,
+//     restricted to a packet class (all / probe-family-only / data-only);
+//   * INT tampering — freeze record timestamps (stale telemetry), scale the
+//     Φ_l/W_l registers (corruption), or strip records entirely;
+//   * switch state reset — a uFAB-C warm reboot that wipes every register
+//     and the Bloom filter on one switch;
+//   * Bloom saturation — junk keys that drive up the false-positive rate.
+//
+// All randomness flows from the plane's own seeded Rng, so a scenario is
+// exactly reproducible: same seed + same fabric => same faults, packet for
+// packet.  Every injected fault is counted in FaultCounters, mirroring how
+// the edge and core count their recovery actions, so tests can assert both
+// sides of the ledger.
+//
+// Usage:
+//   faults::FaultPlane plane(fab, /*seed=*/42);
+//   plane.flap(link, 10_ms, 12_ms)
+//        .loss(trunk, 0.01, faults::LossClass::kAll, 5_ms, 50_ms)
+//        .reset_switch_state(spine, 20_ms)
+//        .arm();
+//   fab.sim().run_until(60_ms);
+//
+// The plane must outlive the simulation run: its hooks call back into it.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/ids.hpp"
+#include "src/core/rng.hpp"
+#include "src/core/time.hpp"
+#include "src/harness/fabric.hpp"
+
+namespace ufab::faults {
+
+/// Which packets a loss rule applies to.
+enum class LossClass {
+  kAll,        ///< Every packet on the link.
+  kProbeOnly,  ///< Probe family: probes, responses, finish probes.
+  kDataOnly,   ///< Tenant data packets only.
+};
+
+[[nodiscard]] const char* to_string(LossClass c);
+
+/// What an INT tamper rule does to each record.
+enum class TamperKind {
+  kFreezeStamp,     ///< Stamp records as of the window start (staleness).
+  kScaleRegisters,  ///< Multiply Φ_l/W_l by a factor (corruption).
+  kStrip,           ///< Suppress the record entirely (INT stripping).
+};
+
+/// Everything the plane injected, for assertions and reports.
+struct FaultCounters {
+  std::int64_t link_downs = 0;         ///< set_down(true) transitions executed.
+  std::int64_t link_ups = 0;           ///< set_down(false) transitions executed.
+  std::int64_t loss_drops = 0;         ///< Packets discarded by loss rules.
+  std::int64_t switch_resets = 0;      ///< Warm reboots executed.
+  std::int64_t stale_records = 0;      ///< INT records with frozen stamps.
+  std::int64_t corrupted_records = 0;  ///< INT records with scaled registers.
+  std::int64_t stripped_records = 0;   ///< INT records suppressed.
+  std::int64_t bloom_junk_keys = 0;    ///< Junk keys inserted into Blooms.
+};
+
+class FaultPlane {
+ public:
+  /// The plane injects into `fab` and draws randomness from `seed` only.
+  FaultPlane(harness::Fabric& fab, std::uint64_t seed = 1);
+
+  FaultPlane(const FaultPlane&) = delete;
+  FaultPlane& operator=(const FaultPlane&) = delete;
+
+  // --- scenario building (declare everything, then arm() once) ---
+
+  /// Takes `link` down at `down_at` and back up at `up_at`; with
+  /// `repeats` > 1 the cycle recurs every `period` (which must be longer
+  /// than the outage).
+  FaultPlane& flap(LinkId link, TimeNs down_at, TimeNs up_at, int repeats = 1,
+                   TimeNs period = TimeNs::zero());
+
+  /// Bernoulli wire loss: each matching packet finishing serialization on
+  /// `link` within [from, until) is dropped with probability `rate`.
+  FaultPlane& loss(LinkId link, double rate, LossClass klass = LossClass::kAll,
+                   TimeNs from = TimeNs::zero(), TimeNs until = TimeNs::max());
+
+  /// Wipes all uFAB-C register and Bloom state on `sw` at `at`, as a switch
+  /// reboot would.  Recovery is the edge's job (re-registration probes).
+  FaultPlane& reset_switch_state(NodeId sw, TimeNs at);
+
+  /// Freezes the stamps of INT records written by `sw` to the window start:
+  /// the switch keeps forwarding but its telemetry stops reflecting time.
+  FaultPlane& stale_telemetry(NodeId sw, TimeNs from, TimeNs until);
+
+  /// Scales Φ_l/W_l in INT records written by `sw` by `scale` within the
+  /// window (register corruption / bit rot).
+  FaultPlane& corrupt_telemetry(NodeId sw, double scale, TimeNs from, TimeNs until);
+
+  /// Suppresses every INT record written by `sw` within the window.
+  FaultPlane& strip_telemetry(NodeId sw, TimeNs from, TimeNs until);
+
+  /// Inserts `junk_keys` random keys into every Bloom filter on `sw` at
+  /// `at`, raising its false-positive rate (§3.6 tolerance analysis).
+  FaultPlane& saturate_bloom(NodeId sw, std::size_t junk_keys, TimeNs at);
+
+  /// Compiles the declared scenario into simulator events and hooks.
+  /// Call exactly once, before the simulator runs past the first fault.
+  void arm();
+
+  [[nodiscard]] bool armed() const { return armed_; }
+  [[nodiscard]] const FaultCounters& counters() const { return counters_; }
+
+ private:
+  struct FlapSpec {
+    LinkId link;
+    TimeNs down_at;
+    TimeNs up_at;
+    int repeats;
+    TimeNs period;
+  };
+  struct LossRule {
+    double rate;
+    LossClass klass;
+    TimeNs from;
+    TimeNs until;
+  };
+  struct TamperSpec {
+    TamperKind kind;
+    double scale;
+    TimeNs from;
+    TimeNs until;
+  };
+  struct ResetSpec {
+    NodeId sw;
+    TimeNs at;
+  };
+  struct BloomSpec {
+    NodeId sw;
+    std::size_t junk_keys;
+    TimeNs at;
+  };
+
+  void arm_flap(const FlapSpec& spec);
+  [[nodiscard]] static bool matches(LossClass klass, const sim::Packet& pkt);
+
+  harness::Fabric& fab_;
+  Rng rng_;
+  FaultCounters counters_;
+  bool armed_ = false;
+
+  std::vector<FlapSpec> flaps_;
+  std::unordered_map<std::int32_t, std::vector<LossRule>> loss_rules_;  // by LinkId
+  std::unordered_map<std::int32_t, std::vector<TamperSpec>> tampers_;  // by NodeId
+  std::vector<ResetSpec> resets_;
+  std::vector<BloomSpec> blooms_;
+};
+
+}  // namespace ufab::faults

@@ -51,30 +51,33 @@ void Fabric::keep_backlogged(VmPairId pair, TimeNs start, TimeNs stop,
                              std::int64_t chunk_bytes) {
   // Top-up loop: whenever the send queue dips below two chunks, enqueue one
   // more, so the pair always has demand without unbounded queue growth.
-  auto top_up = std::make_shared<std::function<void()>>();
-  *top_up = [this, pair, stop, chunk_bytes, top_up] {
-    if (sim_.now() >= stop) return;
-    const HostId src = vms_.host_of(pair.src);
-    auto& stack = stack_at(src);
-    transport::Connection* conn = stack.find_connection(pair);
-    std::int64_t queued = conn != nullptr ? conn->queued_bytes() : 0;
-    while (queued < 2 * chunk_bytes) {
-      send(pair, chunk_bytes);
-      queued += chunk_bytes;
-    }
-    // Re-check roughly every chunk drain time at line rate (cheap, coarse).
-    sim_.after(TimeNs{200'000}, *top_up);
-  };
-  sim_.at(start, *top_up);
+  sim_.at(start, [this, pair, stop, chunk_bytes] { top_up_tick(pair, stop, chunk_bytes); });
+}
+
+void Fabric::top_up_tick(VmPairId pair, TimeNs stop, std::int64_t chunk_bytes) {
+  if (sim_.now() >= stop) return;
+  const HostId src = vms_.host_of(pair.src);
+  auto& stack = stack_at(src);
+  transport::Connection* conn = stack.find_connection(pair);
+  std::int64_t queued = conn != nullptr ? conn->queued_bytes() : 0;
+  while (queued < 2 * chunk_bytes) {
+    send(pair, chunk_bytes);
+    queued += chunk_bytes;
+  }
+  // Re-check roughly every chunk drain time at line rate (cheap, coarse).
+  sim_.after(TimeNs{200'000},
+             [this, pair, stop, chunk_bytes] { top_up_tick(pair, stop, chunk_bytes); });
 }
 
 void Fabric::sample_queues(TimeNs period, TimeNs until, PercentileTracker& out) {
-  auto sample = std::make_shared<std::function<void()>>();
-  *sample = [this, period, until, &out, sample] {
-    for (const sim::Link* l : net_->links()) out.add(static_cast<double>(l->queue_bytes()));
-    if (sim_.now() + period <= until) sim_.after(period, *sample);
-  };
-  sim_.after(period, *sample);
+  sim_.after(period, [this, period, until, &out] { sample_queues_tick(period, until, &out); });
+}
+
+void Fabric::sample_queues_tick(TimeNs period, TimeNs until, PercentileTracker* out) {
+  for (const sim::Link* l : net_->links()) out->add(static_cast<double>(l->queue_bytes()));
+  if (sim_.now() + period <= until) {
+    sim_.after(period, [this, period, until, out] { sample_queues_tick(period, until, out); });
+  }
 }
 
 }  // namespace ufab::harness

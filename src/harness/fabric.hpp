@@ -34,8 +34,20 @@ class Fabric {
   void instrument_cores(const telemetry::CoreConfig& cfg = {}) {
     for (sim::Switch* sw : net_->switches()) {
       auto agents = telemetry::instrument_switch(sim_, *sw, cfg);
-      for (auto& a : agents) core_agents_.push_back(std::move(a));
+      auto& of_switch = agents_by_switch_[sw->id().value()];
+      for (auto& a : agents) {
+        of_switch.push_back(a.get());
+        core_agents_.push_back(std::move(a));
+      }
     }
+  }
+
+  /// The uFAB-C agents of one switch (empty if not instrumented). Fault
+  /// injection uses this to reboot a whole switch's register state at once.
+  [[nodiscard]] const std::vector<telemetry::CoreAgent*>& core_agents_of(NodeId sw) const {
+    static const std::vector<telemetry::CoreAgent*> kNone;
+    auto it = agents_by_switch_.find(sw.value());
+    return it == agents_by_switch_.end() ? kNone : it->second;
   }
 
   /// Installs a transport stack (takes ownership). One per host.
@@ -88,6 +100,9 @@ class Fabric {
   }
 
  private:
+  void top_up_tick(VmPairId pair, TimeNs stop, std::int64_t chunk_bytes);
+  void sample_queues_tick(TimeNs period, TimeNs until, PercentileTracker* out);
+
   struct SinkMux final : transport::MessageSink {
     std::vector<DeliveryListener> listeners;
     void on_message_delivered(const transport::Message& msg, TimeNs at) override {
@@ -101,6 +116,7 @@ class Fabric {
   VmMap vms_;
   SinkMux sink_mux_;
   std::vector<std::unique_ptr<telemetry::CoreAgent>> core_agents_;
+  std::unordered_map<std::int32_t, std::vector<telemetry::CoreAgent*>> agents_by_switch_;
   std::vector<std::unique_ptr<transport::TransportStack>> stacks_;
   std::unordered_map<std::uint64_t, std::unique_ptr<RateMeter>> pair_meters_;
   std::unordered_map<std::int32_t, std::unique_ptr<RateMeter>> tenant_meters_;

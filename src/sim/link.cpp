@@ -43,15 +43,21 @@ void Link::kick() {
 }
 
 void Link::set_down(bool down) {
+  if (down_ == down) return;
   down_ = down;
   if (down_) {
     drops_ += static_cast<std::int64_t>(queue_.size());
     queue_.clear();
     queue_bytes_ = 0;
     if (in_flight_) {
-      // The serializer event still fires but finds nothing to deliver.
+      // Abort the in-flight serialization: drop the packet, free the
+      // serializer, and bump the epoch so the already-scheduled completion
+      // event becomes a no-op. Leaving busy_ set here would make kick()
+      // after a fast re-enable a no-op until the stale event fired.
       in_flight_.reset();
       ++drops_;
+      ++epoch_;
+      busy_ = false;
     }
   } else {
     kick();
@@ -60,6 +66,12 @@ void Link::set_down(bool down) {
 
 void Link::start_next() {
   UFAB_CHECK(!busy_);
+  // Claim the serializer before running the pull callback: source_() can
+  // re-enter enqueue() on this same link (e.g. the transport's probe cadence
+  // fires while the NIC asks for the next data packet), and a nested
+  // start_next() would put that packet in flight only for the assignment
+  // below to overwrite — and silently destroy — it.
+  busy_ = true;
   PacketPtr pkt;
   if (!queue_.empty()) {
     pkt = std::move(queue_.front());
@@ -67,16 +79,26 @@ void Link::start_next() {
     queue_bytes_ -= pkt->size_bytes;
   } else if (source_) {
     pkt = source_();
+    if (!pkt && !queue_.empty()) {
+      // A re-entrant enqueue during the pull queued a packet; serialize it
+      // now rather than leaving it stranded until the next kick.
+      pkt = std::move(queue_.front());
+      queue_.pop_front();
+      queue_bytes_ -= pkt->size_bytes;
+    }
   }
-  if (!pkt) return;  // idle
-
-  busy_ = true;
+  if (!pkt) {
+    busy_ = false;
+    return;  // idle
+  }
   const std::int32_t bytes = pkt->size_bytes;
   in_flight_ = std::move(pkt);
-  sim_.after(cfg_.capacity.tx_time(bytes), [this, bytes] { finish_transmit(bytes); });
+  sim_.after(cfg_.capacity.tx_time(bytes),
+             [this, bytes, epoch = epoch_] { finish_transmit(bytes, epoch); });
 }
 
-void Link::finish_transmit(std::int32_t bytes) {
+void Link::finish_transmit(std::int32_t bytes, std::uint64_t epoch) {
+  if (epoch != epoch_) return;  // serialization aborted by set_down
   busy_ = false;
   if (in_flight_) {
     tx_bytes_cum_ += bytes;
@@ -85,12 +107,19 @@ void Link::finish_transmit(std::int32_t bytes) {
            sim_.now() - checkpoints_.front().first > kMaxRateWindow) {
       checkpoints_.pop_front();
     }
-    // Hand the packet to the propagation stage; delivery is a future event.
     PacketPtr pkt = std::move(in_flight_);
-    Node* dst = dst_;
-    sim_.after(cfg_.prop_delay, [dst, p = pkt.release()]() mutable {
-      dst->receive(PacketPtr{p});
-    });
+    if (fault_filter_ && fault_filter_(*pkt)) {
+      // Lost on the wire (fault injection): link time was consumed but the
+      // packet never reaches the peer.
+      ++fault_drops_;
+    } else {
+      // Hand the packet to the propagation stage; delivery is a future event
+      // that owns the packet (freed with the queue if the run is cut short).
+      Node* dst = dst_;
+      sim_.after(cfg_.prop_delay, [dst, p = std::move(pkt)]() mutable {
+        dst->receive(std::move(p));
+      });
+    }
   }
   if (!down_) start_next();
 }

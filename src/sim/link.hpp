@@ -56,8 +56,18 @@ class Link {
 
   /// Administratively disables the link (failure injection); queued and
   /// in-flight packets are dropped, future packets are dropped on arrival.
+  /// Re-enabling takes effect immediately: the serializer is freed and any
+  /// stale completion event is neutralized, so a rapid down->up flap does
+  /// not leave the link wedged until the old event fires.
   void set_down(bool down);
   [[nodiscard]] bool down() const { return down_; }
+
+  /// Wire-loss fault hook (fault injection): consulted when a packet finishes
+  /// serializing; returning true discards it instead of delivering (the
+  /// packet still consumed link time, like corruption on the wire).
+  using FaultFilter = std::function<bool(const Packet&)>;
+  void set_fault_filter(FaultFilter filter) { fault_filter_ = std::move(filter); }
+  [[nodiscard]] std::int64_t fault_drops() const { return fault_drops_; }
 
   // --- telemetry / observability ---
   [[nodiscard]] LinkId id() const { return id_; }
@@ -80,7 +90,7 @@ class Link {
 
  private:
   void start_next();
-  void finish_transmit(std::int32_t bytes);
+  void finish_transmit(std::int32_t bytes, std::uint64_t epoch);
 
   Simulator& sim_;
   LinkId id_;
@@ -94,10 +104,15 @@ class Link {
   bool busy_ = false;
   bool down_ = false;
   PacketPtr in_flight_;  // the packet currently being serialized
+  /// Bumped when an in-flight serialization is aborted (set_down); the
+  /// completion event compares its captured epoch and becomes a no-op.
+  std::uint64_t epoch_ = 0;
   PullSource source_;
+  FaultFilter fault_filter_;
 
   std::int64_t tx_bytes_cum_ = 0;
   std::int64_t drops_ = 0;
+  std::int64_t fault_drops_ = 0;
 
   /// (time, cumulative bytes) checkpoints for windowed rate estimation.
   std::deque<std::pair<TimeNs, std::int64_t>> checkpoints_;

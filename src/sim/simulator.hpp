@@ -6,12 +6,12 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
 #include "src/core/assert.hpp"
 #include "src/core/time.hpp"
+#include "src/core/unique_function.hpp"
 
 namespace ufab::sim {
 
@@ -23,14 +23,15 @@ class Simulator {
 
   [[nodiscard]] TimeNs now() const { return now_; }
 
-  /// Schedules `fn` at absolute time `t` (>= now).
-  void at(TimeNs t, std::function<void()> fn) {
+  /// Schedules `fn` at absolute time `t` (>= now). The closure may be
+  /// move-only, so events can own what they deliver (packets in flight).
+  void at(TimeNs t, UniqueFunction fn) {
     UFAB_CHECK_MSG(t >= now_, "scheduling into the past");
     queue_.push(Event{t, next_seq_++, std::move(fn)});
   }
 
   /// Schedules `fn` after `delay` from now.
-  void after(TimeNs delay, std::function<void()> fn) { at(now_ + delay, std::move(fn)); }
+  void after(TimeNs delay, UniqueFunction fn) { at(now_ + delay, std::move(fn)); }
 
   /// Runs until the event list drains.
   void run() {
@@ -50,7 +51,7 @@ class Simulator {
   struct Event {
     TimeNs at;
     std::uint64_t seq;
-    std::function<void()> fn;
+    UniqueFunction fn;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {

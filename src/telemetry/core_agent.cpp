@@ -33,7 +33,21 @@ void CoreAgent::on_probe_egress(sim::Packet& pkt, sim::Link& link, TimeNs now) {
       .capacity = link.capacity(),
   };
   if (cfg_.quantize_int) IntCodec::quantize(rec);
+  if (tamper_ && !tamper_(rec, now)) {
+    ++suppressed_records_;
+    return;
+  }
   pkt.telemetry.push_back(rec);
+}
+
+void CoreAgent::reset_state() {
+  registered_.clear();
+  bloom_.clear();
+  phi_total_ = 0.0;
+  window_total_ = 0.0;
+  ++resets_;
+  // The sweep timer keeps running: it is part of the switch program, not of
+  // the lost register state, and re-arms itself.
 }
 
 void CoreAgent::handle_probe(sim::Packet& pkt, TimeNs now) {

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 
 #include "src/core/time.hpp"
@@ -45,10 +46,28 @@ class CoreAgent final : public sim::EgressProcessor {
 
   void on_probe_egress(sim::Packet& pkt, sim::Link& link, TimeNs now) override;
 
+  /// Warm restart (fault injection): the switch reboots and loses all
+  /// register and Bloom state.  Registers rebuild from the re-registration
+  /// probes active pairs keep sending — no control-plane resync exists, just
+  /// as on a real Tofino power cycle.
+  void reset_state();
+
+  /// INT tamper hook (fault injection): invoked on every record about to be
+  /// appended; the hook may mutate it (staleness, corruption) or return
+  /// false to suppress it entirely (INT stripping).
+  using IntTamper = std::function<bool(sim::IntRecord&, TimeNs now)>;
+  void set_int_tamper(IntTamper tamper) { tamper_ = std::move(tamper); }
+
+  /// Inserts a junk key into the Bloom filter (fault injection: saturation
+  /// raises the false-positive rate the §3.6 analysis tolerates).
+  void inject_bloom_junk(std::uint64_t key) { bloom_.insert(key); }
+
   [[nodiscard]] double phi_total() const { return phi_total_; }
   [[nodiscard]] double window_total() const { return window_total_; }
   [[nodiscard]] std::size_t active_pairs() const { return registered_.size(); }
   [[nodiscard]] std::int64_t false_positive_omissions() const { return fp_omissions_; }
+  [[nodiscard]] std::int64_t resets() const { return resets_; }
+  [[nodiscard]] std::int64_t suppressed_records() const { return suppressed_records_; }
   [[nodiscard]] const CountingBloomFilter& bloom() const { return bloom_; }
 
  private:
@@ -66,10 +85,13 @@ class CoreAgent final : public sim::EgressProcessor {
   sim::Simulator& sim_;
   CoreConfig cfg_;
   CountingBloomFilter bloom_;
+  IntTamper tamper_;
   std::unordered_map<std::uint64_t, PairEntry> registered_;
   double phi_total_ = 0.0;
   double window_total_ = 0.0;
   std::int64_t fp_omissions_ = 0;
+  std::int64_t resets_ = 0;
+  std::int64_t suppressed_records_ = 0;
 };
 
 /// Attaches a CoreAgent to every egress port of `sw`; returns the agents.

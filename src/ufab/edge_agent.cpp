@@ -206,16 +206,25 @@ void EdgeAgent::schedule_probe_timeout(UfabConnection& c, std::uint64_t seq) {
   simulator().at(deadline, [this, pair, seq] {
     UfabConnection* conn = ufab_connection(pair);
     if (conn == nullptr || !conn->probe_outstanding || conn->probe_seq != seq) return;
-    // Probe lost: the path is suspect. Resend immediately; consecutive
-    // losses declare the path failed and force a migration (§4.1).
+    // Probe lost: the path is suspect. Retransmit with exponential backoff;
+    // consecutive losses declare the path failed and force a migration (§4.1).
     ++probe_timeouts_;
     ++conn->probe_losses;
     conn->probe_outstanding = false;
     if (conn->probe_losses >= cfg_.probe_losses_to_migrate) {
       if (!conn->scouting) start_scouting(*conn);
-    } else {
-      send_probe(*conn);
+      return;
     }
+    const int shift = std::min(conn->probe_losses - 1, cfg_.probe_backoff_max_shift);
+    const TimeNs wait =
+        conn->base_rtt.scaled(cfg_.probe_backoff_rtts * static_cast<double>(1 << shift));
+    ++probe_retransmits_;
+    simulator().after(wait, [this, pair] {
+      UfabConnection* c2 = ufab_connection(pair);
+      // Skip if a newer probe went out meanwhile (demand arrival, cadence)
+      // or the pair moved on to scouting.
+      if (c2 != nullptr && !c2->probe_outstanding && !c2->scouting) send_probe(*c2);
+    });
   });
 }
 
@@ -352,11 +361,22 @@ EdgeAgent::PathEvaluation EdgeAgent::evaluate_path(UfabConnection& c, const sim:
     // format carries the rate directly, not a byte counter).
     double tx_bps = rec.tx_rate_hint.bits_per_sec();
     auto& sample = c.link_samples[rec.link.value()];
-    if (rec.tx_bytes_cum > 0 && sample.second != TimeNs::zero() && rec.stamp > sample.second) {
-      const double dt_ns = static_cast<double>((rec.stamp - sample.second).ns());
-      tx_bps = static_cast<double>(rec.tx_bytes_cum - sample.first) * 8e9 / dt_ns;
+    if (rec.tx_bytes_cum > 0 && sample.stamp != TimeNs::zero() && rec.stamp > sample.stamp) {
+      const double dt_ns = static_cast<double>((rec.stamp - sample.stamp).ns());
+      tx_bps = static_cast<double>(rec.tx_bytes_cum - sample.tx_bytes) * 8e9 / dt_ns;
     }
-    sample = {rec.tx_bytes_cum, rec.stamp};
+    // Switch state-loss detection: Φ_l is a sum of registered tokens and can
+    // only fall by what deregisters. A collapse bigger than both the pair's
+    // own φ and a large fraction of the previous reading means the register
+    // bank was wiped (switch reboot) and is rebuilding from re-registration
+    // probes — Eqn 1-3 shares computed from it are transiently inflated.
+    if (include_self && c.registered && sample.phi_total >= 0.0) {
+      const double drop = sample.phi_total - rec.phi_total;
+      if (drop > std::max(c.reg_phi, cfg_.phi_discontinuity_frac * sample.phi_total)) {
+        ev.phi_discontinuity = true;
+      }
+    }
+    sample = {rec.tx_bytes_cum, rec.stamp, rec.phi_total};
 
     const double t_sec = t_ns / 1e9;
     const double claim_rate = c.window / t_sec;  // this pair's rate claim, B/s
@@ -425,12 +445,49 @@ void EdgeAgent::handle_data_response(UfabConnection& c, const sim::Packet& pkt) 
     c.phi_r_known = true;
   }
 
+  const TimeNs now = simulator().now();
   const PathEvaluation eval = evaluate_path(c, pkt, /*include_self=*/true);
-  c.r_path_bps = eval.r_bps;
-  c.R_est_bps = eval.R_bps;
-  c.path_qualified = eval.qualified;
-  apply_two_stage(c, eval);
-  note_violation(c, !eval.qualified);
+
+  // --- failure handling ---
+  // Telemetry freshness: INT stamped many RTTs in the past means the switch
+  // view is frozen (fault or wedged pipeline); Eqns 1-3 computed from it
+  // would admit against a world that no longer exists.
+  bool stale = false;
+  if (!pkt.telemetry.empty()) {
+    TimeNs oldest = TimeNs::max();
+    for (const sim::IntRecord& rec : pkt.telemetry) oldest = std::min(oldest, rec.stamp);
+    stale = now - oldest > c.base_rtt.scaled(cfg_.telemetry_stale_rtts);
+  }
+  if (stale) ++stale_telemetry_events_;
+  if (eval.phi_discontinuity) {
+    // A switch on the path lost its register state. This probe already
+    // re-registered the pair there, but Φ_l/W_l reflect only the pairs that
+    // have re-probed since the wipe, so shares are transiently inflated.
+    ++state_losses_detected_;
+    c.guarantee_only_until = now + c.base_rtt.scaled(cfg_.reregister_hold_rtts);
+  }
+  const bool degraded = stale || now < c.guarantee_only_until;
+  if (degraded) {
+    // Guarantee-only window: admit exactly the pair's token BDP. The
+    // guarantee needs no telemetry to be safe (§3.3: r >= φ by contract);
+    // work conservation resumes once trustworthy telemetry returns.
+    ++guarantee_degradations_;
+    c.r_path_bps = c.phi();
+    c.R_est_bps = c.phi();
+    c.window = std::max(bytes_for(c.phi(), c.base_rtt), window_floor(c));
+    if (cfg_.two_stage_admission) {
+      c.bootstrap = true;  // re-enter the additive ramp when recovering
+      c.w_stage = c.window;
+    }
+  } else {
+    c.r_path_bps = eval.r_bps;
+    c.R_est_bps = eval.R_bps;
+    c.path_qualified = eval.qualified;
+    apply_two_stage(c, eval);
+  }
+  // Violations drive migration; frozen telemetry says nothing about the
+  // path, so it must not trigger (or reset) the violation counter.
+  if (!stale) note_violation(c, !eval.qualified);
 
   // Probe cadence (§4.1): self-clocked on L_m transmitted bytes, which
   // bounds the overhead at ~L_p/(L_p+L_m) regardless of the pair count
@@ -438,12 +495,17 @@ void EdgeAgent::handle_data_response(UfabConnection& c, const sim::Packet& pkt) 
   // (bootstrap) or its guarantee is violated — transient states that need
   // per-RTT feedback. Periodic mode (Fig. 18c ablation) probes every
   // `periodic_rtts` instead.
-  if (c.has_backlog() || c.inflight_bytes > 0) {
+  if (eval.phi_discontinuity) {
+    // Re-registration probe: rebuild the wiped registers at once instead of
+    // waiting out the L_m byte cadence.
+    ++reregistrations_;
+    send_probe(c);
+  } else if (c.has_backlog() || c.inflight_bytes > 0) {
     if (cfg_.probe_mode == ProbeMode::kPeriodic) {
       schedule_probe_floor(c);
     } else if (c.bytes_sent_total - c.bytes_at_last_probe >= cfg_.probe_interval_bytes) {
       send_probe(c);
-    } else if (c.bootstrap || c.violations > 0 || !c.path_qualified) {
+    } else if (c.bootstrap || c.violations > 0 || !c.path_qualified || degraded) {
       schedule_probe_floor(c);
     }
   }
@@ -544,7 +606,7 @@ void EdgeAgent::finish_scouting(UfabConnection& c) {
 void EdgeAgent::migrate_to(UfabConnection& c, std::int32_t path_idx) {
   ++migrations_;
   if (c.registered) {
-    send_finish_probe(c, c.path_idx, c.reg_key, /*retries_left=*/10);
+    send_finish_probe(c, c.path_idx, c.reg_key, cfg_.finish_probe_retries);
   }
   c.path_idx = path_idx;
   c.reg_key = registration_key(c, path_idx);
@@ -587,15 +649,23 @@ void EdgeAgent::send_finish_probe(UfabConnection& c, std::int32_t path_idx,
   // back off exponentially so retries ride out multi-ms path outages before
   // finally deferring to the core's silent-quit sweep.
   const VmPairId pair = c.pair;
-  const int backoff_shift = std::max(0, 10 - retries_left);
+  const int backoff_shift = std::max(0, cfg_.finish_probe_retries - retries_left);
   const TimeNs retry_at = c.base_rtt * (2LL << std::min(backoff_shift, 8));
   simulator().after(retry_at, [this, pair, path_idx, reg_key, retries_left] {
     auto it = pending_finishes_.find(reg_key);
     if (it == pending_finishes_.end()) return;  // acknowledged
     pending_finishes_.erase(it);
-    if (retries_left <= 1) return;  // give up; the core sweep will clean up
+    if (retries_left <= 1) {
+      // Budget exhausted: abandon leak-free (the pending entry is gone) and
+      // let the core's silent-quit sweep reclaim the registration.
+      ++finish_abandoned_;
+      return;
+    }
     UfabConnection* conn = ufab_connection(pair);
-    if (conn != nullptr) send_finish_probe(*conn, path_idx, reg_key, retries_left - 1);
+    if (conn != nullptr) {
+      ++finish_retries_;
+      send_finish_probe(*conn, path_idx, reg_key, retries_left - 1);
+    }
   });
 }
 
@@ -626,7 +696,7 @@ void EdgeAgent::token_epoch() {
     // Idle pairs eventually deregister with an explicit finish probe (§3.6).
     if (c->registered && !c->has_backlog() && c->inflight_bytes == 0 &&
         now - c->last_activity > cfg_.idle_finish_timeout) {
-      send_finish_probe(*c, c->path_idx, c->reg_key, /*retries_left=*/10);
+      send_finish_probe(*c, c->path_idx, c->reg_key, cfg_.finish_probe_retries);
       c->registered = false;
       c->reg_phi = 0.0;
       c->reg_window = 0.0;

@@ -75,6 +75,28 @@ struct EdgeConfig {
   std::int32_t wfq_quantum = 1500;
   /// Record per-connection probe-response arrival times (Appendix D study).
   bool record_response_times = false;
+  // --- failure handling (exercised by the src/faults fault plane) ---
+  /// Exponential-backoff base for probe retransmission after a timeout: the
+  /// k-th consecutive loss waits baseRTT * probe_backoff_rtts * 2^(k-1)
+  /// before resending (immediate resends hammer a path exactly while it is
+  /// sick, and under probe-class loss the resend storm alone would defeat
+  /// the overhead bound of §4.1).
+  double probe_backoff_rtts = 1.0;
+  /// Cap on the backoff exponent (bounds the longest retransmit wait).
+  int probe_backoff_max_shift = 6;
+  /// Telemetry stamped older than this many base RTTs is stale (frozen INT,
+  /// wedged switch clock): fall back to the guarantee-only window instead
+  /// of feeding garbage into Eqns 1-3.
+  double telemetry_stale_rtts = 8.0;
+  /// A Φ_l drop on a current-path link exceeding this fraction of the last
+  /// reading (and exceeding the pair's own φ) signals switch state loss.
+  double phi_discontinuity_frac = 0.5;
+  /// Hold the guarantee-only window this many RTTs after a detected state
+  /// loss while re-registration probes rebuild Φ_l/W_l at the switch.
+  double reregister_hold_rtts = 3.0;
+  /// Finish-probe retry budget; exhaustion abandons the deregistration to
+  /// the core's silent-quit sweep (leak-free: no pending state remains).
+  int finish_probe_retries = 10;
   /// Scout candidate paths at join time and start on a qualified one (§3.5).
   /// Disabled by the Fig. 18 sensitivity study to isolate violation-driven
   /// migration dynamics.
@@ -106,8 +128,18 @@ struct UfabConnection : transport::Connection {
   int probe_losses = 0;
   TimeNs last_response_at = TimeNs::zero();
   bool probe_floor_scheduled = false;
-  /// Per-link (tx_bytes, stamp) samples for HPCC-style rate differentiation.
-  std::unordered_map<std::int32_t, std::pair<std::int64_t, TimeNs>> link_samples;
+  /// Per-link telemetry samples: cumulative TX bytes + stamp for HPCC-style
+  /// rate differentiation, and the last observed Φ_l for switch state-loss
+  /// detection (a register discontinuity means the switch rebooted).
+  struct LinkSample {
+    std::int64_t tx_bytes = 0;
+    TimeNs stamp;
+    double phi_total = -1.0;  ///< <0 means no previous reading.
+  };
+  std::unordered_map<std::int32_t, LinkSample> link_samples;
+  /// While now < this, only the guarantee window is admitted (recovery from
+  /// switch state loss or stale telemetry).
+  TimeNs guarantee_only_until = TimeNs::zero();
 
   // --- switch registration ---
   std::uint64_t reg_key = 0;
@@ -150,6 +182,14 @@ class EdgeAgent : public transport::TransportStack {
   [[nodiscard]] std::int64_t probes_sent() const { return probes_sent_; }
   [[nodiscard]] std::int64_t probe_bytes_sent() const { return probe_bytes_; }
   [[nodiscard]] std::int64_t probe_timeouts() const { return probe_timeouts_; }
+  [[nodiscard]] std::int64_t probe_retransmits() const { return probe_retransmits_; }
+  [[nodiscard]] std::int64_t state_losses_detected() const { return state_losses_detected_; }
+  [[nodiscard]] std::int64_t reregistrations() const { return reregistrations_; }
+  [[nodiscard]] std::int64_t stale_telemetry_events() const { return stale_telemetry_events_; }
+  [[nodiscard]] std::int64_t guarantee_degradations() const { return guarantee_degradations_; }
+  [[nodiscard]] std::int64_t finish_retries() const { return finish_retries_; }
+  [[nodiscard]] std::int64_t finish_abandoned() const { return finish_abandoned_; }
+  [[nodiscard]] std::size_t pending_finish_count() const { return pending_finishes_.size(); }
   [[nodiscard]] const EdgeConfig& config() const { return cfg_; }
   /// uFAB state of a pair's connection (nullptr if absent).
   [[nodiscard]] UfabConnection* ufab_connection(VmPairId pair);
@@ -183,6 +223,9 @@ class EdgeAgent : public transport::TransportStack {
     bool qualified;      ///< C_l >= Phi_l * B_u on all links.
     bool qualified_as_new;  ///< C_l >= (Phi_l + phi) * B_u on all links.
     double subscription_ratio;
+    /// Φ_l collapsed versus the previous reading on some current-path link:
+    /// a switch lost its register state (reboot / warm restart).
+    bool phi_discontinuity = false;
   };
   PathEvaluation evaluate_path(UfabConnection& c, const sim::Packet& response,
                                bool update_samples);
@@ -233,6 +276,13 @@ class EdgeAgent : public transport::TransportStack {
   std::int64_t probes_sent_ = 0;
   std::int64_t probe_bytes_ = 0;
   std::int64_t probe_timeouts_ = 0;
+  std::int64_t probe_retransmits_ = 0;
+  std::int64_t state_losses_detected_ = 0;
+  std::int64_t reregistrations_ = 0;
+  std::int64_t stale_telemetry_events_ = 0;
+  std::int64_t guarantee_degradations_ = 0;
+  std::int64_t finish_retries_ = 0;
+  std::int64_t finish_abandoned_ = 0;
 };
 
 }  // namespace ufab::edge

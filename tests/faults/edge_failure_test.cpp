@@ -1,0 +1,73 @@
+// Edge failure-handling unit scenarios: finish-probe retry exhaustion (the
+// deregistration path must be leak-free even when the path never heals) and
+// probe-timeout-driven migration (`probe_losses_to_migrate`).
+#include <gtest/gtest.h>
+
+#include "tests/faults/fault_world.hpp"
+
+namespace ufab::faults {
+namespace {
+
+using namespace ufab::time_literals;
+using namespace ufab::unit_literals;
+
+TEST(EdgeFailure, FinishProbeRetryExhaustionIsLeakFree) {
+  // One short message registers the pair on both ToRs; then the trunk dies
+  // before the idle finish probe can cross it.  The edge must retry with
+  // backoff, exhaust its budget, abandon without leaking pending state, and
+  // leave the orphaned far-side registration to the core's silent-quit sweep.
+  edge::EdgeConfig cfg;
+  cfg.finish_probe_retries = 3;
+  telemetry::CoreConfig core;
+  core.clean_period = 5_ms;
+  FaultWorld w([](sim::Simulator& s) { return topo::make_dumbbell(s, 2, 2); }, cfg, core);
+  const TenantId t = w.fab.vms().add_tenant("A", 1_Gbps);
+  const VmPairId pair{w.fab.vms().add_vm(t, HostId{0}), w.fab.vms().add_vm(t, HostId{2})};
+  const LinkId trunk = w.fab.net().paths(HostId{0}, HostId{2})[0].links[1];
+  // Down after the transfer completes (~0.3 ms) but before the idle finish
+  // probe goes out (idle_finish_timeout = 1 ms); never comes back in-run.
+  w.plane.flap(trunk, TimeNs{900'000}, 50_ms).arm();
+  w.fab.send(pair, 100'000);
+  w.fab.sim().run_until(20_ms);
+
+  auto& e = w.edge(HostId{0});
+  EXPECT_GE(e.finish_retries(), 2);
+  EXPECT_EQ(e.finish_abandoned(), 1);
+  EXPECT_EQ(e.pending_finish_count(), 0u);
+  // The near ToR deregistered synchronously (the finish probe crossed its
+  // egress before dying on the wire); the far ToR's leak was reclaimed by
+  // the sweep.  Nothing anywhere still counts the pair.
+  EXPECT_DOUBLE_EQ(w.total_phi(), 0.0);
+}
+
+TEST(EdgeFailure, ProbeTimeoutLossDrivesMigration) {
+  // 100% probe-class loss on the current path's fabric links: data still
+  // flows, but consecutive probe timeouts must hit `probe_losses_to_migrate`
+  // and move the pair to the clean spine.
+  FaultWorld w([](sim::Simulator& s) { return topo::make_leaf_spine(s, 2, 2, 2); });
+  const TenantId t = w.fab.vms().add_tenant("A", 2_Gbps);
+  const VmPairId pair{w.fab.vms().add_vm(t, HostId{0}), w.fab.vms().add_vm(t, HostId{2})};
+  w.fab.keep_backlogged(pair, 0_ms, 60_ms);
+
+  w.fab.sim().at(10_ms, [&] {
+    auto* conn = w.edge(HostId{0}).ufab_connection(pair);
+    ASSERT_NE(conn, nullptr);
+    const auto& path = conn->current_path();
+    for (std::size_t i = 1; i + 1 < path.links.size(); ++i) {
+      w.plane.loss(path.links[i], 1.0, LossClass::kProbeOnly, 10_ms);
+    }
+    w.plane.arm();
+  });
+  w.fab.sim().run_until(60_ms);
+
+  auto& e = w.edge(HostId{0});
+  EXPECT_GE(e.probe_timeouts(), e.config().probe_losses_to_migrate);
+  EXPECT_GE(e.probe_retransmits(), 1);  // first timeout backs off and resends
+  EXPECT_GE(e.migrations(), 1);
+  EXPECT_GT(w.plane.counters().loss_drops, 0);
+  // Full rate restored on the new path.
+  EXPECT_GT(w.pair_rate_gbps(pair, 40_ms, 60_ms), 8.0);
+}
+
+}  // namespace
+}  // namespace ufab::faults

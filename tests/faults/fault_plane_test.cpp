@@ -1,0 +1,157 @@
+// FaultPlane mechanics: flap schedules, loss windows, switch resets, INT
+// tampering, Bloom saturation, and exact reproducibility under a fixed seed.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "tests/faults/fault_world.hpp"
+
+namespace ufab::faults {
+namespace {
+
+using namespace ufab::time_literals;
+using namespace ufab::unit_literals;
+
+TEST(FaultPlane, FlapScheduleExecutesAndCounts) {
+  harness::Fabric fab([](sim::Simulator& s) { return topo::make_dumbbell(s, 1, 1); });
+  const LinkId trunk = fab.net().paths(HostId{0}, HostId{1})[0].links[1];
+  sim::Link* link = fab.net().link(trunk);
+  FaultPlane plane(fab);
+  plane.flap(trunk, 1_ms, 2_ms, /*repeats=*/3, /*period=*/4_ms).arm();
+  // Down during [1,2), [5,6), [9,10) ms; up otherwise.
+  const std::vector<std::pair<TimeNs, bool>> expect = {
+      {TimeNs{500'000}, false},   {TimeNs{1'500'000}, true}, {TimeNs{2'500'000}, false},
+      {TimeNs{5'500'000}, true},  {TimeNs{6'500'000}, false}, {TimeNs{9'500'000}, true},
+      {TimeNs{10'500'000}, false}};
+  for (const auto& [at, down] : expect) {
+    fab.sim().at(at, [link, want = down, at = at] {
+      EXPECT_EQ(link->down(), want) << "at " << at.ns() << " ns";
+    });
+  }
+  fab.sim().run_until(11_ms);
+  EXPECT_TRUE(plane.armed());
+  EXPECT_EQ(plane.counters().link_downs, 3);
+  EXPECT_EQ(plane.counters().link_ups, 3);
+}
+
+TEST(FaultPlane, LossWindowBoundsTheDamage) {
+  // 100% wire loss on the trunk, but only within [5, 10) ms: nothing drops
+  // before, nothing drops after, and the pair recovers to full rate.
+  FaultWorld w([](sim::Simulator& s) { return topo::make_dumbbell(s, 2, 2); });
+  const TenantId t = w.fab.vms().add_tenant("A", 2_Gbps);
+  const VmPairId pair{w.fab.vms().add_vm(t, HostId{0}), w.fab.vms().add_vm(t, HostId{2})};
+  const LinkId trunk = w.fab.net().paths(HostId{0}, HostId{2})[0].links[1];
+  w.plane.loss(trunk, 1.0, LossClass::kAll, 5_ms, 10_ms).arm();
+  w.fab.keep_backlogged(pair, 0_ms, 30_ms);
+
+  std::int64_t drops_at_start = -1, drops_at_end = -1;
+  w.fab.sim().at(5_ms, [&] { drops_at_start = w.plane.counters().loss_drops; });
+  w.fab.sim().at(11_ms, [&] { drops_at_end = w.plane.counters().loss_drops; });
+  w.fab.sim().run_until(30_ms);
+
+  EXPECT_EQ(drops_at_start, 0);
+  EXPECT_GT(drops_at_end, 0);
+  EXPECT_EQ(w.plane.counters().loss_drops, drops_at_end);  // window closed
+  EXPECT_EQ(w.fab.net().link(trunk)->fault_drops(), w.plane.counters().loss_drops);
+  // Recovery after the window: retransmissions refill and probing resumes.
+  EXPECT_GT(w.pair_rate_gbps(pair, 20_ms, 30_ms), 8.0);
+}
+
+TEST(FaultPlane, ResetClearsAndRebuildsRegisters) {
+  FaultWorld w([](sim::Simulator& s) { return topo::make_dumbbell(s, 2, 2); });
+  const TenantId t = w.fab.vms().add_tenant("A", 2_Gbps);
+  const VmPairId pair{w.fab.vms().add_vm(t, HostId{0}), w.fab.vms().add_vm(t, HostId{2})};
+  const NodeId tor_l = w.fab.net().paths(HostId{0}, HostId{2})[0].switches[0];
+  w.plane.reset_switch_state(tor_l, 10_ms).arm();
+  w.fab.keep_backlogged(pair, 0_ms, 40_ms);
+
+  double phi_before = 0.0, phi_after = -1.0;
+  w.fab.sim().at(TimeNs{9'900'000}, [&] { phi_before = w.phi_on_switch(tor_l); });
+  w.fab.sim().at(TimeNs{10'000'200}, [&] { phi_after = w.phi_on_switch(tor_l); });
+  w.fab.sim().run_until(40_ms);
+
+  EXPECT_GT(phi_before, 0.0);
+  EXPECT_DOUBLE_EQ(phi_after, 0.0);  // wiped at the reset instant
+  EXPECT_EQ(w.plane.counters().switch_resets, 1);
+  std::int64_t resets = 0;
+  for (const auto* a : w.fab.core_agents_of(tor_l)) resets += a->resets();
+  EXPECT_EQ(resets, static_cast<std::int64_t>(w.fab.core_agents_of(tor_l).size()));
+  // Re-registration probes rebuilt the registers without manual intervention.
+  EXPECT_NEAR(w.phi_on_switch(tor_l), phi_before, phi_before * 0.3);
+}
+
+TEST(FaultPlane, BloomSaturationCausesFalsePositiveOmissions) {
+  // Junk keys drive the Bloom false-positive rate up; a pair joining after
+  // saturation is omitted from the registers (§3.6: safe, shares run larger)
+  // but still gets full service.
+  FaultWorld w([](sim::Simulator& s) { return topo::make_dumbbell(s, 2, 2); });
+  const TenantId t = w.fab.vms().add_tenant("A", 2_Gbps);
+  const VmPairId pair{w.fab.vms().add_vm(t, HostId{0}), w.fab.vms().add_vm(t, HostId{2})};
+  const NodeId tor_l = w.fab.net().paths(HostId{0}, HostId{2})[0].switches[0];
+  w.plane.saturate_bloom(tor_l, 400'000, 1_ms).arm();
+  w.fab.keep_backlogged(pair, 2_ms, 20_ms);
+  w.fab.sim().run_until(20_ms);
+
+  const auto agents = w.fab.core_agents_of(tor_l);
+  std::int64_t omissions = 0;
+  for (const auto* a : agents) omissions += a->false_positive_omissions();
+  EXPECT_GE(omissions, 1);
+  EXPECT_EQ(w.plane.counters().bloom_junk_keys,
+            static_cast<std::int64_t>(400'000 * agents.size()));
+  EXPECT_GT(w.pair_rate_gbps(pair, 10_ms, 20_ms), 8.0);
+}
+
+TEST(FaultPlane, StripTelemetrySuppressesRecords) {
+  FaultWorld w([](sim::Simulator& s) { return topo::make_dumbbell(s, 2, 2); });
+  const TenantId t = w.fab.vms().add_tenant("A", 2_Gbps);
+  const VmPairId pair{w.fab.vms().add_vm(t, HostId{0}), w.fab.vms().add_vm(t, HostId{2})};
+  const NodeId tor_l = w.fab.net().paths(HostId{0}, HostId{2})[0].switches[0];
+  w.plane.strip_telemetry(tor_l, 10_ms, 15_ms).arm();
+  w.fab.keep_backlogged(pair, 0_ms, 40_ms);
+  w.fab.sim().run_until(40_ms);
+
+  EXPECT_GT(w.plane.counters().stripped_records, 0);
+  std::int64_t suppressed = 0;
+  for (const auto* a : w.fab.core_agents_of(tor_l)) suppressed += a->suppressed_records();
+  EXPECT_EQ(suppressed, w.plane.counters().stripped_records);
+  // The edge keeps operating on the remaining links' records: no collapse
+  // during the strip window, full rate after it.
+  EXPECT_GT(w.pair_rate_gbps(pair, 10_ms, 15_ms), 6.0);
+  EXPECT_GT(w.pair_rate_gbps(pair, 25_ms, 40_ms), 8.5);
+}
+
+TEST(FaultPlane, SameSeedReproducesByteForByte) {
+  struct Outcome {
+    std::int64_t loss_drops;
+    std::int64_t trunk_tx;
+    std::int64_t probe_timeouts;
+    double rate;
+  };
+  auto run = [](std::uint64_t fault_seed) {
+    FaultWorld w([](sim::Simulator& s) { return topo::make_dumbbell(s, 2, 2); },
+                 edge::EdgeConfig{}, fault_test_core_config(), /*seed=*/7, fault_seed);
+    const TenantId ta = w.fab.vms().add_tenant("A", 4_Gbps);
+    const TenantId tb = w.fab.vms().add_tenant("B", 2_Gbps);
+    const VmPairId pa{w.fab.vms().add_vm(ta, HostId{0}), w.fab.vms().add_vm(ta, HostId{2})};
+    const VmPairId pb{w.fab.vms().add_vm(tb, HostId{1}), w.fab.vms().add_vm(tb, HostId{3})};
+    const LinkId trunk = w.fab.net().paths(HostId{0}, HostId{2})[0].links[1];
+    w.plane.loss(trunk, 0.02, LossClass::kAll, 2_ms, 30_ms).arm();
+    w.fab.keep_backlogged(pa, 0_ms, 30_ms);
+    w.fab.keep_backlogged(pb, 0_ms, 30_ms);
+    w.fab.sim().run_until(30_ms);
+    return Outcome{w.plane.counters().loss_drops, w.fab.net().link(trunk)->tx_bytes_cum(),
+                   w.edge(HostId{0}).probe_timeouts() + w.edge(HostId{1}).probe_timeouts(),
+                   w.pair_rate_gbps(pa, 10_ms, 30_ms)};
+  };
+  const Outcome a = run(42);
+  const Outcome b = run(42);
+  EXPECT_GT(a.loss_drops, 0);
+  EXPECT_EQ(a.loss_drops, b.loss_drops);
+  EXPECT_EQ(a.trunk_tx, b.trunk_tx);
+  EXPECT_EQ(a.probe_timeouts, b.probe_timeouts);
+  EXPECT_DOUBLE_EQ(a.rate, b.rate);
+}
+
+}  // namespace
+}  // namespace ufab::faults

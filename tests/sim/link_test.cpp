@@ -156,6 +156,98 @@ TEST(Link, FailureDropsEverything) {
   EXPECT_EQ(sink.arrivals.size(), 1u);
 }
 
+TEST(Link, ReentrantEnqueueFromPullSourceIsNotLost) {
+  // Regression: start_next() used to claim the serializer only *after* the
+  // pull source returned.  A source callback that re-entered enqueue() (the
+  // transport's probe cadence fires while the NIC pulls the next data packet)
+  // saw busy_ == false, ran a nested start_next() that put the control packet
+  // in flight, and then the outer start_next() overwrote in_flight_ with the
+  // pulled data packet — silently destroying the control packet.
+  Simulator sim;
+  SinkNode sink(sim);
+  Link link(sim, LinkId{0}, "l", &sink, {10_Gbps, 0_us, 1'000'000, -1, 0.95});
+  int pulls = 0;
+  link.set_source([&]() -> PacketPtr {
+    if (pulls >= 2) return nullptr;
+    ++pulls;
+    // Re-enter while the link is mid-pull, as a host pushing a probe does.
+    auto probe = Packet::make(PacketKind::kProbe, VmPairId{VmId{0}, VmId{1}}, TenantId{0},
+                              HostId{0}, HostId{1}, 64);
+    link.enqueue(std::move(probe));
+    return make_data(1500);
+  });
+  link.kick();
+  sim.run();
+  // Both generations of (probe, data) must arrive: nothing destroyed.
+  ASSERT_EQ(sink.arrivals.size(), 4u);
+  int probes = 0;
+  int datas = 0;
+  for (const auto& [when, pkt] : sink.arrivals) {
+    (pkt->kind == PacketKind::kProbe ? probes : datas)++;
+  }
+  EXPECT_EQ(probes, 2);
+  EXPECT_EQ(datas, 2);
+  EXPECT_EQ(link.tx_bytes_cum(), 2 * 1500 + 2 * 64);
+}
+
+TEST(Link, RapidFlapDoesNotWedgeSerializer) {
+  // Regression: set_down(true) used to leave busy_ set while dropping the
+  // in-flight packet, so kick() after an immediate re-enable was a no-op
+  // until the stale serializer event fired — a wedge window as long as the
+  // aborted packet's remaining serialization time.
+  Simulator sim;
+  SinkNode sink(sim);
+  Link link(sim, LinkId{0}, "l", &sink, {10_Gbps, 0_us, 1'000'000, -1, 0.95});
+  link.enqueue(make_data(1500));  // serializes during [0, 1200) ns
+  sim.run_until(TimeNs{600});
+  link.set_down(true);   // aborts mid-serialization
+  link.set_down(false);  // immediate re-enable
+  link.enqueue(make_data(1000));
+  sim.run();
+  ASSERT_EQ(sink.arrivals.size(), 1u);
+  // The new packet starts serializing at 600 ns, not at the aborted
+  // packet's old completion time (1200 ns): 600 + 800 = 1400 ns.
+  EXPECT_EQ(sink.arrivals[0].first, TimeNs{1400});
+  EXPECT_EQ(link.drops(), 1);
+}
+
+TEST(Link, StaleSerializerEventIsNeutralizedAcrossFlaps) {
+  // The aborted packet's completion event must not double-complete the
+  // packet that started after re-enable.
+  Simulator sim;
+  SinkNode sink(sim);
+  Link link(sim, LinkId{0}, "l", &sink, {10_Gbps, 0_us, 1'000'000, -1, 0.95});
+  link.enqueue(make_data(1500));
+  sim.run_until(TimeNs{100});
+  link.set_down(true);
+  link.set_down(false);
+  link.enqueue(make_data(1500));  // starts at 100, finishes at 1300
+  // The stale event fires at 1200; it must not deliver or free the wire.
+  sim.run();
+  ASSERT_EQ(sink.arrivals.size(), 1u);
+  EXPECT_EQ(sink.arrivals[0].first, TimeNs{1300});
+  EXPECT_EQ(link.tx_bytes_cum(), 1500);
+  // Redundant set_down calls are idempotent (no double drop counting).
+  link.set_down(false);
+  EXPECT_EQ(link.drops(), 1);
+}
+
+TEST(Link, FaultFilterDropsOnTheWire) {
+  Simulator sim;
+  SinkNode sink(sim);
+  Link link(sim, LinkId{0}, "l", &sink, {10_Gbps, 0_us, 1'000'000, -1, 0.95});
+  int seen = 0;
+  link.set_fault_filter([&seen](const Packet&) { return ++seen % 2 == 0; });
+  for (int i = 0; i < 4; ++i) link.enqueue(make_data(1000));
+  sim.run();
+  // Every packet consumed wire time (cumulative TX counts all four), but
+  // every second one was lost after serializing.
+  EXPECT_EQ(sink.arrivals.size(), 2u);
+  EXPECT_EQ(link.fault_drops(), 2);
+  EXPECT_EQ(link.drops(), 0);
+  EXPECT_EQ(link.tx_bytes_cum(), 4000);
+}
+
 TEST(Link, MaxQueueTracksHighWaterMark) {
   Simulator sim;
   SinkNode sink(sim);
