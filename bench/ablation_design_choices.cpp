@@ -29,11 +29,13 @@ struct IncastResult {
   double probe_overhead_pct;
 };
 
-IncastResult run_incast(const harness::SchemeOptions& opts, std::uint64_t seed = 71) {
+IncastResult run_incast(const std::string& variant, const harness::SchemeOptions& opts,
+                        std::uint64_t seed = 71) {
   Experiment exp(
       Scheme::kUfab,
       [](sim::Simulator& s, const topo::FabricOptions& o) { return topo::make_testbed(s, o); },
       {}, opts, seed);
+  exp.enable_observability(harness::obs_options_from_env());
   auto& fab = exp.fab();
   auto& vms = fab.vms();
   std::vector<GuaranteeSpec> specs;
@@ -62,6 +64,7 @@ IncastResult run_incast(const harness::SchemeOptions& opts, std::uint64_t seed =
   r.probe_overhead_pct =
       data_bytes > 0 ? 100.0 * static_cast<double>(probe_bytes) / static_cast<double>(data_bytes)
                      : 0.0;
+  harness::write_bench_artifacts(fab, "ablation_design_choices", variant);
   return r;
 }
 
@@ -74,7 +77,7 @@ int main() {
   for (const std::size_t cells : {163'840UL, 4096UL, 256UL, 32UL}) {
     harness::SchemeOptions o;
     o.core.bloom.counters = cells;
-    const auto r = run_incast(o);
+    const auto r = run_incast("bloom-" + std::to_string(cells), o);
     std::printf("%-14zu %13.1f%% %14lld %12.1f\n", cells, 100.0 * r.dissatisfaction,
                 static_cast<long long>(r.fp_omissions), r.rtt_p999_us);
   }
@@ -86,7 +89,7 @@ int main() {
   for (const bool two_stage : {true, false}) {
     harness::SchemeOptions o;
     o.ufab.two_stage_admission = two_stage;
-    const auto r = run_incast(o);
+    const auto r = run_incast(two_stage ? "two-stage-on" : "two-stage-off", o);
     std::printf("%-14s %13.1f%% %14lld %12.1f\n", two_stage ? "on (uFAB)" : "off (uFAB')",
                 100.0 * r.dissatisfaction, static_cast<long long>(r.max_queue), r.rtt_p999_us);
   }
@@ -96,7 +99,7 @@ int main() {
   for (const std::int64_t lm : {1024LL, 4096LL, 16384LL, 65536LL}) {
     harness::SchemeOptions o;
     o.ufab.probe_interval_bytes = lm;
-    const auto r = run_incast(o);
+    const auto r = run_incast("lm-" + std::to_string(lm), o);
     std::printf("%-14lld %13.1f%% %13.2f%% %12.1f\n", static_cast<long long>(lm),
                 100.0 * r.dissatisfaction, r.probe_overhead_pct, r.rtt_p999_us);
   }
@@ -108,7 +111,7 @@ int main() {
   for (const bool quantize : {false, true}) {
     harness::SchemeOptions o;
     o.core.quantize_int = quantize;
-    const auto r = run_incast(o);
+    const auto r = run_incast(quantize ? "int-64bit" : "int-full", o);
     std::printf("%-14s %13.1f%% %14lld %12.1f\n", quantize ? "64-bit wire" : "full precision",
                 100.0 * r.dissatisfaction, static_cast<long long>(r.max_queue), r.rtt_p999_us);
   }

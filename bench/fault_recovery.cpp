@@ -45,6 +45,7 @@ struct RunResult {
 RunResult run_once(std::uint64_t seed) {
   harness::Fabric fab([](sim::Simulator& s) { return topo::make_leaf_spine(s, 2, 2, 2); },
                       seed);
+  fab.enable_observability(harness::obs_options_from_env());
   fab.instrument_cores({});
   edge::EdgeConfig cfg;
   for (std::size_t h = 0; h < fab.net().host_count(); ++h) {
@@ -54,6 +55,7 @@ RunResult run_once(std::uint64_t seed) {
                                                             fab.rng().fork(h)));
   }
   fab.install_pair_metering(kBucket);
+  fab.install_tenant_metering(kBucket);
 
   std::vector<VmPairId> pairs;
   for (int i = 0; i < 2; ++i) {
@@ -63,6 +65,7 @@ RunResult run_once(std::uint64_t seed) {
   }
 
   faults::FaultPlane plane(fab, seed + 100);
+  plane.attach_obs(*fab.observability());
   for (const sim::Switch* sw : fab.net().switches()) {
     plane.reset_switch_state(sw->id(), kReset);
   }
@@ -132,6 +135,7 @@ RunResult run_once(std::uint64_t seed) {
       break;
     }
   }
+  harness::write_bench_artifacts(fab, "fault_recovery", "seed" + std::to_string(seed));
   return r;
 }
 

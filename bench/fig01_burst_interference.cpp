@@ -29,6 +29,7 @@ void run(Scheme scheme) {
       scheme,
       [](sim::Simulator& s, const topo::FabricOptions& o) { return topo::make_testbed(s, o); },
       {}, {}, 77);
+  exp.enable_observability(harness::obs_options_from_env());
   auto& fab = exp.fab();
   auto& vms = fab.vms();
 
@@ -66,6 +67,7 @@ void run(Scheme scheme) {
   std::printf("%-22s avg core util=%4.0f%%  victim QCT p50=%7.1fus  p99.9=%9.1fus  (x%.0f)\n",
               harness::to_string(scheme), 100.0 * max_util, qct.percentile(50),
               qct.percentile(99.9), qct.percentile(99.9) / qct.percentile(50));
+  harness::write_bench_artifacts(fab, "fig01_burst_interference", harness::to_string(scheme));
 }
 
 }  // namespace

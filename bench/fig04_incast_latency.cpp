@@ -23,6 +23,7 @@ PercentileTracker run_incast(Scheme scheme, int degree, std::uint64_t seed) {
       scheme,
       [](sim::Simulator& s, const topo::FabricOptions& o) { return topo::make_testbed(s, o); },
       {}, {}, seed);
+  exp.enable_observability(harness::obs_options_from_env());
   auto& fab = exp.fab();
   auto& vms = fab.vms();
 
@@ -37,6 +38,9 @@ PercentileTracker run_incast(Scheme scheme, int degree, std::uint64_t seed) {
   // All flows start at the same instant — the synchronized worst case.
   for (const auto& p : pairs) fab.keep_backlogged(p, 1_ms, 30_ms);
   fab.sim().run_until(30_ms);
+  harness::write_bench_artifacts(fab, "fig04_incast_latency",
+                                 std::string(harness::to_string(scheme)) + "-deg" +
+                                     std::to_string(degree));
   return exp.aggregate_rtt_us();
 }
 

@@ -37,6 +37,7 @@ Result run_case2(Scheme scheme, TimeNs flowlet_gap, std::uint64_t seed) {
         return topo::make_leaf_spine(s, 2, 3, 4, o);
       },
       {}, opts, seed);
+  exp.enable_observability(harness::obs_options_from_env());
   auto& fab = exp.fab();
   auto& vms = fab.vms();
 
@@ -67,6 +68,9 @@ Result run_case2(Scheme scheme, TimeNs flowlet_gap, std::uint64_t seed) {
           fab.stack_as<edge::EdgeAgent>(HostId{static_cast<std::int32_t>(h)}).migrations();
     }
   }
+  harness::write_bench_artifacts(fab, "fig05_path_migration",
+                                 std::string(harness::to_string(scheme)) + "-gap" +
+                                     std::to_string(flowlet_gap.ns() / 1000) + "us");
   return r;
 }
 

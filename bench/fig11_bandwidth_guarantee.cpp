@@ -34,6 +34,7 @@ void run_scheme(Scheme scheme) {
       scheme,
       [](sim::Simulator& s, const topo::FabricOptions& o) { return topo::make_testbed(s, o); },
       {}, {}, 31);
+  exp.enable_observability(harness::obs_options_from_env());
   auto& fab = exp.fab();
   auto& vms = fab.vms();
 
@@ -112,6 +113,7 @@ void run_scheme(Scheme scheme) {
   harness::print_cdf_rows("queue length (bytes)", queues, "B");
   std::printf("max queue %lld B, drops %lld\n", static_cast<long long>(exp.max_queue_bytes()),
               static_cast<long long>(exp.total_drops()));
+  harness::write_bench_artifacts(fab, "fig11_bandwidth_guarantee", to_string(scheme));
 }
 
 }  // namespace

@@ -21,6 +21,7 @@ void run_scheme(Scheme scheme) {
       scheme,
       [](sim::Simulator& s, const topo::FabricOptions& o) { return topo::make_testbed(s, o); },
       {}, {}, 5);
+  exp.enable_observability(harness::obs_options_from_env());
   auto& fab = exp.fab();
   auto& vms = fab.vms();
   std::vector<VmPairId> pairs;
@@ -55,6 +56,7 @@ void run_scheme(Scheme scheme) {
   harness::print_cdf_rows("RTT", rtt, "us");
   std::printf("max queue %lld B, drops %lld\n", static_cast<long long>(exp.max_queue_bytes()),
               static_cast<long long>(exp.total_drops()));
+  harness::write_bench_artifacts(fab, "fig12_incast_bounded_latency", to_string(scheme));
 }
 
 }  // namespace

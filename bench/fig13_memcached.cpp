@@ -35,6 +35,7 @@ Outcome run(Scheme scheme, int mongo_clients, bool ideal, std::uint64_t seed) {
       scheme,
       [](sim::Simulator& s, const topo::FabricOptions& o) { return topo::make_testbed(s, o); },
       {}, {}, seed);
+  exp.enable_observability(harness::obs_options_from_env());
   auto& fab = exp.fab();
   auto& vms = fab.vms();
 
@@ -59,6 +60,10 @@ Outcome run(Scheme scheme, int mongo_clients, bool ideal, std::uint64_t seed) {
   fab.sim().run_until(kRun + 20_ms);
 
   const auto& qct = memcached.qct_us();
+  harness::write_bench_artifacts(
+      fab, "fig13_memcached",
+      std::string(harness::to_string(scheme)) + (ideal ? "-ideal" : "") + "-mongo" +
+          std::to_string(mongo_clients));
   return Outcome{memcached.qps(kMeasureFrom, kRun), qct.mean(), qct.percentile(90),
                  qct.percentile(99)};
 }

@@ -26,6 +26,7 @@ void run(Scheme scheme) {
       scheme,
       [](sim::Simulator& s, const topo::FabricOptions& o) { return topo::make_testbed(s, o); },
       {}, {}, 23);
+  exp.enable_observability(harness::obs_options_from_env());
   auto& fab = exp.fab();
   auto& vms = fab.vms();
 
@@ -61,6 +62,7 @@ void run(Scheme scheme) {
   row("BA", app.ba_tct_ms());
   row("Total", app.total_tct_ms());
   row("GC", app.gc_tct_ms());
+  harness::write_bench_artifacts(fab, "fig14_ebs", harness::to_string(scheme));
 }
 
 }  // namespace

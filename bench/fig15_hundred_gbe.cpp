@@ -24,6 +24,7 @@ int main() {
       Scheme::kUfab,
       [](sim::Simulator& s, const topo::FabricOptions& o) { return topo::make_testbed(s, o); },
       opts, {}, 3);
+  exp.enable_observability(harness::obs_options_from_env());
   auto& fab = exp.fab();
   auto& vms = fab.vms();
 
@@ -57,6 +58,7 @@ int main() {
   }
   std::printf("\nmigrations=%lld\n", static_cast<long long>(migrations));
   harness::print_cdf_rows("queue length (bytes)", queues, "B");
+  harness::write_bench_artifacts(fab, "fig15_hundred_gbe");
   std::printf(
       "\nExpected shape: each VF ramps to its guarantee within ~1 ms of joining;\n"
       "after the Core1 failure victims dip briefly and recover on surviving paths;\n"

@@ -28,6 +28,7 @@ double measure_overhead(int n_pairs, std::uint64_t seed) {
         return topo::make_dumbbell(s, 1, 1, o);
       },
       opts, {}, seed);
+  exp.enable_observability(harness::obs_options_from_env());
   auto& fab = exp.fab();
   auto& vms = fab.vms();
   const TenantId t = vms.add_tenant("VF", Bandwidth::gbps(90));
@@ -44,6 +45,8 @@ double measure_overhead(int n_pairs, std::uint64_t seed) {
   for (const sim::Link* l : fab.net().links()) {
     if (l->name() == "L0->ToR-L") uplink_bytes = static_cast<double>(l->tx_bytes_cum());
   }
+  harness::write_bench_artifacts(fab, "fig15_probe_overhead",
+                                 "pairs" + std::to_string(n_pairs));
   if (uplink_bytes <= 0.0) return 0.0;
   return 100.0 * static_cast<double>(edge0.probe_bytes_sent()) / uplink_bytes;
 }

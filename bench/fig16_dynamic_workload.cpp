@@ -34,6 +34,7 @@ void run(Scheme scheme) {
         return topo::make_leaf_spine(s, 4, 4, 23, o);
       },
       opts, {}, 13);
+  exp.enable_observability(harness::obs_options_from_env());
   auto& fab = exp.fab();
   auto& vms = fab.vms();
 
@@ -71,6 +72,7 @@ void run(Scheme scheme) {
   harness::print_cdf_rows("RTT", rtt, "us");
   std::printf("max queue %lld B, drops %lld\n", static_cast<long long>(exp.max_queue_bytes()),
               static_cast<long long>(exp.total_drops()));
+  harness::write_bench_artifacts(fab, "fig16_dynamic_workload", harness::to_string(scheme));
 }
 
 }  // namespace

@@ -52,6 +52,7 @@ Outcome run(Scheme scheme, int oversub, double load, std::uint64_t seed) {
         return topo::make_fat_tree(s, k, oversub, o);
       },
       {}, sopts, seed);
+  exp.enable_observability(harness::obs_options_from_env());
   auto& fab = exp.fab();
   auto& vms = fab.vms();
 
@@ -97,6 +98,10 @@ Outcome run(Scheme scheme, int oversub, double load, std::uint64_t seed) {
   for (int b = 0; b < 4; ++b) {
     o.by_size[b] = gen.recorder().slowdown_for_sizes(bins[b], bins[b + 1]);
   }
+  harness::write_bench_artifacts(fab, "fig17_large_scale",
+                                 std::string(harness::to_string(scheme)) + "-oversub" +
+                                     std::to_string(oversub) + "-load" +
+                                     std::to_string(static_cast<int>(load * 100)));
   return o;
 }
 

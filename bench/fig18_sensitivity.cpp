@@ -36,6 +36,7 @@ void freeze_window_sweep(double load) {
           return topo::make_leaf_spine(s, 2, 3, 4, o);
         },
         {}, opts, 19);
+    exp.enable_observability(harness::obs_options_from_env());
     auto& fab = exp.fab();
     auto& vms = fab.vms();
 
@@ -81,6 +82,9 @@ void freeze_window_sweep(double load) {
       std::snprintf(conv, sizeof(conv), "%.2f", (settle - 20_ms).ms());
     }
     std::printf("[1,%2d] RTTs    %18s %12lld\n", n, conv, static_cast<long long>(migrations));
+    harness::write_bench_artifacts(fab, "fig18_sensitivity",
+                                   "load" + std::to_string(static_cast<int>(load * 100)) +
+                                       "-freeze" + std::to_string(n));
   }
 }
 
@@ -108,6 +112,7 @@ void probing_frequency() {
           return topo::make_dumbbell(s, 16, 1, o);
         },
         {}, opts, 29);
+    exp.enable_observability(harness::obs_options_from_env());
     auto& fab = exp.fab();
     auto& vms = fab.vms();
     std::vector<VmPairId> pairs;
@@ -132,6 +137,7 @@ void probing_frequency() {
     const auto rtt = exp.aggregate_rtt_us();
     std::printf("%-16s %16.2f %14.1f %12lld\n", m.label, worst.ms(),
                 rtt.empty() ? 0.0 : rtt.percentile(99), static_cast<long long>(probes));
+    harness::write_bench_artifacts(fab, "fig18_sensitivity", m.label);
   }
 }
 

@@ -30,6 +30,7 @@ int main() {
         return topo::make_leaf_spine(s, 4, 4, 17, o);
       },
       fopts, opts, 59);
+  exp.enable_observability(harness::obs_options_from_env());
   auto& fab = exp.fab();
   auto& vms = fab.vms();
 
@@ -77,6 +78,7 @@ int main() {
   } else {
     std::printf("sender 0 settled %.2f ms after start\n", (settle - 2_ms).ms());
   }
+  harness::write_bench_artifacts(fab, "fig20_async_responses");
   std::printf(
       "\nExpected shape: responses of one probing round spread over >1 RTT across\n"
       "senders, yet every sender converges to the fair share within a few ms.\n");

@@ -5,7 +5,11 @@
 //   2. run uFAB-E (the active edge) on every host,
 //   3. define tenants/VMs with hose-model guarantees,
 //   4. offer traffic and watch token-proportional sharing with work
-//      conservation emerge within a few hundred microseconds.
+//      conservation emerge within a few hundred microseconds,
+//   5. dump the observability plane: a metrics snapshot plus a Chrome-trace
+//      flight recording (open quickstart.trace.json in chrome://tracing or
+//      https://ui.perfetto.dev to see probes, window updates, and register
+//      writes on per-host/switch/tenant tracks).
 #include <cstdio>
 
 #include "src/harness/fabric.hpp"
@@ -19,7 +23,8 @@ using namespace ufab::unit_literals;
 int main() {
   // A dumbbell: two hosts per side of a single 10G trunk.
   harness::Fabric fab([](sim::Simulator& s) { return topo::make_dumbbell(s, 2, 2); }, 42);
-  fab.instrument_cores();  // uFAB-C on every switch egress
+  fab.enable_observability();  // passive: flight recorder + metric registry
+  fab.instrument_cores();      // uFAB-C on every switch egress
 
   // One uFAB edge agent per host (the SmartNIC role).
   for (std::size_t h = 0; h < fab.net().host_count(); ++h) {
@@ -52,5 +57,16 @@ int main() {
   }
   std::printf("\nExpected: ~6.1 and ~3.0 Gbps — guarantees met, 2:1 proportional\n"
               "sharing, and the trunk at its 95%% utilization target.\n");
+
+  // Dump the run's observability: every registered metric, and the flight
+  // recorder as a Chrome trace (validate/summarize with scripts/render_trace.py).
+  const auto snap = fab.metrics_snapshot();
+  std::printf("\n%zu metrics registered; a few of them:\n", snap.rows.size());
+  for (const char* name : {"sim.events_processed", "fabric.total_drops", "core.phi_total"}) {
+    if (const auto* row = snap.find(name)) std::printf("  %-22s %.0f\n", name, row->value);
+  }
+  fab.write_trace_json("quickstart.trace.json");
+  std::printf("flight recorder: %zu events -> quickstart.trace.json\n",
+              fab.observability()->recorder().size());
   return 0;
 }

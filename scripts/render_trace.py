@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Validate and summarize a uFAB Chrome trace-event JSON file.
+
+Usage:
+    scripts/render_trace.py <trace.json> [--quiet]
+
+Checks that the file is the Chrome trace-event format the flight recorder
+emits (an object with a "traceEvents" array whose entries carry the keys
+their phase requires), resolves track names from the "M" metadata records,
+and prints one summary line per track plus the overall event-name histogram.
+Exits non-zero if the file is missing, unparsable, or schema-invalid, so
+tests and CI can use it as a validity gate.  Stdlib only.
+"""
+
+import collections
+import json
+import sys
+
+VALID_PHASES = {"M", "i", "X", "C", "s", "t", "f"}
+
+# Keys every record of a phase must carry (beyond "ph").
+REQUIRED_KEYS = {
+    "M": {"name", "pid", "args"},
+    "i": {"name", "pid", "tid", "ts", "s"},
+    "X": {"name", "pid", "tid", "ts", "dur"},
+    "C": {"name", "pid", "tid", "ts", "args"},
+    "s": {"name", "id", "pid", "tid", "ts"},
+    "t": {"name", "id", "pid", "tid", "ts"},
+    "f": {"name", "id", "pid", "tid", "ts"},
+}
+
+
+def fail(msg):
+    print("render_trace: INVALID: %s" % msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(events):
+    if not isinstance(events, list):
+        fail("traceEvents is not an array")
+    for n, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail("event %d is not an object" % n)
+        ph = ev.get("ph")
+        if ph not in VALID_PHASES:
+            fail("event %d has unknown phase %r" % (n, ph))
+        missing = REQUIRED_KEYS[ph] - ev.keys()
+        if missing:
+            fail("event %d (ph=%s, name=%r) missing keys %s"
+                 % (n, ph, ev.get("name"), sorted(missing)))
+        if ph == "M":
+            if ev["name"] not in ("process_name", "thread_name"):
+                fail("event %d: metadata name %r" % (n, ev["name"]))
+            if not isinstance(ev["args"], dict) or "name" not in ev["args"]:
+                fail("event %d: metadata args lack a name" % n)
+        elif "ts" in ev and not isinstance(ev["ts"], (int, float)):
+            fail("event %d: non-numeric ts" % n)
+
+
+def summarize(events, quiet):
+    process = {}  # pid -> name
+    track = {}  # (pid, tid) -> name
+    per_track = collections.defaultdict(collections.Counter)
+    span = {}  # (pid, tid) -> [min_ts, max_ts]
+    names = collections.Counter()
+
+    for ev in events:
+        ph = ev["ph"]
+        if ph == "M":
+            if ev["name"] == "process_name":
+                process[ev["pid"]] = ev["args"]["name"]
+            else:
+                track[(ev["pid"], ev.get("tid", 0))] = ev["args"]["name"]
+            continue
+        key = (ev["pid"], ev["tid"])
+        per_track[key][ev["name"]] += 1
+        names[ev["name"]] += 1
+        ts = ev["ts"]
+        lohi = span.setdefault(key, [ts, ts])
+        lohi[0] = min(lohi[0], ts)
+        lohi[1] = max(lohi[1], ts)
+
+    n_events = sum(names.values())
+    print("%d events on %d tracks in %d process groups"
+          % (n_events, len(per_track), len(process)))
+    if quiet:
+        return
+
+    def label(key):
+        pid, tid = key
+        proc = process.get(pid, "pid%d" % pid)
+        thread = track.get(key, "tid%d" % tid)
+        return "%s/%s" % (proc, thread)
+
+    print("\n%-42s %8s %12s %12s  top events" % ("track", "events", "first_us", "last_us"))
+    for key in sorted(per_track, key=lambda k: (k[0], k[1])):
+        counts = per_track[key]
+        top = ", ".join("%s x%d" % (n, c) for n, c in counts.most_common(3))
+        lo, hi = span[key]
+        print("%-42s %8d %12.1f %12.1f  %s"
+              % (label(key), sum(counts.values()), lo, hi, top))
+
+    print("\nevent-name totals:")
+    for name, count in names.most_common():
+        print("  %-28s %8d" % (name, count))
+
+
+def main(argv):
+    args = [a for a in argv[1:] if a != "--quiet"]
+    quiet = "--quiet" in argv[1:]
+    if len(args) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        with open(args[0], "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        fail("cannot read %s: %s" % (args[0], e))
+    except json.JSONDecodeError as e:
+        fail("not valid JSON: %s" % e)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level is not an object with a traceEvents array")
+    validate(doc["traceEvents"])
+    summarize(doc["traceEvents"], quiet)
+    print("render_trace: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

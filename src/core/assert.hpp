@@ -8,11 +8,30 @@
 #include <cstdio>
 #include <cstdlib>
 
+namespace ufab {
+
+/// Invoked (once) just before a failed check aborts — the observability plane
+/// registers a hook here that dumps its flight recorder, so the event history
+/// leading up to an invariant violation is preserved on disk.
+using CheckFailureHook = void (*)(const char* expr, const char* file, int line,
+                                  const char* msg);
+inline CheckFailureHook& check_failure_hook() {
+  static CheckFailureHook hook = nullptr;
+  return hook;
+}
+inline void set_check_failure_hook(CheckFailureHook hook) { check_failure_hook() = hook; }
+
+}  // namespace ufab
+
 namespace ufab::detail {
 [[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
                                       const char* msg) {
   std::fprintf(stderr, "ufab check failed: %s at %s:%d%s%s\n", expr, file, line,
                msg[0] ? " — " : "", msg);
+  if (CheckFailureHook hook = check_failure_hook(); hook != nullptr) {
+    check_failure_hook() = nullptr;  // a hook that itself fails must not recurse
+    hook(expr, file, line, msg);
+  }
   std::abort();
 }
 }  // namespace ufab::detail

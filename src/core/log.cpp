@@ -1,9 +1,16 @@
 #include "src/core/log.hpp"
 
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
 namespace ufab {
 
 namespace {
 LogLevel g_threshold = LogLevel::kWarn;
+bool g_env_checked = false;
+LogSink g_sink;
+LogClock g_clock;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -22,12 +29,52 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-LogLevel log_threshold() { return g_threshold; }
-void set_log_threshold(LogLevel level) { g_threshold = level; }
+LogLevel parse_log_level(const char* name, LogLevel fallback) {
+  if (name == nullptr) return fallback;
+  std::string lower;
+  for (const char* p = name; *p != '\0'; ++p) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return fallback;
+}
+
+void reload_log_level_from_env() {
+  g_env_checked = true;
+  g_threshold = parse_log_level(std::getenv("UFAB_LOG_LEVEL"), g_threshold);
+}
+
+LogLevel log_threshold() {
+  if (!g_env_checked) reload_log_level_from_env();
+  return g_threshold;
+}
+
+void set_log_threshold(LogLevel level) {
+  g_env_checked = true;  // an explicit setting outranks the environment
+  g_threshold = level;
+}
+
+void set_log_sink(LogSink sink) { g_sink = std::move(sink); }
+
+void set_log_clock(LogClock clock) { g_clock = std::move(clock); }
 
 namespace detail {
 void log_line(LogLevel level, const std::string& msg) {
-  std::fprintf(stderr, "[ufab %s] %s\n", level_name(level), msg.c_str());
+  std::string line;
+  if (g_clock) {
+    line = "[ufab " + std::string(level_name(level)) + " t=" + to_string(g_clock()) + "] " + msg;
+  } else {
+    line = "[ufab " + std::string(level_name(level)) + "] " + msg;
+  }
+  if (g_sink) {
+    g_sink(level, line);
+    return;
+  }
+  std::fprintf(stderr, "%s\n", line.c_str());
 }
 }  // namespace detail
 

@@ -1,21 +1,45 @@
 // Minimal leveled logging.
 //
 // The simulator is a library, so logging defaults to warnings only; tests and
-// benches can raise the level. Messages are plain lines on stderr.
+// benches can raise the level — either in code or via the UFAB_LOG_LEVEL
+// environment variable (debug|info|warn|error|off), read once at first use so
+// verbosity changes need no recompile.  Lines go to a pluggable sink (stderr
+// by default), and are stamped with simulation time whenever a clock callback
+// is registered (the harness registers its simulator's clock).
 #pragma once
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <utility>
+
+#include "src/core/time.hpp"
 
 namespace ufab {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 /// Process-wide log threshold (not thread-safe by design: the simulator is
-/// single-threaded and experiments set this once at startup).
+/// single-threaded and experiments set this once at startup).  The first
+/// query seeds the threshold from UFAB_LOG_LEVEL when that is set.
 LogLevel log_threshold();
 void set_log_threshold(LogLevel level);
+
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-insensitive);
+/// returns `fallback` on anything else.
+LogLevel parse_log_level(const char* name, LogLevel fallback);
+
+/// Re-reads UFAB_LOG_LEVEL and applies it (tests; long-lived tools).
+void reload_log_level_from_env();
+
+/// Replaces the output sink; an empty function restores the stderr default.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void set_log_sink(LogSink sink);
+
+/// Registers a simulation-time source; every subsequent line is stamped with
+/// its value.  An empty function removes the stamp.
+using LogClock = std::function<TimeNs()>;
+void set_log_clock(LogClock clock);
 
 namespace detail {
 void log_line(LogLevel level, const std::string& msg);

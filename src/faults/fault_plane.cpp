@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/core/assert.hpp"
+#include "src/obs/obs.hpp"
 
 namespace ufab::faults {
 
@@ -20,6 +21,28 @@ const char* to_string(LossClass c) {
 
 FaultPlane::FaultPlane(harness::Fabric& fab, std::uint64_t seed)
     : fab_(fab), rng_(Rng{seed}.fork("fault-plane")) {}
+
+void FaultPlane::attach_obs(obs::Obs& obs) {
+  if (!obs.enabled()) return;
+  obs_ = &obs;
+  auto& m = obs.metrics();
+  m.gauge_fn("fault.link_downs", {},
+             [this] { return static_cast<double>(counters_.link_downs); });
+  m.gauge_fn("fault.link_ups", {},
+             [this] { return static_cast<double>(counters_.link_ups); });
+  m.gauge_fn("fault.loss_drops", {},
+             [this] { return static_cast<double>(counters_.loss_drops); });
+  m.gauge_fn("fault.switch_resets", {},
+             [this] { return static_cast<double>(counters_.switch_resets); });
+  m.gauge_fn("fault.stale_records", {},
+             [this] { return static_cast<double>(counters_.stale_records); });
+  m.gauge_fn("fault.corrupted_records", {},
+             [this] { return static_cast<double>(counters_.corrupted_records); });
+  m.gauge_fn("fault.stripped_records", {},
+             [this] { return static_cast<double>(counters_.stripped_records); });
+  m.gauge_fn("fault.bloom_junk_keys", {},
+             [this] { return static_cast<double>(counters_.bloom_junk_keys); });
+}
 
 FaultPlane& FaultPlane::flap(LinkId link, TimeNs down_at, TimeNs up_at, int repeats,
                              TimeNs period) {
@@ -95,10 +118,26 @@ void FaultPlane::arm_flap(const FlapSpec& spec) {
     fab_.sim().at(spec.down_at + shift, [this, link] {
       link->set_down(true);
       ++counters_.link_downs;
+      if (obs_ != nullptr) {
+        obs::TraceEvent ev;
+        ev.at = fab_.sim().now();
+        ev.kind = obs::EventKind::kLinkDown;
+        ev.track = obs::Track::link(link->id());
+        ev.link = link->id();
+        obs_->record(ev);
+      }
     });
     fab_.sim().at(spec.up_at + shift, [this, link] {
       link->set_down(false);
       ++counters_.link_ups;
+      if (obs_ != nullptr) {
+        obs::TraceEvent ev;
+        ev.at = fab_.sim().now();
+        ev.kind = obs::EventKind::kLinkUp;
+        ev.track = obs::Track::link(link->id());
+        ev.link = link->id();
+        obs_->record(ev);
+      }
     });
   }
 }
@@ -115,13 +154,25 @@ void FaultPlane::arm() {
   // keeping unrelated scenarios on the same seed independent.
   for (auto& [link_value, rules] : loss_rules_) {
     sim::Link* link = fab_.net().link(LinkId{link_value});
-    link->set_fault_filter([this, rules = rules](const sim::Packet& pkt) {
+    link->set_fault_filter([this, rules = rules, link_value = link_value](const sim::Packet& pkt) {
       const TimeNs now = fab_.sim().now();
       for (const LossRule& rule : rules) {
         if (now < rule.from || now >= rule.until) continue;
         if (!matches(rule.klass, pkt)) continue;
         if (rng_.uniform() < rule.rate) {
           ++counters_.loss_drops;
+          if (obs_ != nullptr) {
+            obs::TraceEvent ev;
+            ev.at = now;
+            ev.kind = obs::EventKind::kFaultLossDrop;
+            ev.track = obs::Track::link(LinkId{link_value});
+            ev.pair = pkt.pair;
+            ev.tenant = pkt.tenant;
+            ev.link = LinkId{link_value};
+            ev.seq = pkt.id;
+            ev.a = static_cast<double>(pkt.size_bytes);
+            obs_->record(ev);
+          }
           return true;
         }
       }
@@ -133,26 +184,49 @@ void FaultPlane::arm() {
     fab_.sim().at(spec.at, [this, sw = spec.sw] {
       for (telemetry::CoreAgent* agent : fab_.core_agents_of(sw)) agent->reset_state();
       ++counters_.switch_resets;
+      if (obs_ != nullptr) {
+        // The injection itself, on the switch's own track; each CoreAgent
+        // also records its per-egress kSwitchReset from inside reset_state().
+        obs::TraceEvent ev;
+        ev.at = fab_.sim().now();
+        ev.kind = obs::EventKind::kSwitchReset;
+        ev.track = obs::Track::switch_port(sw, -1);
+        obs_->record(ev);
+      }
     });
   }
 
   for (auto& [sw_value, specs] : tampers_) {
     for (telemetry::CoreAgent* agent : fab_.core_agents_of(NodeId{sw_value})) {
-      agent->set_int_tamper([this, specs = specs](sim::IntRecord& rec, TimeNs now) {
+      agent->set_int_tamper(
+          [this, specs = specs, sw_value = sw_value](sim::IntRecord& rec, TimeNs now) {
+        const auto tampered = [&](std::uint8_t detail) {
+          if (obs_ == nullptr) return;
+          obs::TraceEvent ev;
+          ev.at = now;
+          ev.kind = obs::EventKind::kIntTamper;
+          ev.detail = detail;  // 0=stale 1=corrupt 2=strip
+          ev.track = obs::Track::switch_port(NodeId{sw_value}, -1);
+          ev.link = rec.link;
+          obs_->record(ev);
+        };
         for (const TamperSpec& spec : specs) {
           if (now < spec.from || now >= spec.until) continue;
           switch (spec.kind) {
             case TamperKind::kFreezeStamp:
               rec.stamp = spec.from;
               ++counters_.stale_records;
+              tampered(0);
               break;
             case TamperKind::kScaleRegisters:
               rec.phi_total *= spec.scale;
               rec.window_total *= spec.scale;
               ++counters_.corrupted_records;
+              tampered(1);
               break;
             case TamperKind::kStrip:
               ++counters_.stripped_records;
+              tampered(2);
               return false;
           }
         }
@@ -168,6 +242,14 @@ void FaultPlane::arm() {
           agent->inject_bloom_junk(rng_());
           ++counters_.bloom_junk_keys;
         }
+      }
+      if (obs_ != nullptr) {
+        obs::TraceEvent ev;
+        ev.at = fab_.sim().now();
+        ev.kind = obs::EventKind::kBloomJunk;
+        ev.track = obs::Track::switch_port(spec.sw, -1);
+        ev.a = static_cast<double>(spec.junk_keys);
+        obs_->record(ev);
       }
     });
   }

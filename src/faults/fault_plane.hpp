@@ -38,6 +38,10 @@
 #include "src/core/time.hpp"
 #include "src/harness/fabric.hpp"
 
+namespace ufab::obs {
+class Obs;
+}  // namespace ufab::obs
+
 namespace ufab::faults {
 
 /// Which packets a loss rule applies to.
@@ -115,6 +119,11 @@ class FaultPlane {
   [[nodiscard]] bool armed() const { return armed_; }
   [[nodiscard]] const FaultCounters& counters() const { return counters_; }
 
+  /// Publishes FaultCounters as gauges and records every fault activation in
+  /// the flight recorder.  Call before arm(); the fabric's obs must outlive
+  /// the plane.
+  void attach_obs(obs::Obs& obs);
+
  private:
   struct FlapSpec {
     LinkId link;
@@ -152,6 +161,7 @@ class FaultPlane {
   Rng rng_;
   FaultCounters counters_;
   bool armed_ = false;
+  obs::Obs* obs_ = nullptr;
 
   std::vector<FlapSpec> flaps_;
   std::unordered_map<std::int32_t, std::vector<LossRule>> loss_rules_;  // by LinkId

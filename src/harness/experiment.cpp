@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 
 #include "src/transport/transport.hpp"
 
@@ -116,6 +118,66 @@ TimeNs rate_settle_time(Fabric& fab, VmPairId pair, TimeNs from, TimeNs until, d
   TimeSeries ts;
   for (const auto& s : m->series(until)) ts.add(s.at, s.rate.gbit_per_sec());
   return ts.settle_time(from, lo_gbps, hi_gbps, hold);
+}
+
+namespace {
+bool write_text_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << body;
+  return static_cast<bool>(out);
+}
+
+// Scheme/variant labels ("PicNIC'+WCC+Clove") become filename-safe slugs.
+std::string slug(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    out.push_back(ok ? c : '-');
+  }
+  return out;
+}
+}  // namespace
+
+void write_bench_artifacts(Fabric& fab, const std::string& bench, const std::string& variant) {
+  obs::Obs* obs = fab.observability();
+  if (obs == nullptr || !obs->enabled()) return;
+
+  const char* dir_env = std::getenv("UFAB_METRICS_DIR");
+  const std::string dir = dir_env != nullptr && dir_env[0] != '\0' ? dir_env : ".";
+  std::string base = dir + "/" + slug(bench);
+  if (!variant.empty()) base += "." + slug(variant);
+
+  const obs::MetricsSnapshot snap = fab.metrics_snapshot();
+  const std::string json_path = base + ".metrics.json";
+  const std::string csv_path = base + ".metrics.csv";
+  if (!write_text_file(json_path, snap.to_json())) {
+    std::fprintf(stderr, "[obs] failed to write %s\n", json_path.c_str());
+  } else if (!write_text_file(csv_path, snap.to_csv())) {
+    std::fprintf(stderr, "[obs] failed to write %s\n", csv_path.c_str());
+  } else {
+    std::fprintf(stderr, "[obs] metrics: %s (%zu metrics)\n", json_path.c_str(),
+                 snap.rows.size());
+  }
+
+  if (obs->recorder().size() > 0) {
+    const std::string trace_path = base + ".trace.json";
+    obs->write_chrome_trace_file(trace_path);
+    std::fprintf(stderr, "[obs] trace: %s (%zu events, %llu recorded)\n", trace_path.c_str(),
+                 obs->recorder().size(),
+                 static_cast<unsigned long long>(obs->recorder().recorded_total()));
+  }
+}
+
+obs::ObsOptions obs_options_from_env() {
+  obs::ObsOptions opts;
+  if (const char* v = std::getenv("UFAB_OBS"); v != nullptr && v[0] == '0') opts.enabled = false;
+  if (const char* v = std::getenv("UFAB_OBS_DATAPATH"); v != nullptr && v[0] == '0') {
+    opts.record_datapath = false;
+  }
+  return opts;
 }
 
 void print_header(const std::string& title) {

@@ -24,6 +24,14 @@ class Experiment {
   [[nodiscard]] Fabric& fab() { return *fab_; }
   [[nodiscard]] Scheme scheme() const { return scheme_; }
 
+  /// Enables the fabric's observability plane (see Fabric). Passive — bench
+  /// output and packet schedules are identical with or without it.
+  obs::Obs& enable_observability(obs::ObsOptions opts = {}) {
+    return fab_->enable_observability(std::move(opts));
+  }
+  /// Structured values of every registered metric (requires observability).
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() { return fab_->metrics_snapshot(); }
+
   /// Average delivered rate of a pair / tenant over [from, to).
   double pair_rate_gbps(VmPairId pair, TimeNs from, TimeNs to);
   double tenant_rate_gbps(TenantId tenant, TimeNs from, TimeNs to);
@@ -61,6 +69,21 @@ TimeSeries dissatisfaction_series(Fabric& fab, const std::vector<GuaranteeSpec>&
 /// `from`, holding for `hold`; TimeNs::max() if it never does.
 TimeNs rate_settle_time(Fabric& fab, VmPairId pair, TimeNs from, TimeNs until, double lo_gbps,
                         double hi_gbps, TimeNs hold);
+
+/// Writes machine-readable observability artifacts next to a bench's printed
+/// output: `<bench>[.<variant>].metrics.json` / `.metrics.csv`, plus
+/// `.trace.json` (Chrome trace) when the flight recorder holds events.  Files
+/// land in $UFAB_METRICS_DIR (default: the working directory).  Notices go to
+/// stderr so bench stdout stays byte-identical to runs without observability.
+/// No-op when the fabric has no enabled observability plane.
+void write_bench_artifacts(Fabric& fab, const std::string& bench,
+                           const std::string& variant = "");
+
+/// ObsOptions for benches, derived from the environment: UFAB_OBS=0 turns the
+/// plane off entirely, UFAB_OBS_DATAPATH=0 drops per-packet wire events while
+/// keeping control-plane history.  Defaults to fully enabled — observability
+/// is passive, so bench stdout is identical either way.
+[[nodiscard]] obs::ObsOptions obs_options_from_env();
 
 // --- printing helpers shared by benches ---
 void print_header(const std::string& title);

@@ -1,8 +1,134 @@
 #include "src/harness/fabric.hpp"
 
+#include <algorithm>
+
 #include "src/core/assert.hpp"
+#include "src/core/log.hpp"
 
 namespace ufab::harness {
+
+Fabric::~Fabric() {
+  if (log_clock_installed_) set_log_clock({});
+}
+
+obs::Obs& Fabric::enable_observability(obs::ObsOptions opts) {
+  UFAB_CHECK_MSG(obs_ == nullptr, "enable_observability called twice");
+  obs_ = std::make_unique<obs::Obs>(std::move(opts));
+  if (!obs_->enabled()) return *obs_;
+
+  // Exported track labels use the fabric's real entity names.
+  obs_->set_track_namer([this](const obs::Track& t) -> std::string {
+    switch (t.kind) {
+      case obs::TrackKind::kHost:
+        return net_->host(HostId{t.id}).name();
+      case obs::TrackKind::kSwitch: {
+        const std::string& sw = net_->switch_at(NodeId{t.id}).name();
+        return t.sub >= 0 ? sw + "/port-" + std::to_string(t.sub) : sw;
+      }
+      case obs::TrackKind::kTenant:
+        return vms_.tenant_name(TenantId{t.id});
+      case obs::TrackKind::kLink: {
+        const sim::Link* l = net_->link(LinkId{t.id});
+        return l != nullptr ? l->name() : "link-" + std::to_string(t.id);
+      }
+      case obs::TrackKind::kFabric:
+        break;
+    }
+    return "fabric";
+  });
+
+  // Log lines get simulation-time stamps for the fabric's lifetime.
+  set_log_clock([this] { return sim_.now(); });
+  log_clock_installed_ = true;
+
+  // Wire-level hooks on every link and switch (host NIC links included).
+  for (sim::Link* l : net_->links()) l->set_obs(obs_.get());
+  for (sim::Switch* sw : net_->switches()) sw->set_obs(obs_.get());
+  for (auto& stack : stacks_) {
+    if (stack != nullptr) stack->attach_obs(*obs_);
+  }
+  attach_obs_to_cores();
+
+  // Fabric-wide pull gauges.
+  auto& m = obs_->metrics();
+  m.gauge_fn("sim.events_processed", {},
+             [this] { return static_cast<double>(sim_.events_processed()); });
+  m.gauge_fn("sim.now_us", {}, [this] { return static_cast<double>(sim_.now().ns()) / 1e3; });
+  m.gauge_fn("fabric.total_drops", {}, [this] {
+    std::int64_t drops = 0;
+    for (const sim::Link* l : net_->links()) drops += l->drops() + l->fault_drops();
+    for (const sim::Switch* sw : net_->switches()) drops += sw->no_route_drops();
+    return static_cast<double>(drops);
+  });
+  m.gauge_fn("fabric.max_queue_bytes", {}, [this] {
+    std::int64_t worst = 0;
+    for (const sim::Link* l : net_->links()) worst = std::max(worst, l->max_queue_bytes());
+    return static_cast<double>(worst);
+  });
+
+  // Per-tenant guarantee / work-conservation gauges.  A collector (re-run at
+  // each snapshot) handles tenants that join after observability is enabled;
+  // values are pulled from the tenant meters, so nothing is recorded between
+  // snapshots and determinism is untouched.
+  m.add_collector([this](obs::MetricRegistry& reg) {
+    for (std::size_t ti = 0; ti < vms_.tenant_count(); ++ti) {
+      const TenantId tenant{static_cast<std::int32_t>(ti)};
+      const obs::Labels labels{{"tenant", vms_.tenant_name(tenant)}};
+      // Aggregate hose guarantee: per-VM guarantee times the tenant's VMs.
+      const double agg_gbps = vms_.tenant_guarantee(tenant).bits_per_sec() / 1e9 *
+                              static_cast<double>(vms_.vms_of(tenant).size());
+      reg.gauge("tenant.guarantee_gbps", labels)->set(agg_gbps);
+      const RateMeter* meter = tenant_meter(tenant);
+      double delivered_gbps = 0.0;
+      if (meter != nullptr && sim_.now().ns() > 0) {
+        delivered_gbps = static_cast<double>(meter->total_bytes()) * 8.0 /
+                         static_cast<double>(sim_.now().ns());
+      }
+      reg.gauge("tenant.delivered_gbps", labels)->set(delivered_gbps);
+      reg.gauge("tenant.guarantee_satisfaction", labels)
+          ->set(agg_gbps > 0.0 ? delivered_gbps / agg_gbps : 0.0);
+    }
+  });
+  return *obs_;
+}
+
+void Fabric::attach_obs_to_cores() {
+  // Idempotent: only agents added since the last attach are wired up, in the
+  // per-switch port order instrument_cores() created them.
+  std::size_t seen = 0;
+  for (sim::Switch* sw : net_->switches()) {
+    auto it = agents_by_switch_.find(sw->id().value());
+    if (it == agents_by_switch_.end()) continue;
+    for (std::size_t port = 0; port < it->second.size(); ++port) {
+      telemetry::CoreAgent* agent = it->second[port];
+      if (++seen <= cores_with_obs_) continue;
+      const obs::Track track =
+          obs::Track::switch_port(sw->id(), static_cast<std::int32_t>(port));
+      agent->set_obs(obs_.get(), track);
+      const obs::Labels labels{{"switch", sw->name()}, {"port", std::to_string(port)}};
+      auto& m = obs_->metrics();
+      m.gauge_fn("core.phi_total", labels, [agent] { return agent->phi_total(); });
+      m.gauge_fn("core.window_total", labels, [agent] { return agent->window_total(); });
+      m.gauge_fn("core.active_pairs", labels,
+                 [agent] { return static_cast<double>(agent->active_pairs()); });
+      m.gauge_fn("core.fp_omissions", labels,
+                 [agent] { return static_cast<double>(agent->false_positive_omissions()); });
+      m.gauge_fn("core.resets", labels,
+                 [agent] { return static_cast<double>(agent->resets()); });
+    }
+  }
+  cores_with_obs_ = seen;
+}
+
+obs::MetricsSnapshot Fabric::metrics_snapshot() {
+  UFAB_CHECK_MSG(obs_ != nullptr, "metrics_snapshot requires enable_observability");
+  return obs_->metrics().snapshot();
+}
+
+void Fabric::write_trace_json(const std::string& path) {
+  UFAB_CHECK_MSG(obs_ != nullptr, "write_trace_json requires enable_observability");
+  obs_->write_chrome_trace_file(path);
+}
 
 void Fabric::install_pair_metering(TimeNs bucket) {
   for (auto& stack : stacks_) {

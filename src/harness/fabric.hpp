@@ -13,6 +13,7 @@
 
 #include "src/core/rng.hpp"
 #include "src/harness/vm_map.hpp"
+#include "src/obs/obs.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/stats/rate_meter.hpp"
 #include "src/telemetry/core_agent.hpp"
@@ -30,6 +31,8 @@ class Fabric {
     stacks_.resize(net_->host_count());
   }
 
+  ~Fabric();
+
   /// Attaches a uFAB-C agent to every switch egress port.
   void instrument_cores(const telemetry::CoreConfig& cfg = {}) {
     for (sim::Switch* sw : net_->switches()) {
@@ -40,6 +43,7 @@ class Fabric {
         core_agents_.push_back(std::move(a));
       }
     }
+    if (obs_ != nullptr && obs_->enabled()) attach_obs_to_cores();
   }
 
   /// The uFAB-C agents of one switch (empty if not instrumented). Fault
@@ -56,6 +60,7 @@ class Fabric {
     StackT& ref = *stack;
     ref.set_message_sink(&sink_mux_);
     stacks_.at(static_cast<std::size_t>(host.value())) = std::move(stack);
+    if (obs_ != nullptr && obs_->enabled()) ref.attach_obs(*obs_);
     return ref;
   }
 
@@ -99,9 +104,24 @@ class Fabric {
     return core_agents_;
   }
 
+  // --- observability plane ---
+  /// Creates the fabric's Obs context and attaches it to every link, switch,
+  /// core agent, and transport stack — existing ones now, later ones as they
+  /// are adopted/instrumented.  Call at most once.  Passive: an enabled run
+  /// is packet-for-packet identical to a disabled one.
+  obs::Obs& enable_observability(obs::ObsOptions opts = {});
+  /// The fabric's Obs, or nullptr when never enabled.
+  [[nodiscard]] obs::Obs* observability() { return obs_.get(); }
+  /// Current values of every registered metric (requires observability).
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot();
+  /// Writes the flight recorder as Chrome trace-event JSON (requires
+  /// observability); loadable in chrome://tracing or Perfetto.
+  void write_trace_json(const std::string& path);
+
  private:
   void top_up_tick(VmPairId pair, TimeNs stop, std::int64_t chunk_bytes);
   void sample_queues_tick(TimeNs period, TimeNs until, PercentileTracker* out);
+  void attach_obs_to_cores();
 
   struct SinkMux final : transport::MessageSink {
     std::vector<DeliveryListener> listeners;
@@ -120,6 +140,9 @@ class Fabric {
   std::vector<std::unique_ptr<transport::TransportStack>> stacks_;
   std::unordered_map<std::uint64_t, std::unique_ptr<RateMeter>> pair_meters_;
   std::unordered_map<std::int32_t, std::unique_ptr<RateMeter>> tenant_meters_;
+  std::unique_ptr<obs::Obs> obs_;
+  std::size_t cores_with_obs_ = 0;  ///< Agents already attached (idempotence).
+  bool log_clock_installed_ = false;
 };
 
 }  // namespace ufab::harness

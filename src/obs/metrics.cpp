@@ -1,0 +1,217 @@
+#include "src/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/core/assert.hpp"
+
+namespace ufab::obs {
+
+namespace {
+
+/// Registry key: name + sorted labels, separated by unit separators so no
+/// legal metric name can collide with a (name, labels) combination.
+std::string make_key(const std::string& name, const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = name;
+  for (const auto& [k, v] : sorted) {
+    key.push_back('\x1f');
+    key += k;
+    key.push_back('\x1e');
+    key += v;
+  }
+  return key;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  // %.12g round-trips every value these metrics produce while keeping
+  // integers rendered without a spurious fraction.
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+MetricRegistry::Cell* MetricRegistry::cell(const std::string& name, const Labels& labels,
+                                           Kind kind) {
+  const std::string key = make_key(name, labels);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    UFAB_CHECK_MSG(it->second->kind == kind, "metric re-registered with a different kind");
+    return it->second;
+  }
+  cells_.push_back(Cell{name, labels, kind, {}, {}, {}});
+  Cell* c = &cells_.back();
+  index_.emplace(key, c);
+  return c;
+}
+
+Counter* MetricRegistry::counter(const std::string& name, const Labels& labels) {
+  return &cell(name, labels, Kind::kCounter)->counter;
+}
+
+Gauge* MetricRegistry::gauge(const std::string& name, const Labels& labels) {
+  return &cell(name, labels, Kind::kGauge)->gauge;
+}
+
+Gauge* MetricRegistry::gauge_fn(const std::string& name, const Labels& labels,
+                                std::function<double()> fn) {
+  Gauge* g = gauge(name, labels);
+  g->set_callback(std::move(fn));
+  return g;
+}
+
+Histogram* MetricRegistry::histogram(const std::string& name, const Labels& labels) {
+  return &cell(name, labels, Kind::kHistogram)->histogram;
+}
+
+void MetricRegistry::add_collector(std::function<void(MetricRegistry&)> fn) {
+  collectors_.push_back(std::move(fn));
+}
+
+MetricsSnapshot MetricRegistry::snapshot() {
+  for (const auto& fn : collectors_) fn(*this);
+  MetricsSnapshot snap;
+  snap.rows.reserve(cells_.size());
+  for (const Cell& c : cells_) {
+    MetricsSnapshot::Row row;
+    row.name = c.name;
+    row.labels = c.labels;
+    switch (c.kind) {
+      case Kind::kCounter:
+        row.kind = "counter";
+        row.value = static_cast<double>(c.counter.value());
+        break;
+      case Kind::kGauge:
+        row.kind = "gauge";
+        row.value = c.gauge.value();
+        break;
+      case Kind::kHistogram: {
+        row.kind = "histogram";
+        const PercentileTracker& t = c.histogram.samples();
+        row.value = static_cast<double>(t.count());
+        if (!t.empty()) {
+          row.mean = t.mean();
+          row.p50 = t.percentile(50);
+          row.p90 = t.percentile(90);
+          row.p99 = t.percentile(99);
+          row.p999 = t.percentile(99.9);
+          row.max = t.max();
+        }
+        break;
+      }
+    }
+    snap.rows.push_back(std::move(row));
+  }
+  // Deterministic output order regardless of registration interleaving.
+  std::stable_sort(snap.rows.begin(), snap.rows.end(),
+                   [](const MetricsSnapshot::Row& a, const MetricsSnapshot::Row& b) {
+                     if (a.name != b.name) return a.name < b.name;
+                     return a.labels < b.labels;
+                   });
+  return snap;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\n  \"metrics\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out += "    {\"name\": \"" + json_escape(r.name) + "\", \"kind\": \"" + r.kind + "\"";
+    if (!r.labels.empty()) {
+      out += ", \"labels\": {";
+      for (std::size_t j = 0; j < r.labels.size(); ++j) {
+        if (j > 0) out += ", ";
+        out += "\"" + json_escape(r.labels[j].first) + "\": \"" +
+               json_escape(r.labels[j].second) + "\"";
+      }
+      out += "}";
+    }
+    if (r.kind == "histogram") {
+      out += ", \"count\": " + format_double(r.value) + ", \"mean\": " + format_double(r.mean) +
+             ", \"p50\": " + format_double(r.p50) + ", \"p90\": " + format_double(r.p90) +
+             ", \"p99\": " + format_double(r.p99) + ", \"p999\": " + format_double(r.p999) +
+             ", \"max\": " + format_double(r.max);
+    } else {
+      out += ", \"value\": " + format_double(r.value);
+    }
+    out += i + 1 < rows.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::to_csv() const {
+  std::string out = "name,labels,kind,value,mean,p50,p90,p99,p999,max\n";
+  for (const Row& r : rows) {
+    std::string labels;
+    for (std::size_t j = 0; j < r.labels.size(); ++j) {
+      if (j > 0) labels += ";";
+      labels += r.labels[j].first + "=" + r.labels[j].second;
+    }
+    out += r.name + "," + labels + "," + r.kind + "," + format_double(r.value) + "," +
+           format_double(r.mean) + "," + format_double(r.p50) + "," + format_double(r.p90) +
+           "," + format_double(r.p99) + "," + format_double(r.p999) + "," +
+           format_double(r.max) + "\n";
+  }
+  return out;
+}
+
+const MetricsSnapshot::Row* MetricsSnapshot::find(const std::string& name,
+                                                  const Labels& labels) const {
+  for (const Row& r : rows) {
+    if (r.name != name) continue;
+    bool all = true;
+    for (const auto& want : labels) {
+      bool present = false;
+      for (const auto& have : r.labels) {
+        if (have == want) {
+          present = true;
+          break;
+        }
+      }
+      if (!present) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace ufab::obs

@@ -1,0 +1,126 @@
+// Fabric-wide metrics registry.
+//
+// A MetricRegistry is the one place an experiment's quantitative state is
+// published: hierarchical dot-separated names plus free-form labels identify
+// counters, gauges, and histograms.  Handles are resolved ONCE, at
+// registration time — the hot path holds a raw pointer and increments through
+// it, so no string hashing or map lookup ever happens per packet.  Histograms
+// reuse PercentileTracker; gauges may be plain values or pull callbacks read
+// at snapshot time, so register-once/read-live state (Φ_l totals, tenant
+// meters) costs nothing between snapshots.
+//
+// Snapshots serialize every metric to JSON or CSV so benches emit
+// machine-readable results next to their printed tables.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/stats/percentile.hpp"
+
+namespace ufab::obs {
+
+/// Label set attached to a metric, e.g. {{"host", "3"}, {"tenant", "VF-1"}}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic integer count (events, bytes, drops).
+class Counter {
+ public:
+  void inc(std::int64_t d = 1) { v_ += d; }
+  [[nodiscard]] std::int64_t value() const { return v_; }
+
+ private:
+  std::int64_t v_ = 0;
+};
+
+/// Point-in-time scalar; either set explicitly or pulled from a callback
+/// (the callback wins while installed).
+class Gauge {
+ public:
+  void set(double v) { v_ = v; }
+  void set_callback(std::function<double()> fn) { fn_ = std::move(fn); }
+  [[nodiscard]] double value() const { return fn_ ? fn_() : v_; }
+
+ private:
+  double v_ = 0.0;
+  std::function<double()> fn_;
+};
+
+/// Sample distribution backed by an exact PercentileTracker.
+class Histogram {
+ public:
+  void observe(double v) { samples_.add(v); }
+  [[nodiscard]] const PercentileTracker& samples() const { return samples_; }
+
+ private:
+  PercentileTracker samples_;
+};
+
+/// One serialized view of every registered metric.
+struct MetricsSnapshot {
+  struct Row {
+    std::string name;
+    Labels labels;
+    std::string kind;  ///< "counter" | "gauge" | "histogram"
+    double value = 0.0;  ///< Counter/gauge value; histogram sample count.
+    /// Histogram-only summary (zeroed otherwise).
+    double mean = 0.0, p50 = 0.0, p90 = 0.0, p99 = 0.0, p999 = 0.0, max = 0.0;
+  };
+  std::vector<Row> rows;
+
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] std::string to_csv() const;
+  /// First row matching name (and labels when given); nullptr if absent.
+  [[nodiscard]] const Row* find(const std::string& name, const Labels& labels = {}) const;
+};
+
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Registration: the same (name, labels) always returns the same handle,
+  /// so instrumented objects can re-attach without duplicating series.
+  /// Handles stay valid for the registry's lifetime (deque storage).
+  Counter* counter(const std::string& name, const Labels& labels = {});
+  Gauge* gauge(const std::string& name, const Labels& labels = {});
+  /// Gauge whose value is pulled from `fn` at snapshot time.
+  Gauge* gauge_fn(const std::string& name, const Labels& labels, std::function<double()> fn);
+  Histogram* histogram(const std::string& name, const Labels& labels = {});
+
+  /// Collectors run at the start of every snapshot; use them to publish
+  /// metrics whose population is dynamic (tenants joining mid-run).
+  void add_collector(std::function<void(MetricRegistry&)> fn);
+
+  [[nodiscard]] MetricsSnapshot snapshot();
+  [[nodiscard]] std::size_t metric_count() const { return cells_.size(); }
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Cell {
+    std::string name;
+    Labels labels;
+    Kind kind;
+    Counter counter;
+    Gauge gauge;
+    Histogram histogram;
+  };
+
+  Cell* cell(const std::string& name, const Labels& labels, Kind kind);
+
+  std::deque<Cell> cells_;  // deque: stable addresses as the registry grows
+  std::unordered_map<std::string, Cell*> index_;
+  std::vector<std::function<void(MetricRegistry&)>> collectors_;
+};
+
+/// Escapes a string for embedding in a JSON document (shared by the metrics
+/// and flight-recorder exporters).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace ufab::obs

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/core/assert.hpp"
+#include "src/obs/obs.hpp"
 #include "src/sim/node.hpp"
 
 namespace ufab::sim {
@@ -18,19 +19,48 @@ Link::Link(Simulator& sim, LinkId id, std::string name, Node* dst, LinkConfig cf
   UFAB_CHECK(cfg_.capacity.bits_per_sec() > 0.0);
 }
 
+void Link::record_drop(const Packet& pkt, obs::DropReason reason) {
+  if (obs_ == nullptr || !obs_->record_datapath()) return;
+  obs::TraceEvent ev;
+  ev.at = sim_.now();
+  ev.kind = obs::EventKind::kDrop;
+  ev.detail = static_cast<std::uint8_t>(reason);
+  ev.track = obs::Track::link(id_);
+  ev.pair = pkt.pair;
+  ev.tenant = pkt.tenant;
+  ev.link = id_;
+  ev.seq = pkt.id;
+  ev.a = static_cast<double>(pkt.size_bytes);
+  obs_->record(ev);
+}
+
 void Link::enqueue(PacketPtr pkt) {
   UFAB_CHECK(pkt != nullptr);
   if (down_) {
     ++drops_;
+    record_drop(*pkt, obs::DropReason::kLinkDown);
     return;
   }
   if (queue_bytes_ + pkt->size_bytes > cfg_.queue_limit_bytes) {
     ++drops_;
+    record_drop(*pkt, obs::DropReason::kTailDrop);
     return;  // tail drop
   }
   if (cfg_.ecn_threshold_bytes >= 0 && pkt->ecn_capable &&
       queue_bytes_ > cfg_.ecn_threshold_bytes) {
     pkt->ecn_ce = true;
+    if (obs_ != nullptr && obs_->record_datapath()) {
+      obs::TraceEvent ev;
+      ev.at = sim_.now();
+      ev.kind = obs::EventKind::kEcnMark;
+      ev.track = obs::Track::link(id_);
+      ev.pair = pkt->pair;
+      ev.tenant = pkt->tenant;
+      ev.link = id_;
+      ev.seq = pkt->id;
+      ev.a = static_cast<double>(queue_bytes_);
+      obs_->record(ev);
+    }
   }
   queue_bytes_ += pkt->size_bytes;
   max_queue_bytes_ = std::max(max_queue_bytes_, queue_bytes_);
@@ -112,6 +142,7 @@ void Link::finish_transmit(std::int32_t bytes, std::uint64_t epoch) {
       // Lost on the wire (fault injection): link time was consumed but the
       // packet never reaches the peer.
       ++fault_drops_;
+      record_drop(*pkt, obs::DropReason::kWireFault);
     } else {
       // Hand the packet to the propagation stage; delivery is a future event
       // that owns the packet (freed with the queue if the run is cut short).

@@ -22,6 +22,11 @@
 #include "src/sim/packet.hpp"
 #include "src/sim/simulator.hpp"
 
+namespace ufab::obs {
+class Obs;
+enum class DropReason : std::uint8_t;
+}  // namespace ufab::obs
+
 namespace ufab::sim {
 
 class Node;
@@ -88,9 +93,14 @@ class Link {
 
   void reset_max_queue() { max_queue_bytes_ = queue_bytes_; }
 
+  /// Attaches the observability context (null detaches). Passive: recording
+  /// never changes queueing or timing.
+  void set_obs(obs::Obs* obs) { obs_ = obs; }
+
  private:
   void start_next();
   void finish_transmit(std::int32_t bytes, std::uint64_t epoch);
+  void record_drop(const Packet& pkt, obs::DropReason reason);
 
   Simulator& sim_;
   LinkId id_;
@@ -109,6 +119,7 @@ class Link {
   std::uint64_t epoch_ = 0;
   PullSource source_;
   FaultFilter fault_filter_;
+  obs::Obs* obs_ = nullptr;
 
   std::int64_t tx_bytes_cum_ = 0;
   std::int64_t drops_ = 0;

@@ -1,6 +1,7 @@
 #include "src/sim/switch.hpp"
 
 #include "src/core/assert.hpp"
+#include "src/obs/obs.hpp"
 
 namespace ufab::sim {
 
@@ -30,6 +31,11 @@ void Switch::set_egress_processor(std::int32_t port, EgressProcessor* proc) {
   processors_.at(static_cast<std::size_t>(port)) = proc;
 }
 
+void Switch::set_obs(obs::Obs* obs) {
+  obs_ = obs;
+  for (auto& port : ports_) port->set_obs(obs);
+}
+
 std::int32_t Switch::select_port(const Packet& pkt) const {
   const auto idx = static_cast<std::size_t>(pkt.dst_host.value());
   if (idx >= ecmp_.size() || ecmp_[idx].empty()) return -1;
@@ -52,6 +58,18 @@ void Switch::receive(PacketPtr pkt) {
     out = select_port(*pkt);
     if (out < 0) {
       ++no_route_drops_;
+      if (obs_ != nullptr && obs_->record_datapath()) {
+        obs::TraceEvent ev;
+        ev.at = sim_.now();
+        ev.kind = obs::EventKind::kDrop;
+        ev.detail = static_cast<std::uint8_t>(obs::DropReason::kNoRoute);
+        ev.track = obs::Track::switch_port(id(), -1);
+        ev.pair = pkt->pair;
+        ev.tenant = pkt->tenant;
+        ev.seq = pkt->id;
+        ev.a = static_cast<double>(pkt->size_bytes);
+        obs_->record(ev);
+      }
       return;
     }
   }

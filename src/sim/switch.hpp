@@ -50,6 +50,9 @@ class Switch : public Node {
   [[nodiscard]] std::int32_t port_count() const { return static_cast<std::int32_t>(ports_.size()); }
   [[nodiscard]] std::int64_t no_route_drops() const { return no_route_drops_; }
 
+  /// Attaches the observability context to the switch and all its ports.
+  void set_obs(obs::Obs* obs);
+
  private:
   [[nodiscard]] std::int32_t select_port(const Packet& pkt) const;
 
@@ -59,6 +62,7 @@ class Switch : public Node {
   std::vector<std::vector<std::int32_t>> ecmp_;  // indexed by dst HostId
   std::uint64_t hash_salt_ = 0;
   std::int64_t no_route_drops_ = 0;
+  obs::Obs* obs_ = nullptr;
 };
 
 }  // namespace ufab::sim

@@ -4,8 +4,13 @@
 
 namespace ufab {
 
+RateMeter::RateMeter(TimeNs bucket_width) : width_(bucket_width) {
+  UFAB_CHECK_MSG(width_.ns() > 0, "RateMeter bucket width must be positive");
+}
+
 void RateMeter::add(TimeNs now, std::int64_t bytes) {
   UFAB_CHECK(bytes >= 0);
+  UFAB_CHECK_MSG(now.ns() >= 0, "RateMeter fed a negative timestamp");
   const auto idx = static_cast<std::size_t>(bucket_index(now));
   if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
   buckets_[idx] += bytes;
@@ -16,8 +21,14 @@ Bandwidth RateMeter::rate(TimeNs now) const { return trailing_rate(now, 1); }
 
 Bandwidth RateMeter::trailing_rate(TimeNs now, int n) const {
   UFAB_CHECK(n >= 1);
+  if (now.ns() < 0) return Bandwidth::zero();
+  // Only fully closed buckets count: while `now` sits inside bucket 0 there is
+  // no complete window yet, so the measured rate is zero by definition.
   const std::int64_t current = bucket_index(now);
   if (current <= 0) return Bandwidth::zero();
+  // Clamp the window to the closed history: asking for more buckets than have
+  // closed averages over everything available rather than dividing by a span
+  // that was never observed.
   const std::int64_t first = std::max<std::int64_t>(0, current - n);
   std::int64_t bytes = 0;
   for (std::int64_t i = first; i < current; ++i) {
@@ -30,6 +41,7 @@ Bandwidth RateMeter::trailing_rate(TimeNs now, int n) const {
 
 std::vector<RateMeter::Sample> RateMeter::series(TimeNs now) const {
   std::vector<Sample> out;
+  if (now.ns() < 0) return out;
   const std::int64_t current = bucket_index(now);
   for (std::int64_t i = 0; i < current && i < static_cast<std::int64_t>(buckets_.size()); ++i) {
     const double bps =

@@ -17,7 +17,9 @@ namespace ufab {
 /// trailing-window rates. Buckets are closed lazily as time advances.
 class RateMeter {
  public:
-  explicit RateMeter(TimeNs bucket_width) : width_(bucket_width) {}
+  /// `bucket_width` must be positive (a zero-width meter cannot close a
+  /// bucket and would divide by zero on every query).
+  explicit RateMeter(TimeNs bucket_width);
 
   void add(TimeNs now, std::int64_t bytes);
 
@@ -25,6 +27,9 @@ class RateMeter {
   [[nodiscard]] Bandwidth rate(TimeNs now) const;
 
   /// Rate averaged over the trailing `n` closed buckets before `now`.
+  /// `n` is clamped to the number of closed buckets, so asking for a longer
+  /// window than exists averages over all available history; while `now` is
+  /// still inside bucket 0 there is no closed bucket and the rate is zero.
   [[nodiscard]] Bandwidth trailing_rate(TimeNs now, int n) const;
 
   /// Per-bucket series: (bucket start time, rate) for every closed bucket.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/obs/obs.hpp"
 #include "src/telemetry/int_codec.hpp"
 
 namespace ufab::telemetry {
@@ -12,6 +13,25 @@ CoreAgent::CoreAgent(sim::Simulator& sim, CoreConfig cfg)
   if (cfg_.clean_period > TimeNs::zero()) {
     sim_.after(cfg_.clean_period, [this] { sweep(sim_.now()); });
   }
+}
+
+void CoreAgent::record_event(obs::EventKind kind, TimeNs now, VmPairId pair, TenantId tenant,
+                             std::uint64_t seq, double a, double b) {
+#if !defined(UFAB_OBS_DISABLED)
+  if (obs_ == nullptr) return;
+  obs::TraceEvent ev;
+  ev.at = now;
+  ev.kind = kind;
+  ev.track = track_;
+  ev.pair = pair;
+  ev.tenant = tenant;
+  ev.seq = seq;
+  ev.a = a;
+  ev.b = b;
+  obs_->record(ev);
+#else
+  (void)kind; (void)now; (void)pair; (void)tenant; (void)seq; (void)a; (void)b;
+#endif
 }
 
 void CoreAgent::on_probe_egress(sim::Packet& pkt, sim::Link& link, TimeNs now) {
@@ -38,6 +58,21 @@ void CoreAgent::on_probe_egress(sim::Packet& pkt, sim::Link& link, TimeNs now) {
     return;
   }
   pkt.telemetry.push_back(rec);
+#if !defined(UFAB_OBS_DISABLED)
+  if (obs_ != nullptr) {
+    obs::TraceEvent ev;
+    ev.at = now;
+    ev.kind = obs::EventKind::kProbeIntStamp;
+    ev.track = track_;
+    ev.pair = pkt.pair;
+    ev.tenant = pkt.tenant;
+    ev.link = link.id();
+    ev.seq = pkt.probe.seq;
+    ev.a = rec.phi_total;
+    ev.b = static_cast<double>(rec.queue_bytes);
+    obs_->record(ev);
+  }
+#endif
 }
 
 void CoreAgent::reset_state() {
@@ -46,6 +81,9 @@ void CoreAgent::reset_state() {
   phi_total_ = 0.0;
   window_total_ = 0.0;
   ++resets_;
+  const TimeNs now = sim_.now();
+  record_event(obs::EventKind::kSwitchReset, now, {}, {}, 0, 0.0, 0.0);
+  record_event(obs::EventKind::kBloomClear, now, {}, {}, 0, 0.0, 0.0);
   // The sweep timer keeps running: it is part of the switch program, not of
   // the lost register state, and re-arms itself.
 }
@@ -59,6 +97,9 @@ void CoreAgent::handle_probe(sim::Packet& pkt, TimeNs now) {
     registered_[key] = PairEntry{pf.phi, pf.window, now};
     phi_total_ += pf.phi;
     window_total_ += pf.window;
+    record_event(obs::EventKind::kBloomInsert, now, pkt.pair, pkt.tenant, key, 0.0, 0.0);
+    record_event(obs::EventKind::kRegisterWrite, now, pkt.pair, pkt.tenant, key, phi_total_,
+                 window_total_);
     return;
   }
   auto it = registered_.find(key);
@@ -76,10 +117,11 @@ void CoreAgent::handle_probe(sim::Packet& pkt, TimeNs now) {
   it->second.window = pf.window;
   it->second.last_seen = now;
   clamp_registers();
+  record_event(obs::EventKind::kRegisterWrite, now, pkt.pair, pkt.tenant, key, phi_total_,
+               window_total_);
 }
 
 void CoreAgent::handle_finish(sim::Packet& pkt, TimeNs now) {
-  (void)now;
   const std::uint64_t key = pkt.probe.reg_key;
   auto it = registered_.find(key);
   if (it != registered_.end()) {
@@ -88,6 +130,9 @@ void CoreAgent::handle_finish(sim::Packet& pkt, TimeNs now) {
     registered_.erase(it);
     if (cfg_.use_bloom) bloom_.remove(key);
     clamp_registers();
+    record_event(obs::EventKind::kBloomRemove, now, pkt.pair, pkt.tenant, key, 0.0, 0.0);
+    record_event(obs::EventKind::kRegisterClear, now, pkt.pair, pkt.tenant, key, phi_total_,
+                 window_total_);
   }
   // Acknowledge even if already gone — the edge retries finish probes until
   // every switch on the path has confirmed (§3.6).
@@ -105,6 +150,7 @@ void CoreAgent::sweep(TimeNs now) {
     window_total_ -= it->second.window;
     registered_.erase(it);
     if (cfg_.use_bloom) bloom_.remove(key);
+    record_event(obs::EventKind::kRegisterClear, now, {}, {}, key, phi_total_, window_total_);
   }
   clamp_registers();
   sim_.after(cfg_.clean_period, [this] { sweep(sim_.now()); });

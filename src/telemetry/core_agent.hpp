@@ -22,6 +22,7 @@
 #include <unordered_map>
 
 #include "src/core/time.hpp"
+#include "src/obs/flight_recorder.hpp"
 #include "src/sim/link.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/sim/switch.hpp"
@@ -70,6 +71,13 @@ class CoreAgent final : public sim::EgressProcessor {
   [[nodiscard]] std::int64_t suppressed_records() const { return suppressed_records_; }
   [[nodiscard]] const CountingBloomFilter& bloom() const { return bloom_; }
 
+  /// Attaches the observability context. `track` identifies this egress in
+  /// exports (the harness passes the owning switch + port).
+  void set_obs(obs::Obs* obs, obs::Track track) {
+    obs_ = obs;
+    track_ = track;
+  }
+
  private:
   struct PairEntry {
     double phi = 0.0;
@@ -81,6 +89,8 @@ class CoreAgent final : public sim::EgressProcessor {
   void handle_finish(sim::Packet& pkt, TimeNs now);
   void sweep(TimeNs now);
   void clamp_registers();
+  void record_event(obs::EventKind kind, TimeNs now, VmPairId pair, TenantId tenant,
+                    std::uint64_t seq, double a, double b);
 
   sim::Simulator& sim_;
   CoreConfig cfg_;
@@ -92,6 +102,8 @@ class CoreAgent final : public sim::EgressProcessor {
   std::int64_t fp_omissions_ = 0;
   std::int64_t resets_ = 0;
   std::int64_t suppressed_records_ = 0;
+  obs::Obs* obs_ = nullptr;
+  obs::Track track_;
 };
 
 /// Attaches a CoreAgent to every egress port of `sw`; returns the agents.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/core/assert.hpp"
+#include "src/obs/obs.hpp"
 
 namespace ufab::transport {
 
@@ -22,6 +23,20 @@ TransportStack::TransportStack(topo::Network& net, const harness::VmMap& vms, Ho
 }
 
 TransportStack::~TransportStack() = default;
+
+void TransportStack::attach_obs(obs::Obs& obs) {
+  if (!obs.enabled()) return;
+  obs_ = &obs;
+  const obs::Labels labels{{"host", std::to_string(host_.value())}};
+  obs.metrics().gauge_fn("transport.retransmits", labels,
+                         [this] { return static_cast<double>(retransmits_); });
+  obs.metrics().gauge_fn("transport.connections", labels, [this] {
+    return static_cast<double>(conn_order_.size());
+  });
+  obs.metrics().gauge_fn("transport.rtt_p99_us", labels, [this] {
+    return rtt_us_.count() > 0 ? rtt_us_.percentile(99.0) : 0.0;
+  });
+}
 
 Connection* TransportStack::find_connection(VmPairId pair) {
   auto it = conns_.find(pair);
@@ -203,6 +218,17 @@ PacketPtr TransportStack::make_rtx_packet(Connection& conn) {
   conn.inflight_bytes += o.wire_bytes;
   conn.last_activity = sim_.now();
   ++retransmits_;
+  if (obs_ != nullptr && obs_->record_datapath()) {
+    obs::TraceEvent ev;
+    ev.at = sim_.now();
+    ev.kind = obs::EventKind::kDataRetransmit;
+    ev.track = obs::Track::host(host_);
+    ev.pair = conn.pair;
+    ev.tenant = conn.tenant;
+    ev.seq = pkt->id;
+    ev.a = static_cast<double>(o.wire_bytes);
+    obs_->record(ev);
+  }
   ensure_rtx_scan();
   on_data_sent(conn, *pkt);
   return pkt;

@@ -32,6 +32,10 @@
 #include "src/topo/network.hpp"
 #include "src/transport/message.hpp"
 
+namespace ufab::obs {
+class Obs;
+}  // namespace ufab::obs
+
 namespace ufab::transport {
 
 struct TransportOptions {
@@ -137,6 +141,10 @@ class TransportStack : public sim::HostStack {
   sim::PacketPtr pull() final;
 
   // --- observability ---
+  /// Attaches this stack to a fabric observability context: registers its
+  /// per-host metrics and starts recording transport events. Subclasses
+  /// override to add scheme-specific metrics (and must call the base).
+  virtual void attach_obs(obs::Obs& obs);
   [[nodiscard]] const PercentileTracker& rtt_samples_us() const { return rtt_us_; }
   [[nodiscard]] std::int64_t retransmits() const { return retransmits_; }
   [[nodiscard]] Connection* find_connection(VmPairId pair);
@@ -207,6 +215,9 @@ class TransportStack : public sim::HostStack {
 
   /// All connections in creation order (subclass scheduling).
   std::vector<Connection*> conn_order_;
+
+  /// Observability context (null when disabled); see attach_obs().
+  obs::Obs* obs_ = nullptr;
 
  private:
   sim::PacketPtr make_data_packet(Connection& conn);

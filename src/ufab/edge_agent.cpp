@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "src/core/assert.hpp"
+#include "src/obs/obs.hpp"
 #include "src/ufab/token_assigner.hpp"
 
 namespace ufab::edge {
@@ -34,6 +35,55 @@ EdgeAgent::EdgeAgent(topo::Network& net, const harness::VmMap& vms, HostId host,
 
 UfabConnection* EdgeAgent::ufab_connection(VmPairId pair) {
   return static_cast<UfabConnection*>(find_connection(pair));
+}
+
+void EdgeAgent::attach_obs(obs::Obs& obs) {
+  TransportStack::attach_obs(obs);
+  if (obs_ == nullptr) return;
+  const obs::Labels labels{{"host", std::to_string(host_id().value())}};
+  auto& m = obs.metrics();
+  m.gauge_fn("edge.probes_sent", labels,
+             [this] { return static_cast<double>(probes_sent_); });
+  m.gauge_fn("edge.probe_bytes", labels,
+             [this] { return static_cast<double>(probe_bytes_); });
+  m.gauge_fn("edge.probe_timeouts", labels,
+             [this] { return static_cast<double>(probe_timeouts_); });
+  m.gauge_fn("edge.probe_retransmits", labels,
+             [this] { return static_cast<double>(probe_retransmits_); });
+  m.gauge_fn("edge.migrations", labels,
+             [this] { return static_cast<double>(migrations_); });
+  m.gauge_fn("edge.state_losses_detected", labels,
+             [this] { return static_cast<double>(state_losses_detected_); });
+  m.gauge_fn("edge.reregistrations", labels,
+             [this] { return static_cast<double>(reregistrations_); });
+  m.gauge_fn("edge.stale_telemetry_events", labels,
+             [this] { return static_cast<double>(stale_telemetry_events_); });
+  m.gauge_fn("edge.guarantee_degradations", labels,
+             [this] { return static_cast<double>(guarantee_degradations_); });
+  m.gauge_fn("edge.finish_retries", labels,
+             [this] { return static_cast<double>(finish_retries_); });
+  m.gauge_fn("edge.finish_abandoned", labels,
+             [this] { return static_cast<double>(finish_abandoned_); });
+}
+
+void EdgeAgent::record_event(obs::EventKind kind, const UfabConnection& c, std::uint64_t seq,
+                             double a, double b, std::uint8_t detail) {
+#if !defined(UFAB_OBS_DISABLED)
+  if (obs_ == nullptr || !obs_->enabled()) return;
+  obs::TraceEvent ev;
+  ev.at = simulator().now();
+  ev.kind = kind;
+  ev.detail = detail;
+  ev.track = obs::Track::host(host_id());
+  ev.pair = c.pair;
+  ev.tenant = c.tenant;
+  ev.seq = seq;
+  ev.a = a;
+  ev.b = b;
+  obs_->record(ev);
+#else
+  (void)kind; (void)c; (void)seq; (void)a; (void)b; (void)detail;
+#endif
 }
 
 std::unique_ptr<transport::Connection> EdgeAgent::make_connection() {
@@ -177,6 +227,7 @@ void EdgeAgent::send_probe(UfabConnection& c) {
   c.registered = true;
   ++probes_sent_;
   probe_bytes_ += sim::probe_wire_size(static_cast<std::int32_t>(pkt->route.size()));
+  record_event(obs::EventKind::kProbeSent, c, c.probe_seq, pkt->probe.phi, pkt->probe.window);
   schedule_probe_timeout(c, c.probe_seq);
   send_control_packet(std::move(pkt));
 }
@@ -196,6 +247,7 @@ void EdgeAgent::send_scout_probe(UfabConnection& c, std::int32_t path_idx) {
   pkt->ecn_capable = false;
   ++probes_sent_;
   probe_bytes_ += sim::probe_wire_size(static_cast<std::int32_t>(pkt->route.size()));
+  record_event(obs::EventKind::kScoutSent, c, c.scout_round, static_cast<double>(path_idx), 0.0);
   send_control_packet(std::move(pkt));
 }
 
@@ -219,6 +271,8 @@ void EdgeAgent::schedule_probe_timeout(UfabConnection& c, std::uint64_t seq) {
     const TimeNs wait =
         conn->base_rtt.scaled(cfg_.probe_backoff_rtts * static_cast<double>(1 << shift));
     ++probe_retransmits_;
+    record_event(obs::EventKind::kProbeRetransmit, *conn, seq,
+                 static_cast<double>(conn->probe_losses), 0.0);
     simulator().after(wait, [this, pair] {
       UfabConnection* c2 = ufab_connection(pair);
       // Skip if a newer probe went out meanwhile (demand arrival, cadence)
@@ -281,6 +335,20 @@ void EdgeAgent::handle_probe_at_destination(PacketPtr pkt) {
     admitted = entry.admitted;
     ensure_token_timer();
   }
+
+#if !defined(UFAB_OBS_DISABLED)
+  if (obs_ != nullptr) {
+    obs::TraceEvent ev;
+    ev.at = simulator().now();
+    ev.kind = obs::EventKind::kProbeEchoed;
+    ev.track = obs::Track::host(host_id());
+    ev.pair = pkt->pair;
+    ev.tenant = pkt->tenant;
+    ev.seq = pkt->probe.seq;
+    ev.a = admitted;
+    obs_->record(ev);
+  }
+#endif
 
   auto resp = Packet::make(PacketKind::kProbeResponse, pkt->pair, pkt->tenant, host_id(),
                            pkt->src_host, pkt->size_bytes + 8);
@@ -446,6 +514,7 @@ void EdgeAgent::handle_data_response(UfabConnection& c, const sim::Packet& pkt) 
   }
 
   const TimeNs now = simulator().now();
+  const double old_window = c.window;
   const PathEvaluation eval = evaluate_path(c, pkt, /*include_self=*/true);
 
   // --- failure handling ---
@@ -458,12 +527,16 @@ void EdgeAgent::handle_data_response(UfabConnection& c, const sim::Packet& pkt) 
     for (const sim::IntRecord& rec : pkt.telemetry) oldest = std::min(oldest, rec.stamp);
     stale = now - oldest > c.base_rtt.scaled(cfg_.telemetry_stale_rtts);
   }
-  if (stale) ++stale_telemetry_events_;
+  if (stale) {
+    ++stale_telemetry_events_;
+    record_event(obs::EventKind::kStaleTelemetry, c, pkt.probe.seq, 0.0, 0.0);
+  }
   if (eval.phi_discontinuity) {
     // A switch on the path lost its register state. This probe already
     // re-registered the pair there, but Φ_l/W_l reflect only the pairs that
     // have re-probed since the wipe, so shares are transiently inflated.
     ++state_losses_detected_;
+    record_event(obs::EventKind::kStateLossDetected, c, pkt.probe.seq, 0.0, 0.0);
     c.guarantee_only_until = now + c.base_rtt.scaled(cfg_.reregister_hold_rtts);
   }
   const bool degraded = stale || now < c.guarantee_only_until;
@@ -472,6 +545,7 @@ void EdgeAgent::handle_data_response(UfabConnection& c, const sim::Packet& pkt) 
     // guarantee needs no telemetry to be safe (§3.3: r >= φ by contract);
     // work conservation resumes once trustworthy telemetry returns.
     ++guarantee_degradations_;
+    record_event(obs::EventKind::kGuaranteeDegraded, c, pkt.probe.seq, 0.0, 0.0);
     c.r_path_bps = c.phi();
     c.R_est_bps = c.phi();
     c.window = std::max(bytes_for(c.phi(), c.base_rtt), window_floor(c));
@@ -485,6 +559,19 @@ void EdgeAgent::handle_data_response(UfabConnection& c, const sim::Packet& pkt) 
     c.path_qualified = eval.qualified;
     apply_two_stage(c, eval);
   }
+  // Which term of Eqns 1-3 (or which fallback) bound this window; the order
+  // mirrors the branches above (degraded wins, then the bootstrap ramp).
+  obs::WindowBound bound = obs::WindowBound::kEqn3;
+  if (degraded) {
+    bound = obs::WindowBound::kGuaranteeOnly;
+  } else if (c.bootstrap) {
+    bound = obs::WindowBound::kBootstrapRamp;
+  } else if (c.window <= window_floor(c)) {
+    bound = obs::WindowBound::kFloor;
+  }
+  record_event(obs::EventKind::kWindowUpdate, c, pkt.probe.seq, old_window, c.window,
+               static_cast<std::uint8_t>(bound));
+
   // Violations drive migration; frozen telemetry says nothing about the
   // path, so it must not trigger (or reset) the violation counter.
   if (!stale) note_violation(c, !eval.qualified);
@@ -605,6 +692,8 @@ void EdgeAgent::finish_scouting(UfabConnection& c) {
 
 void EdgeAgent::migrate_to(UfabConnection& c, std::int32_t path_idx) {
   ++migrations_;
+  record_event(obs::EventKind::kPathMigration, c, c.probe_seq,
+               static_cast<double>(c.path_idx), static_cast<double>(path_idx));
   if (c.registered) {
     send_finish_probe(c, c.path_idx, c.reg_key, cfg_.finish_probe_retries);
   }
@@ -643,6 +732,7 @@ void EdgeAgent::send_finish_probe(UfabConnection& c, std::int32_t path_idx,
   pkt->ecn_capable = false;
   pending_finishes_[reg_key] =
       PendingFinish{static_cast<std::int32_t>(path.route.size()), retries_left};
+  record_event(obs::EventKind::kFinishSent, c, reg_key, static_cast<double>(retries_left), 0.0);
   send_control_packet(std::move(pkt));
 
   // The paper retries the finish probe until every switch acknowledged; we

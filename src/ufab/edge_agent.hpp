@@ -30,6 +30,10 @@
 #include "src/transport/transport.hpp"
 #include "src/ufab/wfq.hpp"
 
+namespace ufab::obs {
+enum class EventKind : std::uint8_t;
+}  // namespace ufab::obs
+
 namespace ufab::edge {
 
 enum class ProbeMode {
@@ -178,6 +182,7 @@ class EdgeAgent : public transport::TransportStack {
             EdgeConfig cfg = {}, transport::TransportOptions topts = {}, Rng rng = Rng{1});
 
   // --- observability ---
+  void attach_obs(obs::Obs& obs) override;
   [[nodiscard]] std::int64_t migrations() const { return migrations_; }
   [[nodiscard]] std::int64_t probes_sent() const { return probes_sent_; }
   [[nodiscard]] std::int64_t probe_bytes_sent() const { return probe_bytes_; }
@@ -244,6 +249,9 @@ class EdgeAgent : public transport::TransportStack {
   void ensure_token_timer();
   [[nodiscard]] std::uint64_t registration_key(const UfabConnection& c,
                                                std::int32_t path_idx) const;
+  /// Flight-recorder helper for control-plane events on this host's track.
+  void record_event(obs::EventKind kind, const UfabConnection& c, std::uint64_t seq,
+                    double a, double b, std::uint8_t detail = 0);
   [[nodiscard]] double window_floor(const UfabConnection& c) const;
   [[nodiscard]] static double bytes_for(double bps, TimeNs t) {
     return bps * static_cast<double>(t.ns()) / 8e9;

@@ -1,10 +1,14 @@
-// Unit tests for src/core: time, units, ids, rng, ewma.
+// Unit tests for src/core: time, units, ids, rng, ewma, log.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "src/core/ewma.hpp"
 #include "src/core/ids.hpp"
+#include "src/core/log.hpp"
 #include "src/core/rng.hpp"
 #include "src/core/time.hpp"
 #include "src/core/units.hpp"
@@ -164,6 +168,94 @@ TEST(Strings, RenderTimeAndBandwidth) {
   EXPECT_EQ(to_string(1500_ns), "1500ns");
   EXPECT_EQ(to_string(13250_ns), "13.250us");
   EXPECT_EQ(to_string(10_Gbps), "10.00Gbps");
+}
+
+/// Log sink/clock/threshold are process-wide; this fixture snapshots and
+/// restores them so the tests compose in any order.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_threshold_ = log_threshold();
+    set_log_sink([this](LogLevel level, const std::string& line) {
+      levels.push_back(level);
+      lines.push_back(line);
+    });
+  }
+  void TearDown() override {
+    set_log_sink({});
+    set_log_clock({});
+    set_log_threshold(saved_threshold_);
+  }
+
+  std::vector<LogLevel> levels;
+  std::vector<std::string> lines;
+
+ private:
+  LogLevel saved_threshold_ = LogLevel::kWarn;
+};
+
+TEST_F(LogTest, SinkReceivesFormattedLine) {
+  set_log_threshold(LogLevel::kDebug);
+  UFAB_LOG_WARN("queue %d over %s", 3, "budget");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(levels[0], LogLevel::kWarn);
+  EXPECT_EQ(lines[0], "[ufab WARN] queue 3 over budget");
+}
+
+TEST_F(LogTest, ThresholdSuppressesBelow) {
+  set_log_threshold(LogLevel::kWarn);
+  UFAB_LOG_DEBUG("invisible");
+  UFAB_LOG_INFO("invisible");
+  UFAB_LOG_ERROR("visible");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(levels[0], LogLevel::kError);
+  set_log_threshold(LogLevel::kOff);
+  UFAB_LOG_ERROR("also invisible");
+  EXPECT_EQ(lines.size(), 1u);
+}
+
+TEST_F(LogTest, ClockStampsLinesWithSimTime) {
+  set_log_threshold(LogLevel::kInfo);
+  set_log_clock([] { return TimeNs{1'500}; });
+  UFAB_LOG_INFO("probe echoed");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "[ufab INFO t=1500ns] probe echoed");
+  // Removing the clock removes the stamp.
+  set_log_clock({});
+  UFAB_LOG_INFO("later");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], "[ufab INFO] later");
+}
+
+TEST(LogLevelParse, NamesAliasesAndCase) {
+  EXPECT_EQ(parse_log_level("debug", LogLevel::kOff), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info", LogLevel::kOff), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn", LogLevel::kOff), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning", LogLevel::kOff), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error", LogLevel::kOff), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off", LogLevel::kDebug), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none", LogLevel::kDebug), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("WARN", LogLevel::kOff), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("Info", LogLevel::kOff), LogLevel::kInfo);
+  // Unknown names and a missing variable fall back, not abort.
+  EXPECT_EQ(parse_log_level("loud", LogLevel::kInfo), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("", LogLevel::kError), LogLevel::kError);
+  EXPECT_EQ(parse_log_level(nullptr, LogLevel::kWarn), LogLevel::kWarn);
+}
+
+TEST(LogLevelParse, ReloadFromEnvAndExplicitOverride) {
+  const LogLevel saved = log_threshold();
+  ::setenv("UFAB_LOG_LEVEL", "debug", 1);
+  reload_log_level_from_env();
+  EXPECT_EQ(log_threshold(), LogLevel::kDebug);
+  // An explicit set outranks the environment until the next reload.
+  set_log_threshold(LogLevel::kError);
+  EXPECT_EQ(log_threshold(), LogLevel::kError);
+  ::setenv("UFAB_LOG_LEVEL", "garbage", 1);
+  reload_log_level_from_env();  // unknown value keeps the current threshold
+  EXPECT_EQ(log_threshold(), LogLevel::kError);
+  ::unsetenv("UFAB_LOG_LEVEL");
+  set_log_threshold(saved);
 }
 
 }  // namespace

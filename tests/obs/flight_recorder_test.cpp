@@ -1,0 +1,127 @@
+// FlightRecorder: ring semantics, causal slices, and export validity.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/obs/flight_recorder.hpp"
+
+namespace ufab::obs {
+namespace {
+
+TraceEvent probe_event(std::uint64_t seq, EventKind kind = EventKind::kProbeSent) {
+  TraceEvent ev;
+  ev.at = TimeNs{static_cast<std::int64_t>(seq) * 1'000};
+  ev.kind = kind;
+  ev.track = Track::host(HostId{0});
+  ev.pair = VmPairId{VmId{1}, VmId{2}};
+  ev.seq = seq;
+  return ev;
+}
+
+TEST(FlightRecorder, RingWraparoundKeepsNewestInOrder) {
+  FlightRecorder rec(8);
+  for (std::uint64_t i = 0; i < 20; ++i) rec.record(probe_event(i));
+  EXPECT_EQ(rec.capacity(), 8u);
+  EXPECT_EQ(rec.size(), 8u);
+  EXPECT_EQ(rec.recorded_total(), 20u);
+  const auto evs = rec.events();
+  ASSERT_EQ(evs.size(), 8u);
+  // The retained window is exactly the last 8 events, oldest first — the
+  // wraparound is deterministic, not approximate.
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    EXPECT_EQ(evs[i].seq, 12u + i);
+    if (i > 0) EXPECT_GE(evs[i].at, evs[i - 1].at);
+  }
+}
+
+TEST(FlightRecorder, BelowCapacityReturnsAllInOrder) {
+  FlightRecorder rec(16);
+  for (std::uint64_t i = 0; i < 5; ++i) rec.record(probe_event(i));
+  const auto evs = rec.events();
+  ASSERT_EQ(evs.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(evs[i].seq, i);
+}
+
+TEST(FlightRecorder, EventsForPairSlicesCausally) {
+  FlightRecorder rec(64);
+  const VmPairId mine{VmId{1}, VmId{2}};
+  const VmPairId other{VmId{3}, VmId{4}};
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    TraceEvent ev = probe_event(i);
+    ev.pair = (i % 2 == 0) ? mine : other;
+    rec.record(ev);
+  }
+  const auto slice = rec.events_for_pair(mine);
+  ASSERT_EQ(slice.size(), 5u);
+  for (const auto& ev : slice) EXPECT_EQ(ev.pair.key(), mine.key());
+}
+
+TEST(FlightRecorder, ClearResetsRetainedButNotTotal) {
+  FlightRecorder rec(8);
+  for (std::uint64_t i = 0; i < 3; ++i) rec.record(probe_event(i));
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_TRUE(rec.events().empty());
+  rec.record(probe_event(42));
+  ASSERT_EQ(rec.events().size(), 1u);
+  EXPECT_EQ(rec.events()[0].seq, 42u);
+}
+
+TEST(FlightRecorder, ChromeTraceExportIsWellFormed) {
+  FlightRecorder rec(64);
+  // A full probe chain plus an instant event, so the export exercises the
+  // "X"+flow path, the "i" path, and the tenant counter series.
+  for (const EventKind k : {EventKind::kProbeSent, EventKind::kProbeIntStamp,
+                            EventKind::kProbeEchoed, EventKind::kWindowUpdate}) {
+    TraceEvent ev = probe_event(7, k);
+    ev.tenant = TenantId{0};
+    rec.record(ev);
+  }
+  TraceEvent drop = probe_event(8, EventKind::kDrop);
+  drop.track = Track::link(LinkId{2});
+  rec.record(drop);
+
+  std::ostringstream os;
+  rec.write_chrome_trace(os);
+  const std::string trace = os.str();
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(trace.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\": \"C\""), std::string::npos);
+
+  // Validate against the reference checker when python3 is available (it is
+  // in CI); the checker exits non-zero on any schema violation.
+  if (std::system("python3 -c '' >/dev/null 2>&1") != 0) {
+    GTEST_SKIP() << "python3 not available";
+  }
+  const std::string path = ::testing::TempDir() + "/flight_recorder_test.trace.json";
+  {
+    std::ofstream f(path, std::ios::trunc);
+    f << trace;
+  }
+  const std::string cmd =
+      "python3 " SOURCE_DIR "/scripts/render_trace.py --quiet " + path + " >/dev/null";
+  EXPECT_EQ(std::system(cmd.c_str()), 0) << "render_trace.py rejected the export";
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, RawJsonExportListsEveryEvent) {
+  FlightRecorder rec(8);
+  rec.record(probe_event(1));
+  rec.record(probe_event(2, EventKind::kWindowUpdate));
+  std::ostringstream os;
+  rec.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("probe_sent"), std::string::npos);
+  EXPECT_NE(json.find("window_update"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ufab::obs

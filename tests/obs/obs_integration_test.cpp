@@ -1,0 +1,210 @@
+// Observability plane integration: passivity (enabled == disabled, packet for
+// packet), causal-chain reconstruction from the flight recorder alone, and
+// fabric/fault metric export.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/faults/fault_plane.hpp"
+#include "src/harness/fabric.hpp"
+#include "src/topo/builders.hpp"
+#include "src/ufab/edge_agent.hpp"
+
+namespace ufab {
+namespace {
+
+using namespace ufab::time_literals;
+using namespace ufab::unit_literals;
+
+constexpr TimeNs kRun = 8_ms;
+
+/// Two 4 Gbps VFs on a 2-leaf / 2-spine fabric — the same shape the
+/// fault-recovery bench uses, small enough to run twice per test.
+struct World {
+  std::unique_ptr<harness::Fabric> fab;
+  std::vector<VmPairId> pairs;
+
+  explicit World(bool with_obs, std::uint64_t seed = 7) {
+    fab = std::make_unique<harness::Fabric>(
+        [](sim::Simulator& s) { return topo::make_leaf_spine(s, 2, 2, 2); }, seed);
+    if (with_obs) fab->enable_observability();
+    fab->instrument_cores({});
+    for (std::size_t h = 0; h < fab->net().host_count(); ++h) {
+      const HostId host{static_cast<std::int32_t>(h)};
+      fab->adopt_stack(host, std::make_unique<edge::EdgeAgent>(
+                                 fab->net(), fab->vms(), host, edge::EdgeConfig{},
+                                 transport::TransportOptions{}, fab->rng().fork(h)));
+    }
+    fab->install_pair_metering(1_ms);
+    fab->install_tenant_metering(1_ms);
+    for (int i = 0; i < 2; ++i) {
+      const TenantId t = fab->vms().add_tenant("VF-" + std::to_string(i + 1), 4_Gbps);
+      pairs.push_back(
+          VmPairId{fab->vms().add_vm(t, HostId{i}), fab->vms().add_vm(t, HostId{2 + i})});
+      fab->keep_backlogged(pairs.back(), 0_ms, kRun);
+    }
+  }
+
+  struct Signature {
+    std::uint64_t events = 0;
+    std::vector<std::int64_t> pair_bytes;
+    std::int64_t drops = 0;
+    std::int64_t max_queue = 0;
+  };
+
+  Signature run() {
+    fab->sim().run_until(kRun);
+    Signature s;
+    s.events = fab->sim().events_processed();
+    for (const VmPairId p : pairs) {
+      RateMeter* m = fab->pair_meter(p);
+      s.pair_bytes.push_back(m != nullptr ? m->total_bytes() : -1);
+    }
+    for (const sim::Link* l : fab->net().links()) {
+      s.drops += l->drops() + l->fault_drops();
+      s.max_queue = std::max(s.max_queue, l->max_queue_bytes());
+    }
+    return s;
+  }
+};
+
+TEST(ObsIntegration, DisabledModeIsBitIdenticalToSeedRun) {
+  // The acceptance property for the whole plane: recording everything
+  // (control plane + datapath) must not perturb the simulation by a single
+  // event, byte, or drop.
+  World plain(/*with_obs=*/false);
+  World observed(/*with_obs=*/true);
+  const auto a = plain.run();
+  const auto b = observed.run();
+  EXPECT_GT(observed.fab->observability()->recorder().recorded_total(), 0u);
+
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.pair_bytes, b.pair_bytes);
+  EXPECT_EQ(a.drops, b.drops);
+  EXPECT_EQ(a.max_queue, b.max_queue);
+}
+
+TEST(ObsIntegration, ObsOptionsEnabledFalseRecordsNothing) {
+  obs::ObsOptions opts;
+  opts.enabled = false;
+  World w(/*with_obs=*/false);
+  w.fab->enable_observability(opts);
+  w.run();
+  ASSERT_NE(w.fab->observability(), nullptr);
+  EXPECT_FALSE(w.fab->observability()->enabled());
+  EXPECT_EQ(w.fab->observability()->recorder().recorded_total(), 0u);
+  EXPECT_EQ(w.fab->observability()->metrics().metric_count(), 0u);
+}
+
+TEST(ObsIntegration, ProbeCausalChainReconstructsFromRecorderAlone) {
+  World w(/*with_obs=*/true);
+  w.run();
+  const VmPairId pair = w.pairs[0];
+  const auto slice = w.fab->observability()->recorder().events_for_pair(pair);
+  ASSERT_FALSE(slice.empty());
+
+  // Group the pair's slice by probe sequence number and find sequences that
+  // carry the full send -> INT-stamp -> echo -> window-update chain.
+  std::map<std::uint64_t, std::vector<obs::TraceEvent>> by_seq;
+  for (const auto& ev : slice) by_seq[ev.seq].push_back(ev);
+  int complete_chains = 0;
+  for (const auto& [seq, evs] : by_seq) {
+    const auto find = [&evs](obs::EventKind k) {
+      return std::find_if(evs.begin(), evs.end(),
+                          [k](const obs::TraceEvent& e) { return e.kind == k; });
+    };
+    const auto sent = find(obs::EventKind::kProbeSent);
+    const auto stamp = find(obs::EventKind::kProbeIntStamp);
+    const auto echo = find(obs::EventKind::kProbeEchoed);
+    const auto update = find(obs::EventKind::kWindowUpdate);
+    if (sent == evs.end() || stamp == evs.end() || echo == evs.end() || update == evs.end()) {
+      continue;
+    }
+    ++complete_chains;
+    // Causal order holds on the recorder's timestamps alone.
+    EXPECT_LE(sent->at, stamp->at);
+    EXPECT_LE(stamp->at, echo->at);
+    EXPECT_LE(echo->at, update->at);
+    // And each hop sits on the right kind of track.
+    EXPECT_EQ(sent->track.kind, obs::TrackKind::kHost);
+    EXPECT_EQ(stamp->track.kind, obs::TrackKind::kSwitch);
+    EXPECT_TRUE(stamp->link.valid());
+    EXPECT_EQ(echo->track.kind, obs::TrackKind::kHost);
+    EXPECT_NE(echo->track.id, sent->track.id);  // echoed at the destination
+    EXPECT_EQ(update->track.kind, obs::TrackKind::kHost);
+    EXPECT_EQ(update->track.id, sent->track.id);  // consumed back at the source
+  }
+  EXPECT_GT(complete_chains, 10);
+}
+
+TEST(ObsIntegration, WindowUpdatesCarryBoundAndTransition) {
+  World w(/*with_obs=*/true);
+  w.run();
+  const auto evs = w.fab->observability()->recorder().events();
+  int updates = 0;
+  for (const auto& ev : evs) {
+    if (ev.kind != obs::EventKind::kWindowUpdate) continue;
+    ++updates;
+    EXPECT_GE(ev.b, 0.0);  // new window
+    EXPECT_LE(ev.detail, static_cast<std::uint8_t>(obs::WindowBound::kFloor));
+  }
+  EXPECT_GT(updates, 0);
+}
+
+TEST(ObsIntegration, MetricsSnapshotCoversFabricTenantsAndFaults) {
+  World w(/*with_obs=*/true);
+  faults::FaultPlane plane(*w.fab, 99);
+  plane.attach_obs(*w.fab->observability());
+  const LinkId victim = w.fab->net().links().front()->id();
+  plane.flap(victim, 2_ms, 3_ms);
+  plane.reset_switch_state(w.fab->net().switches().front()->id(), 4_ms);
+  plane.arm();
+  w.run();
+
+  const auto snap = w.fab->metrics_snapshot();
+  // Fabric-wide gauges.
+  EXPECT_GT(snap.find("sim.events_processed")->value, 0.0);
+  ASSERT_NE(snap.find("sim.now_us"), nullptr);
+  ASSERT_NE(snap.find("fabric.total_drops"), nullptr);
+  // Per-tenant guarantee / work-conservation gauges, labeled by tenant name.
+  const obs::Labels vf1{{"tenant", "VF-1"}};
+  ASSERT_NE(snap.find("tenant.guarantee_gbps", vf1), nullptr);
+  EXPECT_DOUBLE_EQ(snap.find("tenant.guarantee_gbps", vf1)->value, 8.0);  // 4G x 2 VMs
+  EXPECT_GT(snap.find("tenant.delivered_gbps", vf1)->value, 1.0);
+  EXPECT_GT(snap.find("tenant.guarantee_satisfaction", vf1)->value, 0.1);
+  // Per-core registers.
+  ASSERT_NE(snap.find("core.phi_total"), nullptr);
+  // Fault counters reflect the armed scenario.
+  EXPECT_DOUBLE_EQ(snap.find("fault.link_downs")->value, 1.0);
+  EXPECT_DOUBLE_EQ(snap.find("fault.link_ups")->value, 1.0);
+  EXPECT_GT(snap.find("fault.switch_resets")->value, 0.0);
+
+  // The flight recorder saw the fault activations too.
+  const auto evs = w.fab->observability()->recorder().events();
+  const auto has = [&evs](obs::EventKind k) {
+    return std::any_of(evs.begin(), evs.end(),
+                       [k](const obs::TraceEvent& e) { return e.kind == k; });
+  };
+  EXPECT_TRUE(has(obs::EventKind::kLinkDown));
+  EXPECT_TRUE(has(obs::EventKind::kLinkUp));
+  EXPECT_TRUE(has(obs::EventKind::kSwitchReset));
+}
+
+TEST(ObsIntegration, EnableObservabilityBeforeOrAfterWiringIsEquivalent) {
+  // enable_observability() attaches to everything that exists and to
+  // everything adopted later; both orders must produce a live recorder.
+  World after(/*with_obs=*/false);
+  after.fab->enable_observability();  // stacks + cores already in place
+  after.run();
+  World before(/*with_obs=*/true);  // enabled before instrument/adopt
+  before.run();
+  EXPECT_GT(after.fab->observability()->recorder().recorded_total(), 0u);
+  EXPECT_EQ(after.fab->observability()->recorder().recorded_total(),
+            before.fab->observability()->recorder().recorded_total());
+}
+
+}  // namespace
+}  // namespace ufab

@@ -1,0 +1,88 @@
+// RateMeter edge cases: window clamping, open buckets, and input validation.
+#include <gtest/gtest.h>
+
+#include "src/stats/rate_meter.hpp"
+
+namespace ufab {
+namespace {
+
+using namespace ufab::time_literals;
+
+TEST(RateMeterEdge, ZeroWhileInsideBucketZero) {
+  RateMeter m(10_us);
+  m.add(TimeNs{2'000}, 1'000);
+  // No bucket has closed yet: every query inside bucket 0 reads zero.
+  EXPECT_DOUBLE_EQ(m.rate(TimeNs{9'999}).bits_per_sec(), 0.0);
+  EXPECT_DOUBLE_EQ(m.trailing_rate(TimeNs{9'999}, 100).bits_per_sec(), 0.0);
+  EXPECT_TRUE(m.series(TimeNs{9'999}).empty());
+  // The instant bucket 0 closes, its bytes become visible.
+  EXPECT_GT(m.rate(TimeNs{10'000}).bits_per_sec(), 0.0);
+}
+
+TEST(RateMeterEdge, TrailingWindowClampsToClosedHistory) {
+  RateMeter m(10_us);
+  // 1000 bytes in each of buckets 0 and 1; now sits in bucket 2.
+  m.add(TimeNs{1'000}, 1'000);
+  m.add(TimeNs{11'000}, 1'000);
+  const TimeNs now{25'000};
+  const double two_bucket = m.trailing_rate(now, 2).bits_per_sec();
+  // Asking for far more buckets than have closed must average over the two
+  // that exist, not divide by a span that was never observed.
+  EXPECT_DOUBLE_EQ(m.trailing_rate(now, 1'000'000).bits_per_sec(), two_bucket);
+  EXPECT_DOUBLE_EQ(two_bucket, 2'000.0 * 8e9 / 20'000.0);
+}
+
+TEST(RateMeterEdge, CurrentBucketExcludedFromTrailingRate) {
+  RateMeter m(10_us);
+  m.add(TimeNs{1'000}, 1'000);
+  m.add(TimeNs{12'000}, 1'000'000);  // still open at now=15us
+  // Only bucket 0 is closed; the million bytes in the open bucket 1 must not
+  // leak into the measurement.
+  EXPECT_DOUBLE_EQ(m.rate(TimeNs{15'000}).bits_per_sec(), 1'000.0 * 8e9 / 10'000.0);
+}
+
+TEST(RateMeterEdge, SeriesCoversOnlyClosedBuckets) {
+  RateMeter m(10_us);
+  m.add(TimeNs{5'000}, 100);
+  m.add(TimeNs{25'000}, 300);
+  const auto s = m.series(TimeNs{29'000});  // bucket 2 still open
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0].at, TimeNs{0});
+  EXPECT_EQ(s[1].at, TimeNs{10'000});
+  EXPECT_DOUBLE_EQ(s[0].rate.bits_per_sec(), 100.0 * 8e9 / 10'000.0);
+  EXPECT_DOUBLE_EQ(s[1].rate.bits_per_sec(), 0.0);  // empty gap bucket
+}
+
+TEST(RateMeterEdge, NegativeQueryTimeIsZeroNotACrash) {
+  RateMeter m(10_us);
+  m.add(TimeNs{1'000}, 1'000);
+  EXPECT_DOUBLE_EQ(m.rate(TimeNs{-5'000}).bits_per_sec(), 0.0);
+  EXPECT_DOUBLE_EQ(m.trailing_rate(TimeNs{-1}, 3).bits_per_sec(), 0.0);
+  EXPECT_TRUE(m.series(TimeNs{-1}).empty());
+}
+
+TEST(RateMeterEdge, TotalBytesIndependentOfWindows) {
+  RateMeter m(50_us);
+  m.add(TimeNs{0}, 10);
+  m.add(TimeNs{49'999}, 20);
+  m.add(TimeNs{50'000}, 30);
+  EXPECT_EQ(m.total_bytes(), 60);
+}
+
+using RateMeterDeath = ::testing::Test;
+
+TEST(RateMeterDeath, ZeroBucketWidthIsRejected) {
+  EXPECT_DEATH(RateMeter m(TimeNs{0}), "bucket width must be positive");
+}
+
+TEST(RateMeterDeath, NegativeBucketWidthIsRejected) {
+  EXPECT_DEATH(RateMeter m(TimeNs{-10}), "bucket width must be positive");
+}
+
+TEST(RateMeterDeath, NegativeAddTimestampIsRejected) {
+  RateMeter m(10_us);
+  EXPECT_DEATH(m.add(TimeNs{-1}, 100), "negative timestamp");
+}
+
+}  // namespace
+}  // namespace ufab
