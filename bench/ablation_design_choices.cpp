@@ -8,9 +8,11 @@
 //  C. Probe spacing L_m — the overhead/convergence trade (§4.1).
 //  D. INT wire quantization — full-precision vs Appendix-G 64-bit records.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "src/harness/experiment.hpp"
+#include "src/harness/parallel_sweep.hpp"
 
 using namespace ufab;
 using namespace ufab::time_literals;
@@ -71,13 +73,50 @@ IncastResult run_incast(const std::string& variant, const harness::SchemeOptions
 }  // namespace
 
 int main() {
+  // All four ablations are independent single-seed runs: sweep them across
+  // workers (UFAB_JOBS) in one batch, then print each group in order.
+  struct Variant {
+    std::string label;
+    harness::SchemeOptions opts;
+  };
+  std::vector<Variant> variants;
+  const std::size_t bloom_cells[] = {163'840UL, 4096UL, 256UL, 32UL};
+  for (const std::size_t cells : bloom_cells) {
+    Variant v{"bloom-" + std::to_string(cells), {}};
+    v.opts.core.bloom.counters = cells;
+    variants.push_back(std::move(v));
+  }
+  const bool two_stage_modes[] = {true, false};
+  for (const bool two_stage : two_stage_modes) {
+    Variant v{two_stage ? "two-stage-on" : "two-stage-off", {}};
+    v.opts.ufab.two_stage_admission = two_stage;
+    variants.push_back(std::move(v));
+  }
+  const std::int64_t lm_values[] = {1024LL, 4096LL, 16384LL, 65536LL};
+  for (const std::int64_t lm : lm_values) {
+    Variant v{"lm-" + std::to_string(lm), {}};
+    v.opts.ufab.probe_interval_bytes = lm;
+    variants.push_back(std::move(v));
+  }
+  const bool quantize_modes[] = {false, true};
+  for (const bool quantize : quantize_modes) {
+    Variant v{quantize ? "int-64bit" : "int-full", {}};
+    v.opts.core.quantize_int = quantize;
+    variants.push_back(std::move(v));
+  }
+
+  const std::vector<IncastResult> results = harness::parallel_sweep<IncastResult>(
+      static_cast<int>(variants.size()), [&variants](int i) {
+        const Variant& v = variants[static_cast<std::size_t>(i)];
+        return run_incast(v.label, v.opts);
+      });
+
+  std::size_t at = 0;
   harness::print_header("Ablation A — Bloom filter size (12-VF testbed incast)");
   std::printf("%-14s %14s %14s %12s\n", "bloom_cells", "dissatisfied", "fp_omissions",
               "rtt_p999us");
-  for (const std::size_t cells : {163'840UL, 4096UL, 256UL, 32UL}) {
-    harness::SchemeOptions o;
-    o.core.bloom.counters = cells;
-    const auto r = run_incast("bloom-" + std::to_string(cells), o);
+  for (const std::size_t cells : bloom_cells) {
+    const IncastResult& r = results[at++];
     std::printf("%-14zu %13.1f%% %14lld %12.1f\n", cells, 100.0 * r.dissatisfaction,
                 static_cast<long long>(r.fp_omissions), r.rtt_p999_us);
   }
@@ -86,20 +125,16 @@ int main() {
 
   harness::print_header("Ablation B — two-stage admission (bounded latency)");
   std::printf("%-14s %14s %14s %12s\n", "two_stage", "dissatisfied", "max_queue_B", "rtt_p999us");
-  for (const bool two_stage : {true, false}) {
-    harness::SchemeOptions o;
-    o.ufab.two_stage_admission = two_stage;
-    const auto r = run_incast(two_stage ? "two-stage-on" : "two-stage-off", o);
+  for (const bool two_stage : two_stage_modes) {
+    const IncastResult& r = results[at++];
     std::printf("%-14s %13.1f%% %14lld %12.1f\n", two_stage ? "on (uFAB)" : "off (uFAB')",
                 100.0 * r.dissatisfaction, static_cast<long long>(r.max_queue), r.rtt_p999_us);
   }
 
   harness::print_header("Ablation C — probe spacing L_m");
   std::printf("%-14s %14s %14s %12s\n", "L_m_bytes", "dissatisfied", "probe_ovh", "rtt_p999us");
-  for (const std::int64_t lm : {1024LL, 4096LL, 16384LL, 65536LL}) {
-    harness::SchemeOptions o;
-    o.ufab.probe_interval_bytes = lm;
-    const auto r = run_incast("lm-" + std::to_string(lm), o);
+  for (const std::int64_t lm : lm_values) {
+    const IncastResult& r = results[at++];
     std::printf("%-14lld %13.1f%% %13.2f%% %12.1f\n", static_cast<long long>(lm),
                 100.0 * r.dissatisfaction, r.probe_overhead_pct, r.rtt_p999_us);
   }
@@ -108,10 +143,8 @@ int main() {
 
   harness::print_header("Ablation D — INT wire quantization (Appendix G)");
   std::printf("%-14s %14s %14s %12s\n", "telemetry", "dissatisfied", "max_queue_B", "rtt_p999us");
-  for (const bool quantize : {false, true}) {
-    harness::SchemeOptions o;
-    o.core.quantize_int = quantize;
-    const auto r = run_incast(quantize ? "int-64bit" : "int-full", o);
+  for (const bool quantize : quantize_modes) {
+    const IncastResult& r = results[at++];
     std::printf("%-14s %13.1f%% %14lld %12.1f\n", quantize ? "64-bit wire" : "full precision",
                 100.0 * r.dissatisfaction, static_cast<long long>(r.max_queue), r.rtt_p999_us);
   }

@@ -17,6 +17,7 @@
 
 #include "src/faults/fault_plane.hpp"
 #include "src/harness/experiment.hpp"
+#include "src/harness/parallel_sweep.hpp"
 #include "src/topo/builders.hpp"
 #include "src/ufab/edge_agent.hpp"
 
@@ -147,8 +148,15 @@ int main() {
       "VFs, backlogged)");
   std::printf("%-6s %-6s %14s %14s %14s %16s %10s\n", "seed", "VF", "prefault_Gbps",
               "recovery_us", "recovery_RTTs", "phi_rebuild_us", "resets");
-  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
-    const RunResult r = run_once(seed);
+  const std::vector<std::uint64_t> seeds = {1, 2, 3};
+  // One isolated fabric per seed: the sweep fans them over UFAB_JOBS workers
+  // and the per-seed rows print here, serially, in seed order.
+  const auto results = harness::parallel_sweep<RunResult>(
+      static_cast<int>(seeds.size()),
+      [&seeds](int i) { return run_once(seeds[static_cast<std::size_t>(i)]); });
+  for (std::size_t s = 0; s < seeds.size(); ++s) {
+    const std::uint64_t seed = seeds[s];
+    const RunResult& r = results[s];
     for (std::size_t i = 0; i < r.pairs.size(); ++i) {
       const auto& pr = r.pairs[i];
       std::printf("%-6llu %-6zu %14.2f %14.1f %14.1f %16.1f %10lld\n",

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/harness/experiment.hpp"
+#include "src/harness/parallel_sweep.hpp"
 
 using namespace ufab;
 using namespace ufab::time_literals;
@@ -92,9 +93,14 @@ int main() {
       {Scheme::kEsClove, 200_us, "ES+Clove (200us)"},
       {Scheme::kUfab, 200_us, "uFAB"},
   };
-  for (const Case& c : cases) {
-    const Result r = run_case2(c.scheme, c.gap, 77);
-    std::printf("%-26s %10.2f %10.2f %10.2f %10.2f %13.1f%% %12lld\n", c.label,
+  // Independent cases (one Experiment each) fan out over UFAB_JOBS workers;
+  // rows print here, serially, in case order.
+  const auto results = harness::parallel_sweep<Result>(
+      static_cast<int>(std::size(cases)),
+      [&cases](int i) { return run_case2(cases[i].scheme, cases[i].gap, 77); });
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
+    const Result& r = results[i];
+    std::printf("%-26s %10.2f %10.2f %10.2f %10.2f %13.1f%% %12lld\n", cases[i].label,
                 r.steady_gbps[0], r.steady_gbps[1], r.steady_gbps[2], r.steady_gbps[3],
                 100.0 * r.dissatisfaction, static_cast<long long>(r.migrations_or_switches));
   }

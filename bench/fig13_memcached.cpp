@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/harness/experiment.hpp"
+#include "src/harness/parallel_sweep.hpp"
 #include "src/workload/apps.hpp"
 
 using namespace ufab;
@@ -85,13 +86,26 @@ int main() {
       {"uFAB", Scheme::kUfab, false},
       {"Ideal (no MongoDB)", Scheme::kUfab, true},
   };
+  struct Variant {
+    const Row* row;
+    bool high;
+  };
+  std::vector<Variant> variants;
   for (const bool high : {false, true}) {
-    const int mongo_clients = high ? 24 : 8;
-    for (const Row& r : rows) {
-      const Outcome o = run(r.scheme, mongo_clients, r.ideal, 17);
-      std::printf("%-22s %-9s %12.0f %12.1f %12.1f %12.1f\n", r.label,
-                  high ? "high" : "low", o.qps, o.qct_avg_us, o.qct_p90_us, o.qct_p99_us);
-    }
+    for (const Row& r : rows) variants.push_back({&r, high});
+  }
+  // Each (scheme, load) cell is an isolated Experiment; the sweep fans them
+  // over UFAB_JOBS workers and rows print here in the serial order.
+  const auto outcomes = harness::parallel_sweep<Outcome>(
+      static_cast<int>(variants.size()), [&variants](int i) {
+        const Variant& v = variants[static_cast<std::size_t>(i)];
+        return run(v.row->scheme, v.high ? 24 : 8, v.row->ideal, 17);
+      });
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const Variant& v = variants[i];
+    const Outcome& o = outcomes[i];
+    std::printf("%-22s %-9s %12.0f %12.1f %12.1f %12.1f\n", v.row->label,
+                v.high ? "high" : "low", o.qps, o.qct_avg_us, o.qct_p90_us, o.qct_p99_us);
   }
   std::printf(
       "\nExpected shape: uFAB's QPS and QCT track the Ideal case at both loads;\n"

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/harness/experiment.hpp"
+#include "src/harness/parallel_sweep.hpp"
 #include "src/ufab/edge_agent.hpp"
 
 using namespace ufab;
@@ -56,8 +57,13 @@ double measure_overhead(int n_pairs, std::uint64_t seed) {
 int main() {
   harness::print_header("Figure 15b — probing bandwidth overhead vs #VM pairs (100GE, L_m=4KB)");
   std::printf("%10s %14s\n", "vm_pairs", "overhead_pct");
-  for (const int n : {1, 10, 100, 1000, 4000}) {
-    std::printf("%10d %13.2f%%\n", n, measure_overhead(n, 97));
+  const std::vector<int> counts = {1, 10, 100, 1000, 4000};
+  // Independent runs fan out over UFAB_JOBS workers; rows print in order.
+  const auto overheads = harness::parallel_sweep<double>(
+      static_cast<int>(counts.size()),
+      [&counts](int i) { return measure_overhead(counts[static_cast<std::size_t>(i)], 97); });
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    std::printf("%10d %13.2f%%\n", counts[i], overheads[i]);
   }
   std::printf(
       "\nExpected shape: overhead rises with the first few pairs then plateaus at\n"

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/harness/experiment.hpp"
+#include "src/harness/parallel_sweep.hpp"
 #include "src/workload/sources.hpp"
 
 using namespace ufab;
@@ -19,12 +20,14 @@ namespace {
 
 constexpr TimeNs kRun = 120_ms;
 
-/// (a,b): VFs join a leaf-spine fabric under background load; measure the
-/// time until every VF holds its guarantee and the number of migrations.
-void freeze_window_sweep(double load) {
-  std::printf("\n--- freeze window sweep, background load %.0f%% ---\n", load * 100.0);
-  std::printf("%-14s %18s %12s\n", "waiting_time", "convergence_ms", "migrations");
-  for (const int n : {2, 3, 4, 10}) {
+/// One (load, freeze-window) cell: convergence time + migration count.
+struct FreezeRow {
+  TimeNs settle;
+  std::int64_t migrations;
+};
+
+FreezeRow freeze_window_run(double load, int n) {
+  {
     harness::SchemeOptions opts;
     opts.ufab.freeze_window_max_rtts = n;
     // Start every VF on a random path so convergence happens through
@@ -69,22 +72,40 @@ void freeze_window_sweep(double load) {
 
     // Convergence: first time the per-ms dissatisfaction stays < 5%.
     const auto series = harness::dissatisfaction_series(fab, specs, kRun);
-    const TimeNs settle = series.settle_time(20_ms, 0.0, 5.0, 10_ms);
-    std::int64_t migrations = 0;
+    FreezeRow row;
+    row.settle = series.settle_time(20_ms, 0.0, 5.0, 10_ms);
+    row.migrations = 0;
     for (std::size_t h = 0; h < fab.net().host_count(); ++h) {
-      migrations +=
+      row.migrations +=
           fab.stack_as<edge::EdgeAgent>(HostId{static_cast<std::int32_t>(h)}).migrations();
     }
-    char conv[32];
-    if (settle == TimeNs::max()) {
-      std::snprintf(conv, sizeof(conv), "no convergence");
-    } else {
-      std::snprintf(conv, sizeof(conv), "%.2f", (settle - 20_ms).ms());
-    }
-    std::printf("[1,%2d] RTTs    %18s %12lld\n", n, conv, static_cast<long long>(migrations));
     harness::write_bench_artifacts(fab, "fig18_sensitivity",
                                    "load" + std::to_string(static_cast<int>(load * 100)) +
                                        "-freeze" + std::to_string(n));
+    return row;
+  }
+}
+
+/// (a,b): VFs join a leaf-spine fabric under background load; measure the
+/// time until every VF holds its guarantee and the number of migrations.
+void freeze_window_sweep(double load) {
+  std::printf("\n--- freeze window sweep, background load %.0f%% ---\n", load * 100.0);
+  std::printf("%-14s %18s %12s\n", "waiting_time", "convergence_ms", "migrations");
+  const std::vector<int> windows = {2, 3, 4, 10};
+  // Each window is an isolated fabric; fan over UFAB_JOBS, print in order.
+  const auto rows = harness::parallel_sweep<FreezeRow>(
+      static_cast<int>(windows.size()), [load, &windows](int i) {
+        return freeze_window_run(load, windows[static_cast<std::size_t>(i)]);
+      });
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    char conv[32];
+    if (rows[i].settle == TimeNs::max()) {
+      std::snprintf(conv, sizeof(conv), "no convergence");
+    } else {
+      std::snprintf(conv, sizeof(conv), "%.2f", (rows[i].settle - 20_ms).ms());
+    }
+    std::printf("[1,%2d] RTTs    %18s %12lld\n", windows[i], conv,
+                static_cast<long long>(rows[i].migrations));
   }
 }
 
@@ -102,7 +123,13 @@ void probing_frequency() {
       {"every 2 RTT", edge::ProbeMode::kPeriodic, 2.0},
       {"every 3 RTT", edge::ProbeMode::kPeriodic, 3.0},
   };
-  for (const Mode& m : modes) {
+  struct ProbeRow {
+    TimeNs worst;
+    double rtt_p99;
+    std::int64_t probes;
+  };
+  const auto run_mode = [&modes](int idx) {
+    const Mode& m = modes[idx];
     harness::SchemeOptions opts;
     opts.ufab.probe_mode = m.mode;
     opts.ufab.periodic_rtts = m.rtts;
@@ -130,14 +157,23 @@ void probing_frequency() {
           harness::rate_settle_time(fab, p, 5_ms, 60_ms, 9.5 / 16 * 0.65, 9.5 / 16 * 1.35, 5_ms);
       worst = std::max(worst, s == TimeNs::max() ? 60_ms : s - 5_ms);
     }
-    std::int64_t probes = 0;
+    ProbeRow row;
+    row.worst = worst;
+    row.probes = 0;
     for (std::size_t h = 0; h < fab.net().host_count(); ++h) {
-      probes += fab.stack_as<edge::EdgeAgent>(HostId{static_cast<std::int32_t>(h)}).probes_sent();
+      row.probes +=
+          fab.stack_as<edge::EdgeAgent>(HostId{static_cast<std::int32_t>(h)}).probes_sent();
     }
     const auto rtt = exp.aggregate_rtt_us();
-    std::printf("%-16s %16.2f %14.1f %12lld\n", m.label, worst.ms(),
-                rtt.empty() ? 0.0 : rtt.percentile(99), static_cast<long long>(probes));
+    row.rtt_p99 = rtt.empty() ? 0.0 : rtt.percentile(99);
     harness::write_bench_artifacts(fab, "fig18_sensitivity", m.label);
+    return row;
+  };
+  const auto rows = harness::parallel_sweep<ProbeRow>(3, run_mode);
+  for (int i = 0; i < 3; ++i) {
+    std::printf("%-16s %16.2f %14.1f %12lld\n", modes[i].label, rows[static_cast<std::size_t>(i)].worst.ms(),
+                rows[static_cast<std::size_t>(i)].rtt_p99,
+                static_cast<long long>(rows[static_cast<std::size_t>(i)].probes));
   }
 }
 

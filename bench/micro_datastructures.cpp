@@ -3,6 +3,7 @@
 // per-probe INT processing path.
 #include <benchmark/benchmark.h>
 
+#include "src/harness/experiment.hpp"
 #include "src/sim/link.hpp"
 #include "src/sim/node.hpp"
 #include "src/sim/simulator.hpp"
@@ -10,6 +11,7 @@
 #include "src/telemetry/core_agent.hpp"
 #include "src/ufab/token_assigner.hpp"
 #include "src/ufab/wfq.hpp"
+#include "src/workload/sources.hpp"
 
 namespace {
 
@@ -67,6 +69,56 @@ void BM_EventQueue(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueue);
 
+/// Dense tie-heavy pattern: bursts land in one calendar bucket (same-time
+/// events exercise the FIFO tie-break path and per-bucket heap sifting).
+void BM_EventQueueBurst(benchmark::State& state) {
+  sim::Simulator sim;
+  std::int64_t t = 1;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      sim.at(TimeNs{t + (i & 3)}, [] {});
+    }
+    sim.run();
+    t += 50;
+  }
+  benchmark::DoNotOptimize(sim.events_processed());
+}
+BENCHMARK(BM_EventQueueBurst);
+
+/// Far-horizon pattern: every event lands beyond the calendar's near window,
+/// exercising the overflow tier, migration, and compaction.
+void BM_EventQueueFarHorizon(benchmark::State& state) {
+  sim::Simulator sim;
+  std::int64_t t = 1;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      sim.at(TimeNs{t + 700'000 + i * 997}, [] {});
+    }
+    sim.run();
+    t = sim.now().ns() + 1;
+  }
+  benchmark::DoNotOptimize(sim.events_processed());
+}
+BENCHMARK(BM_EventQueueFarHorizon);
+
+/// Pooled packet make/destroy churn with realistic field traffic — the
+/// per-packet cost transport and the links pay on every hop.
+void BM_PacketMake(benchmark::State& state) {
+  sim::Simulator sim;
+  auto& pool = sim.packet_pool();
+  for (auto _ : state) {
+    sim::PacketPtr p =
+        sim::make_packet(pool, sim::PacketKind::kData, VmPairId{VmId{1}, VmId{2}}, TenantId{0},
+                         HostId{0}, HostId{1}, 1500);
+    for (int h = 0; h < 4; ++h) p->route.push_back(h);
+    p->seq = 4096;
+    p->payload = 1400;
+    benchmark::DoNotOptimize(p->id);
+  }
+  benchmark::DoNotOptimize(pool.recycled_total());
+}
+BENCHMARK(BM_PacketMake);
+
 class NullNode final : public sim::Node {
  public:
   NullNode() : Node(NodeId{0}, "null") {}
@@ -107,5 +159,42 @@ void BM_TokenAssignment(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TokenAssignment)->Arg(8)->Arg(128);
+
+/// A 1 ms slice of the fig17 workload (uFAB on a k=4 FatTree, websearch
+/// sizes at load 0.5): the end-to-end engine benchmark — event queue, packet
+/// pool, links, transport, and telemetry together.  Tracks the same path
+/// scripts/run_perf.sh times at full scale.
+void BM_Fig17Slice(benchmark::State& state) {
+  for (auto _ : state) {
+    harness::Experiment exp(
+        harness::Scheme::kUfab,
+        [](sim::Simulator& s, const topo::FabricOptions& o) {
+          return topo::make_fat_tree(s, 4, 1, o);
+        },
+        {}, {}, 41);
+    auto& fab = exp.fab();
+    auto& vms = fab.vms();
+    std::vector<VmPairId> pairs;
+    Rng pair_rng = fab.rng().fork("pairs");
+    const int hosts = static_cast<int>(fab.net().host_count());
+    const TenantId tid = vms.add_tenant("T0", Bandwidth::gbps(1.0));
+    std::vector<VmId> tvms;
+    for (int h = 0; h < hosts; ++h) tvms.push_back(vms.add_vm(tid, HostId{h}));
+    for (int h = 0; h < hosts; ++h) {
+      int peer = static_cast<int>(pair_rng.below(static_cast<std::uint64_t>(hosts)));
+      if (peer == h) peer = (peer + 1) % hosts;
+      pairs.push_back(
+          VmPairId{tvms[static_cast<std::size_t>(h)], tvms[static_cast<std::size_t>(peer)]});
+    }
+    workload::PoissonFlowGenerator::Config gcfg;
+    gcfg.target_load = 0.5;
+    gcfg.stop = 1_ms;
+    workload::PoissonFlowGenerator gen(fab, pairs, workload::EmpiricalSizeDist::websearch(),
+                                       gcfg, fab.rng().fork("flows"));
+    fab.sim().run_until(1500_us);
+    benchmark::DoNotOptimize(fab.sim().events_processed());
+  }
+}
+BENCHMARK(BM_Fig17Slice)->Unit(benchmark::kMillisecond);
 
 }  // namespace

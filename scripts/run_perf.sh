@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Engine performance lane: builds Release, runs the data-structure
+# microbenchmarks plus a timed fig17 variant, and writes the numbers to
+# BENCH_engine.json at the repo root (machine-readable, one entry per
+# benchmark).  CI runs `--smoke` (short repetitions, no timed fig17) to catch
+# gross regressions without burning minutes; run it bare before/after engine
+# work to produce comparable numbers.
+#
+#   scripts/run_perf.sh            # full lane: microbenches + timed fig17
+#   scripts/run_perf.sh --smoke    # microbenches only, short min-time
+#
+# Environment:
+#   UFAB_JOBS   worker threads for the bench variant sweeps (default: all
+#               cores).  The timed fig17 run is recorded at UFAB_JOBS=1 too,
+#               so single-thread engine gains are visible separately from
+#               sweep parallelism.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+if [[ "${1:-}" == "--smoke" ]]; then SMOKE=1; fi
+
+BUILD_DIR="build-perf"
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release -DUFAB_SANITIZE= >/dev/null
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target micro_datastructures fig17_large_scale
+
+OUT="BENCH_engine.json"
+MICRO_JSON="$(mktemp)"
+trap 'rm -f "${MICRO_JSON}"' EXIT
+
+MIN_TIME=0.5
+if [[ "${SMOKE}" == "1" ]]; then MIN_TIME=0.05; fi
+"${BUILD_DIR}/bench/micro_datastructures" \
+  --benchmark_min_time="${MIN_TIME}" \
+  --benchmark_out="${MICRO_JSON}" --benchmark_out_format=json \
+  --benchmark_filter='BM_(EventQueue|EventQueueBurst|EventQueueFarHorizon|PacketMake|CoreAgentProbe|Fig17Slice)'
+
+# Wall-clock the full fig17 bench (the paper's headline experiment and the
+# engine's end-to-end workload) serially and with the parallel sweep.
+fig17_serial_s="null"
+fig17_parallel_s="null"
+jobs="${UFAB_JOBS:-$(nproc)}"
+if [[ "${SMOKE}" == "0" ]]; then
+  t0=$(date +%s.%N)
+  UFAB_JOBS=1 UFAB_OBS=0 "${BUILD_DIR}/bench/fig17_large_scale" >/dev/null
+  t1=$(date +%s.%N)
+  fig17_serial_s=$(awk -v a="$t0" -v b="$t1" 'BEGIN{printf "%.2f", b-a}')
+  t0=$(date +%s.%N)
+  UFAB_JOBS="${jobs}" UFAB_OBS=0 "${BUILD_DIR}/bench/fig17_large_scale" >/dev/null
+  t1=$(date +%s.%N)
+  fig17_parallel_s=$(awk -v a="$t0" -v b="$t1" 'BEGIN{printf "%.2f", b-a}')
+fi
+
+python3 - "$MICRO_JSON" "$OUT" "$fig17_serial_s" "$fig17_parallel_s" "$jobs" <<'PY'
+import json, platform, sys
+
+micro_path, out_path, serial_s, parallel_s, jobs = sys.argv[1:6]
+with open(micro_path) as f:
+    micro = json.load(f)
+
+entries = {}
+for b in micro.get("benchmarks", []):
+    if b.get("run_type", "iteration") != "iteration":
+        continue
+    entries[b["name"]] = {
+        "real_time": b["real_time"],
+        "cpu_time": b["cpu_time"],
+        "time_unit": b["time_unit"],
+        "iterations": b["iterations"],
+    }
+
+doc = {
+    "schema": "ufab-bench-engine-v1",
+    "notes": "single-shot wall clocks; on shared/single-CPU hosts expect "
+             "double-digit noise, and parallel_wall_s can only beat "
+             "serial_wall_s when cpus_online > 1.  For A/B claims use "
+             "interleaved min-of-N runs.",
+    "host": {
+        "machine": platform.machine(),
+        "cpus_online": __import__("os").cpu_count(),
+    },
+    "micro": entries,
+    "fig17_large_scale": {
+        "serial_wall_s": None if serial_s == "null" else float(serial_s),
+        "parallel_wall_s": None if parallel_s == "null" else float(parallel_s),
+        "parallel_jobs": int(jobs),
+    },
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path}")
+PY

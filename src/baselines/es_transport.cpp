@@ -154,7 +154,7 @@ void EsTransport::gp_epoch() {
     }
     edge::admit_tokens(vms().vm_tokens(VmId{vm}), views);
     for (std::size_t i = 0; i < entries.size(); ++i) {
-      auto msg = Packet::make(PacketKind::kCredit, entries[i]->pair, entries[i]->tenant,
+      auto msg = sim::make_packet(simulator().packet_pool(), PacketKind::kCredit, entries[i]->pair, entries[i]->tenant,
                               host_id(), entries[i]->src_host, sim::kCreditBytes);
       msg->credit_rate = Bandwidth::bps(views[i].admitted);
       send_control_packet(std::move(msg));

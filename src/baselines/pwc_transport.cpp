@@ -162,7 +162,7 @@ void PwcTransport::rcm_tick() {
       if (open.empty()) break;
     }
     for (const Item& it2 : items) {
-      auto credit = Packet::make(PacketKind::kCredit, it2.a->pair, it2.a->tenant, host_id(),
+      auto credit = sim::make_packet(simulator().packet_pool(), PacketKind::kCredit, it2.a->pair, it2.a->tenant, host_id(),
                                  it2.a->src_host, sim::kCreditBytes);
       credit->credit_rate = Bandwidth::bps(std::max(it2.alloc, 1e6));
       send_control_packet(std::move(credit));
@@ -171,7 +171,7 @@ void PwcTransport::rcm_tick() {
   } else {
     // No receiver congestion: lift any caps.
     for (Arrival* a : active) {
-      auto credit = Packet::make(PacketKind::kCredit, a->pair, a->tenant, host_id(),
+      auto credit = sim::make_packet(simulator().packet_pool(), PacketKind::kCredit, a->pair, a->tenant, host_id(),
                                  a->src_host, sim::kCreditBytes);
       credit->credit_rate = Bandwidth::bps(line_bps);
       send_control_packet(std::move(credit));

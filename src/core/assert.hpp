@@ -12,11 +12,13 @@ namespace ufab {
 
 /// Invoked (once) just before a failed check aborts — the observability plane
 /// registers a hook here that dumps its flight recorder, so the event history
-/// leading up to an invariant violation is preserved on disk.
+/// leading up to an invariant violation is preserved on disk.  Thread-local:
+/// when bench variants run on worker threads, a failing check dumps the
+/// recorder of the fabric running on *that* thread.
 using CheckFailureHook = void (*)(const char* expr, const char* file, int line,
                                   const char* msg);
 inline CheckFailureHook& check_failure_hook() {
-  static CheckFailureHook hook = nullptr;
+  thread_local CheckFailureHook hook = nullptr;
   return hook;
 }
 inline void set_check_failure_hook(CheckFailureHook hook) { check_failure_hook() = hook; }

@@ -1,5 +1,6 @@
 #include "src/core/log.hpp"
 
+#include <atomic>
 #include <cctype>
 #include <cstdlib>
 #include <cstring>
@@ -7,10 +8,15 @@
 namespace ufab {
 
 namespace {
-LogLevel g_threshold = LogLevel::kWarn;
-bool g_env_checked = false;
-LogSink g_sink;
-LogClock g_clock;
+// The threshold is process-wide and read from every thread once bench
+// variants run on workers (harness::ParallelSweep), so it is atomic.  The
+// sink and clock are thread-local: each worker's fabric stamps its own log
+// lines with its own simulator clock, and one variant's sink never sees
+// another variant's lines.
+std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
+std::atomic<bool> g_env_checked{false};
+thread_local LogSink g_sink;
+thread_local LogClock g_clock;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -44,18 +50,20 @@ LogLevel parse_log_level(const char* name, LogLevel fallback) {
 }
 
 void reload_log_level_from_env() {
-  g_env_checked = true;
-  g_threshold = parse_log_level(std::getenv("UFAB_LOG_LEVEL"), g_threshold);
+  g_env_checked.store(true, std::memory_order_relaxed);
+  g_threshold.store(parse_log_level(std::getenv("UFAB_LOG_LEVEL"),
+                                    g_threshold.load(std::memory_order_relaxed)),
+                    std::memory_order_relaxed);
 }
 
 LogLevel log_threshold() {
-  if (!g_env_checked) reload_log_level_from_env();
-  return g_threshold;
+  if (!g_env_checked.load(std::memory_order_relaxed)) reload_log_level_from_env();
+  return g_threshold.load(std::memory_order_relaxed);
 }
 
 void set_log_threshold(LogLevel level) {
-  g_env_checked = true;  // an explicit setting outranks the environment
-  g_threshold = level;
+  g_env_checked.store(true, std::memory_order_relaxed);  // outranks the environment
+  g_threshold.store(level, std::memory_order_relaxed);
 }
 
 void set_log_sink(LogSink sink) { g_sink = std::move(sink); }

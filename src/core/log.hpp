@@ -19,9 +19,9 @@ namespace ufab {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Process-wide log threshold (not thread-safe by design: the simulator is
-/// single-threaded and experiments set this once at startup).  The first
-/// query seeds the threshold from UFAB_LOG_LEVEL when that is set.
+/// Process-wide log threshold (atomic: worker threads running parallel bench
+/// variants read it concurrently).  The first query seeds the threshold from
+/// UFAB_LOG_LEVEL when that is set.
 LogLevel log_threshold();
 void set_log_threshold(LogLevel level);
 
@@ -32,12 +32,16 @@ LogLevel parse_log_level(const char* name, LogLevel fallback);
 /// Re-reads UFAB_LOG_LEVEL and applies it (tests; long-lived tools).
 void reload_log_level_from_env();
 
-/// Replaces the output sink; an empty function restores the stderr default.
+/// Replaces the calling thread's output sink; an empty function restores the
+/// stderr default.  Sinks are thread-local so concurrent bench variants
+/// (harness::ParallelSweep) never interleave into each other's capture.
 using LogSink = std::function<void(LogLevel, const std::string&)>;
 void set_log_sink(LogSink sink);
 
-/// Registers a simulation-time source; every subsequent line is stamped with
-/// its value.  An empty function removes the stamp.
+/// Registers a simulation-time source for the calling thread; every
+/// subsequent line on this thread is stamped with its value.  An empty
+/// function removes the stamp.  Thread-local for the same reason as the sink:
+/// each worker's fabric stamps with its own simulator clock.
 using LogClock = std::function<TimeNs()>;
 void set_log_clock(LogClock clock);
 

@@ -1,0 +1,81 @@
+// A growable circular FIFO with deque semantics and vector storage.
+//
+// std::deque pays a block allocation every few dozen pushes and frees it
+// again as the front drains — measurable allocator traffic when a deque
+// holds per-packet state (Link keeps one rate checkpoint per transmitted
+// packet, ~1e8 per large bench).  RingDeque keeps one contiguous buffer and
+// a head index: steady-state push_back/pop_front touch no allocator at all,
+// and the capacity sticks at the high-water mark like a vector's.
+//
+// Only what the hot paths need: push_back, pop_front, front/back, indexed
+// access from the front.  Elements must be movable; capacity grows by
+// doubling (power of two, so the wrap is a mask).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/core/assert.hpp"
+
+namespace ufab {
+
+template <typename T>
+class RingDeque {
+ public:
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  /// i = 0 is the front (oldest element).
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    UFAB_CHECK(i < count_);
+    return buf_[(head_ + i) & (buf_.size() - 1)];
+  }
+  [[nodiscard]] T& operator[](std::size_t i) {
+    UFAB_CHECK(i < count_);
+    return buf_[(head_ + i) & (buf_.size() - 1)];
+  }
+  [[nodiscard]] const T& front() const { return (*this)[0]; }
+  [[nodiscard]] T& front() { return (*this)[0]; }
+  [[nodiscard]] const T& back() const { return (*this)[count_ - 1]; }
+
+  void push_back(T v) {
+    if (count_ == buf_.size()) grow();
+    buf_[(head_ + count_) & (buf_.size() - 1)] = std::move(v);
+    ++count_;
+  }
+
+  void pop_front() {
+    UFAB_CHECK(count_ > 0);
+    buf_[head_] = T{};  // release any resources held by the slot
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    --count_;
+  }
+
+  void clear() {
+    for (std::size_t i = 0; i < count_; ++i) {
+      buf_[(head_ + i) & (buf_.size() - 1)] = T{};
+    }
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  void grow() {
+    const std::size_t new_cap = buf_.empty() ? kInitialCapacity : buf_.size() * 2;
+    std::vector<T> next(new_cap);
+    for (std::size_t i = 0; i < count_; ++i) {
+      next[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+  }
+
+  static constexpr std::size_t kInitialCapacity = 16;
+
+  std::vector<T> buf_;  ///< Capacity is always zero or a power of two.
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace ufab

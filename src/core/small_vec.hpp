@@ -1,0 +1,174 @@
+// Small-buffer vector for hot-path packet fields.
+//
+// A `SmallVec<T, N>` stores up to N elements inline (no heap allocation) and
+// spills to the heap only beyond that.  Packet routes and probe INT stacks are
+// bounded by the path length — at most 5 hops on both the testbed and FatTree
+// topologies — so with N sized above that bound the per-packet fast path never
+// allocates.  The interface is the subset of std::vector the simulator uses;
+// clear() keeps any spilled capacity so pooled packets retain their storage
+// across reuse.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/core/assert.hpp"
+
+namespace ufab {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(N > 0, "inline capacity must be positive");
+
+ public:
+  using value_type = T;
+
+  SmallVec() = default;
+
+  SmallVec(const SmallVec& other) { assign(other.begin(), other.end()); }
+  SmallVec(SmallVec&& other) noexcept { move_from(std::move(other)); }
+
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) assign(other.begin(), other.end());
+    return *this;
+  }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      clear();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+  /// Assignment from a std::vector (topology paths stay plain vectors).
+  SmallVec& operator=(const std::vector<T>& v) {
+    assign(v.data(), v.data() + v.size());
+    return *this;
+  }
+
+  ~SmallVec() { destroy_all(); }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] static constexpr std::size_t inline_capacity() { return N; }
+
+  [[nodiscard]] T* data() { return spilled() ? heap_.data() : inline_data(); }
+  [[nodiscard]] const T* data() const { return spilled() ? heap_.data() : inline_data(); }
+
+  [[nodiscard]] T& operator[](std::size_t i) { return data()[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data()[i]; }
+
+  [[nodiscard]] T& front() { return data()[0]; }
+  [[nodiscard]] const T& front() const { return data()[0]; }
+  [[nodiscard]] T& back() { return data()[size_ - 1]; }
+  [[nodiscard]] const T& back() const { return data()[size_ - 1]; }
+
+  [[nodiscard]] T* begin() { return data(); }
+  [[nodiscard]] T* end() { return data() + size_; }
+  [[nodiscard]] const T* begin() const { return data(); }
+  [[nodiscard]] const T* end() const { return data() + size_; }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (!spilled()) {
+      if (size_ < N) {
+        T* slot = inline_data() + size_;
+        ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+        ++size_;
+        return *slot;
+      }
+      spill();
+    }
+    heap_.emplace_back(std::forward<Args>(args)...);
+    ++size_;
+    return heap_.back();
+  }
+
+  void pop_back() {
+    UFAB_CHECK(size_ > 0);
+    if (spilled()) {
+      heap_.pop_back();
+    } else {
+      inline_data()[size_ - 1].~T();
+    }
+    --size_;
+  }
+
+  /// Removes every element.  Spilled heap capacity is kept so that a pooled
+  /// packet that once took a long path never reallocates on reuse.
+  void clear() {
+    if (spilled()) {
+      heap_.clear();  // keeps capacity
+    } else {
+      for (std::size_t i = 0; i < size_; ++i) inline_data()[i].~T();
+    }
+    size_ = 0;
+  }
+
+  [[nodiscard]] bool operator==(const SmallVec& other) const {
+    if (size_ != other.size_) return false;
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (!((*this)[i] == other[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  void assign(const T* first, const T* last) {
+    clear();
+    for (const T* p = first; p != last; ++p) emplace_back(*p);
+  }
+
+  void move_from(SmallVec&& other) noexcept {
+    if (other.spilled()) {
+      heap_ = std::move(other.heap_);
+      size_ = other.size_;
+      // The source's store left with heap_; it must read as empty before any
+      // other member call or its inline destructors would run on garbage.
+      other.size_ = 0;
+      other.heap_.clear();
+    } else {
+      for (std::size_t i = 0; i < other.size_; ++i) {
+        emplace_back(std::move(other.inline_data()[i]));
+      }
+      other.clear();
+    }
+  }
+
+  /// Moves the inline elements to the heap; from then on heap_ is the store
+  /// (clear() keeps its capacity, so the vec stays in heap mode thereafter).
+  void spill() {
+    heap_.reserve(N * 2);
+    for (std::size_t i = 0; i < size_; ++i) {
+      heap_.emplace_back(std::move(inline_data()[i]));
+      inline_data()[i].~T();
+    }
+  }
+
+  [[nodiscard]] bool spilled() const { return !heap_.empty() || heap_.capacity() != 0; }
+
+  void destroy_all() {
+    if (!spilled()) {
+      for (std::size_t i = 0; i < size_; ++i) inline_data()[i].~T();
+    }
+    size_ = 0;
+  }
+
+  [[nodiscard]] T* inline_data() { return std::launder(reinterpret_cast<T*>(inline_storage_)); }
+  [[nodiscard]] const T* inline_data() const {
+    return std::launder(reinterpret_cast<const T*>(inline_storage_));
+  }
+
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+  std::size_t size_ = 0;
+  std::vector<T> heap_;  ///< Engaged (non-zero capacity) only after a spill.
+};
+
+}  // namespace ufab

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 
 #include "src/transport/transport.hpp"
@@ -145,8 +146,18 @@ void write_bench_artifacts(Fabric& fab, const std::string& bench, const std::str
   obs::Obs* obs = fab.observability();
   if (obs == nullptr || !obs->enabled()) return;
 
+  // Artifacts default to bench_artifacts/ (gitignored) instead of littering
+  // the working directory; UFAB_METRICS_DIR overrides.
   const char* dir_env = std::getenv("UFAB_METRICS_DIR");
-  const std::string dir = dir_env != nullptr && dir_env[0] != '\0' ? dir_env : ".";
+  const std::string dir =
+      dir_env != nullptr && dir_env[0] != '\0' ? dir_env : "bench_artifacts";
+  std::error_code mkdir_ec;
+  std::filesystem::create_directories(dir, mkdir_ec);
+  if (mkdir_ec) {
+    std::fprintf(stderr, "[obs] cannot create %s: %s\n", dir.c_str(),
+                 mkdir_ec.message().c_str());
+    return;
+  }
   std::string base = dir + "/" + slug(bench);
   if (!variant.empty()) base += "." + slug(variant);
 

@@ -73,8 +73,9 @@ TimeNs rate_settle_time(Fabric& fab, VmPairId pair, TimeNs from, TimeNs until, d
 /// Writes machine-readable observability artifacts next to a bench's printed
 /// output: `<bench>[.<variant>].metrics.json` / `.metrics.csv`, plus
 /// `.trace.json` (Chrome trace) when the flight recorder holds events.  Files
-/// land in $UFAB_METRICS_DIR (default: the working directory).  Notices go to
-/// stderr so bench stdout stays byte-identical to runs without observability.
+/// land in $UFAB_METRICS_DIR (default: bench_artifacts/, created on demand).
+/// Notices go to stderr so bench stdout stays byte-identical to runs without
+/// observability.
 /// No-op when the fabric has no enabled observability plane.
 void write_bench_artifacts(Fabric& fab, const std::string& bench,
                            const std::string& variant = "");

@@ -1,0 +1,56 @@
+#include "src/harness/parallel_sweep.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "src/core/assert.hpp"
+
+namespace ufab::harness {
+
+int ParallelSweep::jobs_from_env() {
+  if (const char* env = std::getenv("UFAB_JOBS"); env != nullptr && env[0] != '\0') {
+    const int jobs = std::atoi(env);
+    if (jobs >= 1) return jobs;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void ParallelSweep::run_indexed(int n, const std::function<void(int)>& fn) {
+  UFAB_CHECK(n >= 0);
+  if (n == 0) return;
+  const int workers = jobs_ < n ? jobs_ : n;
+  if (workers <= 1) {
+    // Inline serial path: same thread, same order, no thread machinery —
+    // UFAB_JOBS=1 behaves exactly like the pre-sweep benches.
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<int> next{0};
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
+  auto worker = [&] {
+    while (true) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        errors[static_cast<std::size_t>(i)] = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+
+  // Deterministic error propagation: the lowest-index failure wins.
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace ufab::harness

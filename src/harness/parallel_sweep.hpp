@@ -1,0 +1,63 @@
+// Multi-core bench variant sweeps.
+//
+// The figure benches run a grid of (scheme × oversubscription × load)
+// variants that share nothing: each builds its own Fabric — simulator, RNG,
+// topology, metric registry — and returns a plain result struct.  After the
+// global-state audit (thread-local log sink/clock and crash-dump hook,
+// per-pool packet ids; see DESIGN.md §8.4) the variants are genuinely
+// independent, so ParallelSweep fans them out over std::thread workers.
+//
+// Output stays serial-identical: map() returns results in index order no
+// matter which worker finished first, and benches print only after the sweep
+// completes.  Each variant's simulation is deterministic on its own seed, so
+// `UFAB_JOBS=1` and `UFAB_JOBS=N` produce byte-identical results (locked in
+// by tests/integration/determinism_test.cpp).
+//
+// The variant function must not touch process-global mutable state; writing
+// per-variant artifact files (distinct names) and stderr notices is fine.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <vector>
+
+namespace ufab::harness {
+
+class ParallelSweep {
+ public:
+  /// `jobs` <= 0 means "decide from the environment": UFAB_JOBS when set,
+  /// else std::thread::hardware_concurrency().
+  explicit ParallelSweep(int jobs = 0) : jobs_(jobs > 0 ? jobs : jobs_from_env()) {}
+
+  /// UFAB_JOBS (clamped to >= 1) or hardware concurrency.
+  [[nodiscard]] static int jobs_from_env();
+
+  [[nodiscard]] int jobs() const { return jobs_; }
+
+  /// Runs `fn(0..n-1)` across the workers and returns the results in index
+  /// order.  With one job everything runs inline on the calling thread (the
+  /// exact serial code path).  The first variant exception (by index)
+  /// propagates after all workers join.
+  template <typename R>
+  std::vector<R> map(int n, const std::function<R(int)>& fn) {
+    std::vector<R> results(static_cast<std::size_t>(n));
+    run_indexed(n, [&](int i) { results[static_cast<std::size_t>(i)] = fn(i); });
+    return results;
+  }
+
+  /// As map(), for variant functions with side effects only.
+  void for_each(int n, const std::function<void(int)>& fn) { run_indexed(n, fn); }
+
+ private:
+  void run_indexed(int n, const std::function<void(int)>& fn);
+
+  int jobs_;
+};
+
+/// One-shot helper: `parallel_sweep<R>(n, fn)` with env-derived job count.
+template <typename R>
+std::vector<R> parallel_sweep(int n, const std::function<R(int)>& fn) {
+  return ParallelSweep().map(n, fn);
+}
+
+}  // namespace ufab::harness

@@ -10,10 +10,12 @@ namespace ufab::obs {
 namespace {
 
 /// The Obs instance whose flight recorder dumps on a failed check.  At most
-/// one at a time: the newest enabled instance with dump_on_check_failure wins
-/// (experiments run one fabric at a time; nested fabrics in tests simply hand
-/// the hook back on destruction).
-Obs* g_crash_dump_obs = nullptr;
+/// one per thread: the newest enabled instance with dump_on_check_failure
+/// wins (experiments run one fabric at a time per thread; nested fabrics in
+/// tests simply hand the hook back on destruction).  Thread-local alongside
+/// the check-failure hook so concurrent bench variants dump their own
+/// recorder, not a racing neighbor's.
+thread_local Obs* g_crash_dump_obs = nullptr;
 
 void crash_dump_hook(const char* expr, const char* file, int line, const char* msg) {
   (void)file;

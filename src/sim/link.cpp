@@ -11,7 +11,26 @@ namespace ufab::sim {
 namespace {
 /// Retain enough checkpoints to answer rate queries up to this far back.
 constexpr TimeNs kMaxRateWindow{200'000};  // 200 us
+
+/// The propagation-stage event: owns the packet until delivery.  A named
+/// functor (not a lambda) so it can be marked trivially relocatable — it is
+/// the single hottest event shape, and the mark lets the event queue move it
+/// by memcpy instead of an out-of-line unique_ptr move (see UniqueFunction).
+struct DeliverEvent {
+  Node* dst;
+  PacketPtr p;
+  void operator()() { dst->receive(std::move(p)); }
+};
 }  // namespace
+}  // namespace ufab::sim
+
+/// DeliverEvent is a raw pointer plus a unique_ptr with a stateless deleter:
+/// moving its bytes and abandoning the source is equivalent to its move
+/// constructor followed by destroying the (then empty) source.
+template <>
+inline constexpr bool ufab::is_trivially_relocatable_v<ufab::sim::DeliverEvent> = true;
+
+namespace ufab::sim {
 
 Link::Link(Simulator& sim, LinkId id, std::string name, Node* dst, LinkConfig cfg)
     : sim_(sim), id_(id), name_(std::move(name)), dst_(dst), cfg_(cfg) {
@@ -132,7 +151,7 @@ void Link::finish_transmit(std::int32_t bytes, std::uint64_t epoch) {
   busy_ = false;
   if (in_flight_) {
     tx_bytes_cum_ += bytes;
-    checkpoints_.emplace_back(sim_.now(), tx_bytes_cum_);
+    checkpoints_.push_back({sim_.now(), tx_bytes_cum_});
     while (checkpoints_.size() > 2 &&
            sim_.now() - checkpoints_.front().first > kMaxRateWindow) {
       checkpoints_.pop_front();
@@ -146,10 +165,7 @@ void Link::finish_transmit(std::int32_t bytes, std::uint64_t epoch) {
     } else {
       // Hand the packet to the propagation stage; delivery is a future event
       // that owns the packet (freed with the queue if the run is cut short).
-      Node* dst = dst_;
-      sim_.after(cfg_.prop_delay, [dst, p = std::move(pkt)]() mutable {
-        dst->receive(std::move(p));
-      });
+      sim_.after(cfg_.prop_delay, DeliverEvent{dst_, std::move(pkt)});
     }
   }
   if (!down_) start_next();
@@ -163,10 +179,11 @@ Bandwidth Link::tx_rate(TimeNs window) const {
   std::int64_t base_bytes = 0;
   TimeNs base_time = TimeNs::zero();
   bool found = false;
-  for (auto it = checkpoints_.rbegin(); it != checkpoints_.rend(); ++it) {
-    if (it->first <= cutoff) {
-      base_bytes = it->second;
-      base_time = it->first;
+  for (std::size_t i = checkpoints_.size(); i-- > 0;) {
+    const auto& cp = checkpoints_[i];
+    if (cp.first <= cutoff) {
+      base_bytes = cp.second;
+      base_time = cp.first;
       found = true;
       break;
     }

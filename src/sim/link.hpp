@@ -12,11 +12,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <string>
+#include <utility>
 
 #include "src/core/ids.hpp"
+#include "src/core/ring_deque.hpp"
 #include "src/core/time.hpp"
 #include "src/core/units.hpp"
 #include "src/sim/packet.hpp"
@@ -108,7 +109,7 @@ class Link {
   Node* dst_;
   LinkConfig cfg_;
 
-  std::deque<PacketPtr> queue_;
+  RingDeque<PacketPtr> queue_;
   std::int64_t queue_bytes_ = 0;
   std::int64_t max_queue_bytes_ = 0;
   bool busy_ = false;
@@ -126,7 +127,10 @@ class Link {
   std::int64_t fault_drops_ = 0;
 
   /// (time, cumulative bytes) checkpoints for windowed rate estimation.
-  std::deque<std::pair<TimeNs, std::int64_t>> checkpoints_;
+  /// One per transmitted packet, trimmed to the rate window: a RingDeque so
+  /// the steady-state push/trim cycle never touches the allocator (std::deque
+  /// allocates a block every few dozen pushes on this per-packet path).
+  RingDeque<std::pair<TimeNs, std::int64_t>> checkpoints_;
 };
 
 }  // namespace ufab::sim

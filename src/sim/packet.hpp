@@ -12,8 +12,10 @@
 #include <vector>
 
 #include "src/core/ids.hpp"
+#include "src/core/small_vec.hpp"
 #include "src/core/time.hpp"
 #include "src/core/units.hpp"
+#include "src/sim/packet_pool.hpp"
 
 namespace ufab::sim {
 
@@ -58,7 +60,20 @@ struct ProbeFields {
 };
 
 struct Packet;
-using PacketPtr = std::unique_ptr<Packet>;
+
+/// Destroying a PacketPtr recycles pooled packets instead of freeing them.
+struct PacketDeleter {
+  void operator()(Packet* p) const;
+};
+using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
+
+/// Inline capacities sized for the deepest supported path (FatTree: 5 switch
+/// hops host-to-host), so routes and INT stacks never touch the heap.
+inline constexpr std::size_t kInlineRouteHops = 8;
+inline constexpr std::size_t kInlineIntRecords = 6;
+
+using RouteVec = SmallVec<std::int32_t, kInlineRouteHops>;
+using IntStack = SmallVec<IntRecord, kInlineIntRecords>;
 
 struct Packet {
   PacketKind kind = PacketKind::kData;
@@ -73,12 +88,12 @@ struct Packet {
 
   /// Source route: egress port index at the i-th switch on the path. Empty
   /// means "use the switch ECMP tables" (baseline mode / motivation studies).
-  std::vector<std::int32_t> route;
+  RouteVec route;
   std::int32_t hop = 0;
   PathId path_tag;  ///< Sender-side path index, echoed back in ACKs/responses.
   /// Source route for the matching reverse-direction packet (ACK/response),
   /// so feedback returns along the same physical links.
-  std::vector<std::int32_t> reverse_route;
+  RouteVec reverse_route;
 
   // --- data / ack ---
   std::int64_t seq = 0;        ///< First payload byte offset within the message.
@@ -98,12 +113,26 @@ struct Packet {
 
   // --- probe family ---
   ProbeFields probe;
-  std::vector<IntRecord> telemetry;
+  IntStack telemetry;
 
-  /// Makes the matching reverse-direction packet skeleton (ack/response).
+  /// The pool this packet recycles into on destruction (null: plain heap).
+  PacketPool* origin_pool = nullptr;
+
+  /// Makes a packet on the plain heap (tests, setup paths).  Hot paths use
+  /// PacketPool::make via their simulator so storage is recycled.
   [[nodiscard]] static PacketPtr make(PacketKind kind, VmPairId pair, TenantId tenant,
                                       HostId src, HostId dst, std::int32_t size_bytes);
+
+  /// Returns every field to its freshly-constructed state, keeping any
+  /// route/telemetry storage capacity.  Must cover *all* fields: a pooled
+  /// packet's next life must not observe this one (see packet_pool_test).
+  void reset_for_reuse();
 };
+
+/// Pooled variant of Packet::make: recycled storage, per-pool packet ids.
+[[nodiscard]] PacketPtr make_packet(PacketPool& pool, PacketKind kind, VmPairId pair,
+                                    TenantId tenant, HostId src, HostId dst,
+                                    std::int32_t size_bytes);
 
 /// Wire-size constants (documented against Appendix G).
 inline constexpr std::int32_t kMtuBytes = 1500;

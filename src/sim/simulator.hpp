@@ -3,21 +3,37 @@
 // A single-threaded future-event list: events are (time, sequence, closure)
 // triples ordered by time with FIFO tie-breaking, which makes runs exactly
 // reproducible for a fixed seed.
+//
+// The list is a two-tier bucketed calendar queue rather than one global
+// binary heap.  Near-horizon events (within ~0.5 ms of `now`) land in a ring
+// of 512 ns time buckets; far-horizon events go to an overflow tier and
+// migrate into the ring as the clock approaches them.  Each bucket keeps its
+// events in an append-only slot vector (reset whenever the bucket drains,
+// which at 512 ns a bucket is constantly) and orders them through a small
+// heap of (time, seq, slot) keys — sifts compare and
+// move 24-byte keys without touching the events themselves, and a closure is
+// moved exactly once in (into its slot) and once out (when it fires).  The
+// pop order is exactly
+// the (time, seq) total order of the old priority_queue — FIFO tie-break
+// included — so results and `events_processed()` are byte-identical for a
+// fixed seed (proven by tests/sim/calendar_queue_test.cpp).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "src/core/assert.hpp"
 #include "src/core/time.hpp"
 #include "src/core/unique_function.hpp"
+#include "src/sim/packet_pool.hpp"
 
 namespace ufab::sim {
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator() : ring_(kNumBuckets) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -27,7 +43,13 @@ class Simulator {
   /// move-only, so events can own what they deliver (packets in flight).
   void at(TimeNs t, UniqueFunction fn) {
     UFAB_CHECK_MSG(t >= now_, "scheduling into the past");
-    queue_.push(Event{t, next_seq_++, std::move(fn)});
+    const std::uint64_t ab = abs_bucket(t);
+    const std::uint64_t seq = next_seq_++;
+    if (ab >= abs_bucket(now_) + kNumBuckets) {
+      bucket_push<true>(overflow_, t, seq, std::move(fn));
+    } else {
+      ring_push(ab, t, seq, std::move(fn));
+    }
   }
 
   /// Schedules `fn` after `delay` from now.
@@ -35,17 +57,26 @@ class Simulator {
 
   /// Runs until the event list drains.
   void run() {
-    while (!queue_.empty()) step();
+    while (peek() != nullptr) pop_and_run();
   }
 
   /// Runs all events with time <= `t`, then sets now to `t`.
   void run_until(TimeNs t) {
-    while (!queue_.empty() && queue_.top().at <= t) step();
+    while (true) {
+      const Event* ev = peek();
+      if (ev == nullptr || ev->at > t) break;
+      pop_and_run();
+    }
     if (t > now_) now_ = t;
   }
 
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::size_t pending() const { return ring_size_ + overflow_.heap.size(); }
+
+  /// The simulator's packet freelist: packets made through it are recycled on
+  /// delivery/drop instead of freed (see PacketPool).  Declared before the
+  /// event tiers so pending events' packets are destroyed first on teardown.
+  [[nodiscard]] PacketPool& packet_pool() { return pool_; }
 
  private:
   struct Event {
@@ -53,26 +84,147 @@ class Simulator {
     std::uint64_t seq;
     UniqueFunction fn;
   };
+
+  /// Bucket-heap key: the event's full order key plus its slot index, so
+  /// sifting compares and moves these 24-byte entries only and never touches
+  /// the (much larger) events.
+  struct HeapEntry {
+    std::int64_t at;
+    std::uint64_t seq;
+    std::uint32_t idx;
+  };
+
+  /// One calendar bucket: `heap` is a binary min-heap of HeapEntry keys over
+  /// the events stored in `slots`.  For ring buckets, slots are append-only
+  /// while the bucket has pending events and the vector resets (keeping
+  /// capacity) every time the bucket drains; at 512 ns per bucket that
+  /// happens constantly, so `slots` stays small and a steady-state bucket
+  /// allocates nothing.  The overflow tier instead recycles dead slots
+  /// through `free_idx` (see bucket_push<kRecycle>): recurring timers can
+  /// keep its heap non-empty for an entire run, so without reuse the slot
+  /// vector would grow with every far-scheduled event.  Recycling costs a
+  /// branch per push/pop, which measured slower on the ring hot path —
+  /// hence the compile-time split.
+  struct Bucket {
+    std::vector<Event> slots;
+    std::vector<HeapEntry> heap;
+    std::vector<std::uint32_t> free_idx;  ///< Overflow tier only: dead slots.
+    [[nodiscard]] bool empty() const { return heap.empty(); }
+  };
+
+  static constexpr int kBucketShift = 9;  ///< 512 ns per bucket.
+  static constexpr std::uint64_t kNumBuckets = 1024;  ///< ~0.5 ms near horizon.
+
+  [[nodiscard]] static std::uint64_t abs_bucket(TimeNs t) {
+    return static_cast<std::uint64_t>(t.ns()) >> kBucketShift;
+  }
+
+  /// Heap predicate for std::push_heap/std::pop_heap (max-heap semantics):
+  /// "a sorts after b", so the heap top is the earliest (time, seq).  A
+  /// functor type, not a function: passing a function pointer would make
+  /// every sift comparison an indirect call (measured at >1e9 calls per
+  /// fig17 run), while a stateless functor inlines into the sift loops.
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    [[nodiscard]] bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.at != b.at) return a.at > b.at;
       return a.seq > b.seq;
     }
   };
 
-  void step() {
-    // Move the closure out before popping so it can schedule new events.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+  template <bool kRecycle>
+  static void bucket_push(Bucket& b, TimeNs t, std::uint64_t seq, UniqueFunction&& fn) {
+    auto idx = static_cast<std::uint32_t>(b.slots.size());
+    if constexpr (kRecycle) {
+      if (!b.free_idx.empty()) {
+        idx = b.free_idx.back();
+        b.free_idx.pop_back();
+        b.slots[idx] = Event{t, seq, std::move(fn)};
+      } else {
+        b.slots.emplace_back(t, seq, std::move(fn));
+      }
+    } else {
+      b.slots.emplace_back(t, seq, std::move(fn));
+    }
+    b.heap.push_back(HeapEntry{t.ns(), seq, idx});
+    std::push_heap(b.heap.begin(), b.heap.end(), Later{});
+  }
+
+  template <bool kRecycle>
+  static Event bucket_pop(Bucket& b) {
+    std::pop_heap(b.heap.begin(), b.heap.end(), Later{});
+    const std::uint32_t idx = b.heap.back().idx;
+    Event ev = std::move(b.slots[idx]);
+    b.heap.pop_back();
+    if (b.heap.empty()) {
+      b.slots.clear();  // keeps capacity
+      if constexpr (kRecycle) b.free_idx.clear();
+    } else if constexpr (kRecycle) {
+      b.free_idx.push_back(idx);
+    }
+    return ev;
+  }
+
+  void ring_push(std::uint64_t ab, TimeNs t, std::uint64_t seq, UniqueFunction&& fn) {
+    bucket_push<false>(ring_[ab & (kNumBuckets - 1)], t, seq, std::move(fn));
+    ++ring_size_;
+    if (ab < cursor_) cursor_ = ab;
+  }
+
+  /// Pulls overflow events that now fall inside the near-horizon window into
+  /// the ring.  Overflow is ordered, so this stops at the first far event.
+  void migrate_overflow() {
+    if (overflow_.empty()) return;  // the common case: nothing far-scheduled
+    const std::uint64_t window_end = abs_bucket(now_) + kNumBuckets;
+    while (!overflow_.empty()) {
+      const HeapEntry& top = overflow_.heap.front();
+      const std::uint64_t ab = abs_bucket(TimeNs{top.at});
+      if (ab >= window_end) break;
+      Event ev = bucket_pop<true>(overflow_);
+      ring_push(ab, ev.at, ev.seq, std::move(ev.fn));
+    }
+  }
+
+  /// The earliest pending event, or nullptr.  Advances the bucket cursor past
+  /// empty buckets; `peeked_overflow_` records which tier holds the result.
+  [[nodiscard]] const Event* peek() {
+    migrate_overflow();
+    if (ring_size_ > 0) {
+      // Ring events are all within the window, so every index maps to one
+      // absolute bucket and scanning at most kNumBuckets finds the earliest.
+      if (cursor_ < abs_bucket(now_)) cursor_ = abs_bucket(now_);
+      while (ring_[cursor_ & (kNumBuckets - 1)].empty()) ++cursor_;
+      peeked_overflow_ = false;
+      const Bucket& b = ring_[cursor_ & (kNumBuckets - 1)];
+      return &b.slots[b.heap.front().idx];
+    }
+    if (!overflow_.empty()) {
+      // Every within-window event has migrated, so the overflow top — which
+      // lies beyond the window — is the global earliest.
+      peeked_overflow_ = true;
+      return &overflow_.slots[overflow_.heap.front().idx];
+    }
+    return nullptr;
+  }
+
+  /// Pops the event `peek()` just located and runs it.
+  void pop_and_run() {
+    Event ev = peeked_overflow_ ? bucket_pop<true>(overflow_)
+                                : bucket_pop<false>(ring_[cursor_ & (kNumBuckets - 1)]);
+    if (!peeked_overflow_) --ring_size_;
     now_ = ev.at;
     ++processed_;
     ev.fn();
   }
 
+  PacketPool pool_;
   TimeNs now_ = TimeNs::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Bucket> ring_;
+  std::size_t ring_size_ = 0;
+  std::uint64_t cursor_ = 0;       ///< No ring events live in buckets before this.
+  bool peeked_overflow_ = false;   ///< Tier of the last peek() result.
+  Bucket overflow_;
 };
 
 }  // namespace ufab::sim

@@ -159,7 +159,7 @@ PacketPtr TransportStack::make_data_packet(Connection& conn) {
   const std::int64_t remaining = m.size_bytes - conn.cur_offset;
   const auto payload = static_cast<std::int32_t>(
       std::min<std::int64_t>(opts_.mtu_payload, remaining));
-  auto pkt = Packet::make(PacketKind::kData, conn.pair, conn.tenant, host_, conn.dst_host,
+  auto pkt = sim::make_packet(sim_.packet_pool(), PacketKind::kData, conn.pair, conn.tenant, host_, conn.dst_host,
                           payload + sim::kDataHeaderBytes);
   pkt->message_id = m.id;
   pkt->seq = conn.cur_offset;
@@ -197,7 +197,7 @@ PacketPtr TransportStack::make_rtx_packet(Connection& conn) {
   select_path(conn);
   Connection::Outstanding o = conn.rtx_queue.front();
   conn.rtx_queue.pop_front();
-  auto pkt = Packet::make(PacketKind::kData, conn.pair, conn.tenant, host_, conn.dst_host,
+  auto pkt = sim::make_packet(sim_.packet_pool(), PacketKind::kData, conn.pair, conn.tenant, host_, conn.dst_host,
                           o.wire_bytes);
   pkt->message_id = o.msg_id;
   pkt->seq = o.offset;
@@ -307,7 +307,7 @@ void TransportStack::handle_data(PacketPtr pkt) {
   const bool complete = r.received >= r.msg.size_bytes;
 
   // Per-packet ACK along the reverse route (control priority).
-  auto ack = Packet::make(PacketKind::kAck, pkt->pair, pkt->tenant, host_, pkt->src_host,
+  auto ack = sim::make_packet(sim_.packet_pool(), PacketKind::kAck, pkt->pair, pkt->tenant, host_, pkt->src_host,
                           sim::kAckBytes);
   ack->acked_packet_id = pkt->id;
   ack->message_id = pkt->message_id;

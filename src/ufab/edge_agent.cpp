@@ -201,7 +201,7 @@ double EdgeAgent::window_floor(const UfabConnection& c) const {
 // ---------------------------------------------------------------------------
 
 void EdgeAgent::send_probe(UfabConnection& c) {
-  auto pkt = Packet::make(PacketKind::kProbe, c.pair, c.tenant, host_id(), c.dst_host,
+  auto pkt = sim::make_packet(simulator().packet_pool(), PacketKind::kProbe, c.pair, c.tenant, host_id(), c.dst_host,
                           sim::probe_wire_size(0));
   pkt->probe.phi = c.phi();
   // The admission claim is reported as a *rate* (window / baseRTT, bytes/s),
@@ -233,7 +233,7 @@ void EdgeAgent::send_probe(UfabConnection& c) {
 }
 
 void EdgeAgent::send_scout_probe(UfabConnection& c, std::int32_t path_idx) {
-  auto pkt = Packet::make(PacketKind::kProbe, c.pair, c.tenant, host_id(), c.dst_host,
+  auto pkt = sim::make_packet(simulator().packet_pool(), PacketKind::kProbe, c.pair, c.tenant, host_id(), c.dst_host,
                           sim::probe_wire_size(0));
   pkt->probe.scout = true;
   pkt->probe.phi = 0.0;
@@ -350,7 +350,7 @@ void EdgeAgent::handle_probe_at_destination(PacketPtr pkt) {
   }
 #endif
 
-  auto resp = Packet::make(PacketKind::kProbeResponse, pkt->pair, pkt->tenant, host_id(),
+  auto resp = sim::make_packet(simulator().packet_pool(), PacketKind::kProbeResponse, pkt->pair, pkt->tenant, host_id(),
                            pkt->src_host, pkt->size_bytes + 8);
   resp->probe = pkt->probe;
   resp->probe.phi_receiver = admitted;
@@ -364,7 +364,7 @@ void EdgeAgent::handle_probe_at_destination(PacketPtr pkt) {
 
 void EdgeAgent::handle_finish_at_destination(PacketPtr pkt) {
   incoming_.erase(pkt->pair.key());
-  auto resp = Packet::make(PacketKind::kProbeResponse, pkt->pair, pkt->tenant, host_id(),
+  auto resp = sim::make_packet(simulator().packet_pool(), PacketKind::kProbeResponse, pkt->pair, pkt->tenant, host_id(),
                            pkt->src_host, sim::kProbeBaseBytes);
   resp->probe = pkt->probe;  // carries the per-switch finish_acks count
   resp->route = pkt->reverse_route;
@@ -722,7 +722,7 @@ void EdgeAgent::migrate_to(UfabConnection& c, std::int32_t path_idx) {
 void EdgeAgent::send_finish_probe(UfabConnection& c, std::int32_t path_idx,
                                   std::uint64_t reg_key, int retries_left) {
   const auto& path = c.candidates.at(static_cast<std::size_t>(path_idx));
-  auto pkt = Packet::make(PacketKind::kFinishProbe, c.pair, c.tenant, host_id(), c.dst_host,
+  auto pkt = sim::make_packet(simulator().packet_pool(), PacketKind::kFinishProbe, c.pair, c.tenant, host_id(), c.dst_host,
                           sim::kProbeBaseBytes);
   pkt->probe.reg_key = reg_key;
   pkt->probe.phi = 0.0;

@@ -76,69 +76,4 @@ int WfqScheduler::level_of(TenantId tenant) const {
   return it == tenant_level_.end() ? 0 : it->second;
 }
 
-std::uint64_t WfqScheduler::find_sendable(
-    Level& level, const std::function<std::int32_t(std::uint64_t)>& sendable,
-    std::int32_t& size_out, bool commit) {
-  if (level.tenants.empty()) return 0;
-  const std::size_t nt = level.tenants.size();
-  for (std::size_t t = 0; t < nt; ++t) {
-    TenantQueue& tq = level.tenants[(level.cursor + t) % nt];
-    const std::size_t ne = tq.entities.size();
-    for (std::size_t e = 0; e < ne; ++e) {
-      const std::size_t ei = (tq.cursor + e) % ne;
-      const std::uint64_t entity = tq.entities[ei];
-      const std::int32_t size = sendable(entity);
-      if (size > 0) {
-        if (commit) {
-          // Advance round-robin cursors past the served entity/tenant.
-          tq.cursor = (ei + 1) % ne;
-          level.cursor = ((level.cursor + t) + 1) % nt;
-        }
-        size_out = size;
-        return entity;
-      }
-    }
-  }
-  return 0;
-}
-
-std::uint64_t WfqScheduler::next(const std::function<std::int32_t(std::uint64_t)>& sendable) {
-  // Classic DRR adapted to pull-one semantics: the rotation pointer stays on
-  // a level while its deficit lasts; moving onto a level grants its quantum
-  // exactly once. A level with nothing sendable forfeits its deficit, as in
-  // standard DRR where an emptied queue resets its counter.
-  for (int i = 0; i < 2 * kLevels; ++i) {
-    Level& L = levels_[rr_level_];
-    if (!L.tenants.empty()) {
-      std::int32_t size = 0;
-      const std::uint64_t probe = find_sendable(L, sendable, size, /*commit=*/false);
-      if (probe != 0 && L.deficit >= size) {
-        const std::uint64_t entity = find_sendable(L, sendable, size, /*commit=*/true);
-        L.deficit -= size;
-        return entity;
-      }
-      if (probe == 0) L.deficit = 0.0;
-    }
-    // Advance the rotation and grant the next level its quantum.
-    rr_level_ = (rr_level_ + 1) % kLevels;
-    Level& N = levels_[rr_level_];
-    const double level_quantum =
-        static_cast<double>(quantum_) * static_cast<double>(1 << rr_level_);
-    N.deficit = std::min(N.deficit + level_quantum, 2.0 * level_quantum);
-  }
-  // Work-conserving fallback: never leave the wire idle because every level
-  // is deficit-blocked — serve the first sendable entity and let its level
-  // borrow (deficit goes negative, repaid on later rounds).
-  for (int li = 0; li < kLevels; ++li) {
-    Level& L = levels_[li];
-    if (L.tenants.empty()) continue;
-    std::int32_t size = 0;
-    const std::uint64_t entity = find_sendable(L, sendable, size, /*commit=*/true);
-    if (entity == 0) continue;
-    L.deficit -= size;
-    return entity;
-  }
-  return 0;
-}
-
 }  // namespace ufab::edge

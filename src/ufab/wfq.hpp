@@ -10,7 +10,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -36,8 +35,49 @@ class WfqScheduler {
 
   /// Returns the next entity allowed to send, or 0 if none is sendable.
   /// `sendable(entity)` returns the wire size of the entity's next packet, or
-  /// 0 if the entity has nothing admissible right now.
-  std::uint64_t next(const std::function<std::int32_t(std::uint64_t)>& sendable);
+  /// 0 if the entity has nothing admissible right now; it must be a pure
+  /// query (no side effects), since a scan may evaluate it for several
+  /// entities.  Templated on the callable — this is the edge hot path
+  /// (~1e8 calls per large bench), and an std::function here would make
+  /// every per-entity query an indirect call.
+  template <typename Sendable>
+  std::uint64_t next(Sendable&& sendable) {
+    // Classic DRR adapted to pull-one semantics: the rotation pointer stays
+    // on a level while its deficit lasts; moving onto a level grants its
+    // quantum exactly once. A level with nothing sendable forfeits its
+    // deficit, as in standard DRR where an emptied queue resets its counter.
+    for (int i = 0; i < 2 * kLevels; ++i) {
+      Level& L = levels_[rr_level_];
+      if (!L.tenants.empty()) {
+        const Found f = find_sendable(L, sendable);
+        if (f.entity != 0 && L.deficit >= f.size) {
+          commit(L, f);
+          L.deficit -= f.size;
+          return f.entity;
+        }
+        if (f.entity == 0) L.deficit = 0.0;
+      }
+      // Advance the rotation and grant the next level its quantum.
+      rr_level_ = (rr_level_ + 1) % kLevels;
+      Level& N = levels_[rr_level_];
+      const double level_quantum =
+          static_cast<double>(quantum_) * static_cast<double>(1 << rr_level_);
+      N.deficit = std::min(N.deficit + level_quantum, 2.0 * level_quantum);
+    }
+    // Work-conserving fallback: never leave the wire idle because every level
+    // is deficit-blocked — serve the first sendable entity and let its level
+    // borrow (deficit goes negative, repaid on later rounds).
+    for (int li = 0; li < kLevels; ++li) {
+      Level& L = levels_[li];
+      if (L.tenants.empty()) continue;
+      const Found f = find_sendable(L, sendable);
+      if (f.entity == 0) continue;
+      commit(L, f);
+      L.deficit -= f.size;
+      return f.entity;
+    }
+    return 0;
+  }
 
   [[nodiscard]] int level_of(TenantId tenant) const;
   [[nodiscard]] std::size_t entity_count() const { return entity_count_; }
@@ -54,11 +94,50 @@ class WfqScheduler {
     double deficit = 0.0;
   };
 
+  /// A sendable entity located by find_sendable, with the round-robin
+  /// positions needed to commit the scan (advance the cursors) only if the
+  /// caller actually serves it.  Locate-then-commit keeps `sendable` invoked
+  /// once per scanned entity; the old probe-then-rescan shape evaluated the
+  /// query twice for every served packet.
+  struct Found {
+    std::uint64_t entity = 0;
+    std::int32_t size = 0;
+    std::size_t tenant_off = 0;  ///< Tenant offset from level.cursor.
+    std::size_t entity_idx = 0;  ///< Index into the tenant's entity list.
+  };
+
+  template <typename Sendable>
+  [[nodiscard]] Found find_sendable(Level& level, Sendable& sendable) const {
+    Found f;
+    const std::size_t nt = level.tenants.size();
+    for (std::size_t t = 0; t < nt; ++t) {
+      const TenantQueue& tq = level.tenants[(level.cursor + t) % nt];
+      const std::size_t ne = tq.entities.size();
+      for (std::size_t e = 0; e < ne; ++e) {
+        const std::size_t ei = (tq.cursor + e) % ne;
+        const std::uint64_t entity = tq.entities[ei];
+        const std::int32_t size = sendable(entity);
+        if (size > 0) {
+          f.entity = entity;
+          f.size = size;
+          f.tenant_off = t;
+          f.entity_idx = ei;
+          return f;
+        }
+      }
+    }
+    return f;
+  }
+
+  /// Advances the round-robin cursors past the entity `f` that was served.
+  static void commit(Level& level, const Found& f) {
+    TenantQueue& tq = level.tenants[(level.cursor + f.tenant_off) % level.tenants.size()];
+    tq.cursor = (f.entity_idx + 1) % tq.entities.size();
+    level.cursor = (level.cursor + f.tenant_off + 1) % level.tenants.size();
+  }
+
   [[nodiscard]] int weight_to_level(double weight) const;
   TenantQueue* find_tenant(Level& level, TenantId tenant);
-  std::uint64_t find_sendable(Level& level,
-                              const std::function<std::int32_t(std::uint64_t)>& sendable,
-                              std::int32_t& size_out, bool commit);
 
   double base_weight_;
   std::int32_t quantum_;

@@ -1,0 +1,126 @@
+// UniqueFunction small-buffer optimization: capture placement, heap
+// fallback for large or over-aligned captures, move semantics for both
+// storage classes, and destruction of pending captures when the event queue
+// is cut short (the ownership property simulator events rely on).
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "src/core/time.hpp"
+#include "src/core/unique_function.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace ufab {
+namespace {
+
+struct DtorCounter {
+  explicit DtorCounter(int* count) : count_(count) {}
+  ~DtorCounter() {
+    if (count_ != nullptr) ++*count_;
+  }
+  DtorCounter(DtorCounter&& o) noexcept : count_(std::exchange(o.count_, nullptr)) {}
+  DtorCounter& operator=(DtorCounter&& o) noexcept {
+    count_ = std::exchange(o.count_, nullptr);
+    return *this;
+  }
+  int* count_;
+};
+
+TEST(UniqueFunction, SmallCaptureIsInline) {
+  std::int64_t a = 1, b = 2, c = 3;
+  UniqueFunction fn([a, b, c] { (void)(a + b + c); });
+  EXPECT_TRUE(fn.is_inline());
+}
+
+TEST(UniqueFunction, MoveOnlyCaptureOverInlineLimitFallsBackToHeap) {
+  struct Big {
+    std::unique_ptr<int> owned;
+    unsigned char pad[UniqueFunction::kInlineCaptureBytes];  // pushes over the limit
+  };
+  Big big{std::make_unique<int>(7), {}};
+  int got = 0;
+  UniqueFunction fn([&got, big = std::move(big)] { got = *big.owned; });
+  EXPECT_FALSE(fn.is_inline());
+  fn();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(UniqueFunction, ExactlyAtLimitStaysInline) {
+  struct AtLimit {
+    unsigned char bytes[UniqueFunction::kInlineCaptureBytes];
+    void operator()() {}
+  };
+  static_assert(UniqueFunction::fits_inline<AtLimit>());
+  struct OverLimit {
+    unsigned char bytes[UniqueFunction::kInlineCaptureBytes + 1];
+    void operator()() {}
+  };
+  static_assert(!UniqueFunction::fits_inline<OverLimit>());
+  UniqueFunction fn(AtLimit{});
+  EXPECT_TRUE(fn.is_inline());
+}
+
+TEST(UniqueFunction, MovePreservesCallableAndEmptiesSource) {
+  int calls = 0;
+  UniqueFunction a([&calls] { ++calls; });
+  UniqueFunction b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move): post-move state test
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+
+  UniqueFunction c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(UniqueFunction, MoveOnlyInlineCaptureDestroyedExactlyOnce) {
+  int dtors = 0;
+  {
+    UniqueFunction fn([d = DtorCounter(&dtors)] { (void)d; });
+    EXPECT_TRUE(fn.is_inline());
+    UniqueFunction moved(std::move(fn));
+    EXPECT_EQ(dtors, 0);  // alive inside `moved`
+  }
+  EXPECT_EQ(dtors, 1);
+}
+
+TEST(UniqueFunction, HeapCaptureDestroyedExactlyOnce) {
+  int dtors = 0;
+  {
+    struct BigCapture {
+      DtorCounter d;
+      unsigned char pad[2 * UniqueFunction::kInlineCaptureBytes] = {};
+    };
+    UniqueFunction fn([cap = BigCapture{DtorCounter(&dtors)}] { (void)cap; });
+    EXPECT_FALSE(fn.is_inline());
+    UniqueFunction moved(std::move(fn));
+    EXPECT_EQ(dtors, 0);
+  }
+  EXPECT_EQ(dtors, 1);
+}
+
+TEST(UniqueFunction, PendingCapturesDestroyedAtRunUntilCutoff) {
+  // A run cut short must destroy the captures of never-run events with the
+  // event queue — both inline and heap-stored — or owned packets would leak.
+  int dtors = 0;
+  {
+    sim::Simulator sim;
+    sim.at(TimeNs{1'000}, [d = DtorCounter(&dtors)] { (void)d; });
+    struct BigCapture {
+      DtorCounter d;
+      unsigned char pad[2 * UniqueFunction::kInlineCaptureBytes] = {};
+    };
+    sim.at(TimeNs{2'000'000}, [cap = BigCapture{DtorCounter(&dtors)}] { (void)cap; });
+    sim.run_until(TimeNs{500});  // both events still pending
+    EXPECT_EQ(sim.pending(), 2u);
+    EXPECT_EQ(dtors, 0);
+  }  // Simulator teardown destroys the queue
+  EXPECT_EQ(dtors, 2);
+}
+
+}  // namespace
+}  // namespace ufab

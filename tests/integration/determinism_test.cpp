@@ -1,0 +1,123 @@
+// Determinism regression for the engine overhaul (calendar queue, packet
+// pool, parallel sweeps): a fig17-style workload at tiny scale must produce
+// bit-identical results run-to-run within a process, and under
+// harness::ParallelSweep with 1 vs 4 workers.  Catches cross-run state leaks
+// (global counters, shared pools) and any event-ordering drift in the queue.
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.hpp"
+#include "src/harness/parallel_sweep.hpp"
+#include "src/workload/sources.hpp"
+
+namespace ufab {
+namespace {
+
+using harness::Experiment;
+using harness::Scheme;
+
+constexpr TimeNs kRun{2'000'000};    // 2 ms of offered load
+constexpr TimeNs kDrain{1'000'000};  // +1 ms drain
+
+/// Everything observable a variant produces.  Doubles are compared exactly:
+/// the computation is deterministic, so even the bits must match.
+struct Snapshot {
+  std::vector<double> pair_rates_gbps;
+  std::vector<double> fct_us;
+  double dissatisfaction_pct = 0.0;
+  std::int64_t drops = 0;
+  std::uint64_t events = 0;
+
+  bool operator==(const Snapshot&) const = default;
+};
+
+Snapshot run_tiny_fig17(Scheme scheme, std::uint64_t seed) {
+  Experiment exp(
+      scheme,
+      [](sim::Simulator& s, const topo::FabricOptions& o) {
+        return topo::make_fat_tree(s, 4, 1, o);
+      },
+      {}, {}, seed);
+  auto& fab = exp.fab();
+  auto& vms = fab.vms();
+
+  std::vector<VmPairId> pairs;
+  Rng pair_rng = fab.rng().fork("pairs");
+  const int hosts = static_cast<int>(fab.net().host_count());
+  const TenantId tid = vms.add_tenant("T0", Bandwidth::gbps(1.0));
+  std::vector<VmId> tvms;
+  for (int h = 0; h < hosts; ++h) tvms.push_back(vms.add_vm(tid, HostId{h}));
+  for (int h = 0; h < hosts; ++h) {
+    int peer = static_cast<int>(pair_rng.below(static_cast<std::uint64_t>(hosts)));
+    if (peer == h) peer = (peer + 1) % hosts;
+    pairs.push_back(
+        VmPairId{tvms[static_cast<std::size_t>(h)], tvms[static_cast<std::size_t>(peer)]});
+  }
+
+  workload::PoissonFlowGenerator::Config gcfg;
+  gcfg.target_load = 0.5;
+  gcfg.stop = kRun;
+  workload::PoissonFlowGenerator gen(fab, pairs, workload::EmpiricalSizeDist::websearch(), gcfg,
+                                     fab.rng().fork("flows"));
+  fab.sim().run_until(kRun + kDrain);
+
+  Snapshot snap;
+  for (const VmPairId& p : pairs) {
+    snap.pair_rates_gbps.push_back(exp.pair_rate_gbps(p, TimeNs::zero(), kRun));
+  }
+  snap.fct_us = gen.recorder().fct_us().sorted();
+  snap.dissatisfaction_pct = gen.recorder().violation_volume_pct();
+  snap.drops = exp.total_drops();
+  snap.events = fab.sim().events_processed();
+  return snap;
+}
+
+TEST(Determinism, RepeatedRunsAreBitIdentical) {
+  const Snapshot a = run_tiny_fig17(Scheme::kUfab, 41);
+  const Snapshot b = run_tiny_fig17(Scheme::kUfab, 41);
+  ASSERT_FALSE(a.fct_us.empty()) << "workload produced no completed flows";
+  EXPECT_GT(a.events, 0u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Determinism, SerialAndParallelSweepsAgree) {
+  struct Variant {
+    Scheme scheme;
+    std::uint64_t seed;
+  };
+  const std::vector<Variant> variants = {
+      {Scheme::kPwc, 41}, {Scheme::kEsClove, 41}, {Scheme::kUfab, 41}, {Scheme::kUfab, 42}};
+  const auto run_all = [&variants](int jobs) {
+    return harness::ParallelSweep(jobs).map<Snapshot>(
+        static_cast<int>(variants.size()), [&variants](int i) {
+          const Variant& v = variants[static_cast<std::size_t>(i)];
+          return run_tiny_fig17(v.scheme, v.seed);
+        });
+  };
+  const std::vector<Snapshot> serial = run_all(1);
+  const std::vector<Snapshot> parallel = run_all(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "variant " << i << " diverged under 4 workers";
+  }
+}
+
+TEST(Determinism, JobsFromEnvHonorsUfabJobs) {
+  const char* old = std::getenv("UFAB_JOBS");
+  const std::string saved = old != nullptr ? old : "";
+  ::setenv("UFAB_JOBS", "4", 1);
+  EXPECT_EQ(harness::ParallelSweep::jobs_from_env(), 4);
+  ::setenv("UFAB_JOBS", "0", 1);
+  EXPECT_GE(harness::ParallelSweep::jobs_from_env(), 1);  // clamped
+  if (old != nullptr) {
+    ::setenv("UFAB_JOBS", saved.c_str(), 1);
+  } else {
+    ::unsetenv("UFAB_JOBS");
+  }
+}
+
+}  // namespace
+}  // namespace ufab
