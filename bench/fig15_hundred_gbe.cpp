@@ -40,7 +40,7 @@ int main() {
   }
 
   // Core1 fails at 90 ms: every link touching Core1 goes down.
-  fab.sim().at(90_ms, [&fab] {
+  fab.schedule_global(90_ms, [&fab] {
     for (sim::Link* l : fab.net().links()) {
       if (l->name().find("Core1") != std::string::npos) l->set_down(true);
     }

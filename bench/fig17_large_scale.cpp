@@ -5,12 +5,17 @@
 // Reproduces: (a) bandwidth dissatisfaction, (b) tail RTT, (c) FCT slowdown
 // avg/stddev, (d) FCT slowdown breakdown by flow size.
 //
-// Scale note: the paper simulates 512 hosts at 100G in NS3; to keep this
-// bench's wall-clock reasonable it defaults to a k=4 FatTree (16 hosts) at
-// 10G — the contention structure (multi-path fabric, oversubscription,
-// heavy-tailed flows) is preserved. Set UFAB_FIG17_K=8 for 128 hosts.
+// Scale note: the paper simulates 512 hosts at 100G in NS3; this bench
+// defaults to a k=8 FatTree (128 hosts) at 10G — the contention structure
+// (multi-path fabric, oversubscription, heavy-tailed flows) is preserved.
+// The sharded engine (UFAB_SHARDS, see DESIGN.md §9) makes that tractable;
+// set UFAB_FIG17_K=4 for a quick 16-host run or UFAB_FIG17_K=16 for 1024
+// hosts.  UFAB_FIG17_ONLY=<scheme>,<oversub>,<load> restricts the sweep to
+// one grid cell (the A/B timing harness in scripts/run_perf.sh uses this).
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/harness/experiment.hpp"
@@ -38,7 +43,7 @@ struct Outcome {
 
 int fat_tree_k() {
   if (const char* k = std::getenv("UFAB_FIG17_K")) return std::atoi(k);
-  return 4;
+  return 8;
 }
 
 Outcome run(Scheme scheme, int oversub, double load, std::uint64_t seed) {
@@ -128,38 +133,60 @@ int main() {
       }
     }
   }
+  if (const char* only = std::getenv("UFAB_FIG17_ONLY"); only != nullptr && only[0] != '\0') {
+    char scheme_name[32] = {0};
+    int oversub = 0;
+    double load = 0.0;
+    if (std::sscanf(only, "%31[^,],%d,%lf", scheme_name, &oversub, &load) != 3) {
+      std::fprintf(stderr, "bad UFAB_FIG17_ONLY (want <scheme>,<oversub>,<load>): %s\n", only);
+      return 1;
+    }
+    std::vector<Variant> keep;
+    for (const Variant& v : variants) {
+      if (std::string(harness::to_string(v.scheme)) == scheme_name && v.oversub == oversub &&
+          static_cast<int>(v.load * 100 + 0.5) == static_cast<int>(load * 100 + 0.5)) {
+        keep.push_back(v);
+      }
+    }
+    if (keep.empty()) {
+      std::fprintf(stderr, "UFAB_FIG17_ONLY matches no grid cell: %s\n", only);
+      return 1;
+    }
+    variants = keep;
+  }
   const std::vector<Outcome> outcomes = harness::parallel_sweep<Outcome>(
       static_cast<int>(variants.size()), [&variants](int i) {
         const Variant& v = variants[static_cast<std::size_t>(i)];
         return run(v.scheme, v.oversub, v.load, 41);
       });
-  std::vector<Outcome> breakdown;  // saved from the (1:1, 0.7) cell
+  std::vector<std::pair<Scheme, Outcome>> breakdown;  // saved from the (1:1, 0.7) cells
   for (std::size_t i = 0; i < variants.size(); ++i) {
     const Variant& v = variants[i];
     Outcome o = outcomes[i];
     std::printf("%-20s %7s %5.1f %14.1f %10.1f %10.1f+-%5.1f %9.1f\n",
                 harness::to_string(v.scheme), v.oversub == 1 ? "1:1" : "1:2", v.load,
                 o.dissatisfaction_pct, o.rtt_p99_us, o.slow_avg, o.slow_std, o.slow_p99);
-    if (v.oversub == 1 && v.load == 0.7) breakdown.push_back(std::move(o));
+    if (v.oversub == 1 && v.load == 0.7) breakdown.emplace_back(v.scheme, std::move(o));
   }
-  // (d) FCT breakdown by flow size, 1:1 oversubscription at load 0.7.
-  std::printf("\nFCT slowdown by flow size (1:1, load 0.7):\n");
-  std::printf("%-20s %16s %16s %16s %16s\n", "scheme", "<30KB", "30-300KB", "0.3-3MB", ">3MB");
-  const Scheme order[] = {Scheme::kPwc, Scheme::kEsClove, Scheme::kUfab};
-  for (std::size_t i = 0; i < breakdown.size(); ++i) {
-    const Outcome& o = breakdown[i];
-    std::printf("%-20s", harness::to_string(order[i]));
-    for (int b = 0; b < 4; ++b) {
-      if (o.by_size[b].empty()) {
-        std::printf(" %16s", "-");
-      } else {
-        char buf[64];
-        std::snprintf(buf, sizeof(buf), "%.1f/%.1f", o.by_size[b].mean(),
-                      o.by_size[b].percentile(99));
-        std::printf(" %16s", buf);
+  // (d) FCT breakdown by flow size, 1:1 oversubscription at load 0.7 (absent
+  // when a UFAB_FIG17_ONLY filter excludes those cells).
+  if (!breakdown.empty()) {
+    std::printf("\nFCT slowdown by flow size (1:1, load 0.7):\n");
+    std::printf("%-20s %16s %16s %16s %16s\n", "scheme", "<30KB", "30-300KB", "0.3-3MB", ">3MB");
+    for (const auto& [scheme, o] : breakdown) {
+      std::printf("%-20s", harness::to_string(scheme));
+      for (int b = 0; b < 4; ++b) {
+        if (o.by_size[b].empty()) {
+          std::printf(" %16s", "-");
+        } else {
+          char buf[64];
+          std::snprintf(buf, sizeof(buf), "%.1f/%.1f", o.by_size[b].mean(),
+                        o.by_size[b].percentile(99));
+          std::printf(" %16s", buf);
+        }
       }
+      std::printf("\n");
     }
-    std::printf("\n");
   }
   std::printf(
       "\nExpected shape: uFAB has the lowest dissatisfaction and tail RTT at every\n"

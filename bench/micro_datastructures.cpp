@@ -3,9 +3,12 @@
 // per-probe INT processing path.
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
 #include "src/harness/experiment.hpp"
 #include "src/sim/link.hpp"
 #include "src/sim/node.hpp"
+#include "src/sim/shard_sync.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/telemetry/bloom.hpp"
 #include "src/telemetry/core_agent.hpp"
@@ -100,6 +103,45 @@ void BM_EventQueueFarHorizon(benchmark::State& state) {
   benchmark::DoNotOptimize(sim.events_processed());
 }
 BENCHMARK(BM_EventQueueFarHorizon);
+
+/// Cross-shard handoff cost: one epoch's worth of mailbox posts plus the
+/// swap-drain the coordinator performs at the barrier.
+void BM_ShardMailbox(benchmark::State& state) {
+  sim::ShardMailbox<std::uint64_t> box;
+  std::vector<std::uint64_t> drained;
+  std::uint64_t sum = 0;
+  for (auto _ : state) {
+    for (std::uint64_t i = 0; i < 256; ++i) box.post(i);
+    box.drain_into(drained);
+    sum += drained.size();
+  }
+  benchmark::DoNotOptimize(sum);
+}
+BENCHMARK(BM_ShardMailbox);
+
+/// Full epoch-barrier round trip with three parked workers: release, three
+/// empty passes, wait_all_done — the fixed synchronization overhead every
+/// sharded epoch pays regardless of work.
+void BM_EpochBarrier(benchmark::State& state) {
+  constexpr int kWorkers = 3;
+  sim::EpochBarrier barrier(kWorkers);
+  std::vector<std::thread> workers;
+  workers.reserve(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&barrier] {
+      std::uint64_t gen = 0;
+      while (barrier.wait_for_pass(gen)) barrier.arrive_done();
+    });
+  }
+  std::uint64_t gen = 0;
+  for (auto _ : state) {
+    barrier.release(++gen);
+    barrier.wait_all_done();
+  }
+  barrier.shutdown();
+  for (auto& t : workers) t.join();
+}
+BENCHMARK(BM_EpochBarrier)->UseRealTime();
 
 /// Pooled packet make/destroy churn with realistic field traffic — the
 /// per-packet cost transport and the links pay on every hop.

@@ -34,7 +34,7 @@ int main() {
   }
 
   // Kill Spine1 at 30 ms.
-  fab.sim().at(30_ms, [&fab] {
+  fab.schedule_global(30_ms, [&fab] {
     for (sim::Link* l : fab.net().links()) {
       if (l->name().find("Spine1") != std::string::npos) l->set_down(true);
     }

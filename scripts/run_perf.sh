@@ -1,19 +1,21 @@
 #!/usr/bin/env bash
 # Engine performance lane: builds Release, runs the data-structure
-# microbenchmarks plus a timed fig17 variant, and writes the numbers to
-# BENCH_engine.json at the repo root (machine-readable, one entry per
-# benchmark).  CI runs `--smoke` (short repetitions, no timed fig17) to catch
-# gross regressions without burning minutes; run it bare before/after engine
-# work to produce comparable numbers.
+# microbenchmarks plus interleaved A/B wall-clock comparisons of the fig17
+# workload, and writes the numbers to BENCH_engine.json at the repo root.
+#
+# Three A/B comparisons, each run as interleaved min-of-3 (A B A B A B, take
+# the min per side) so slow-machine noise and thermal drift hit both sides
+# equally:
+#   * engine sharding — one fig17 grid cell at k=8, UFAB_SHARDS=1 vs =4
+#     (UFAB_JOBS=1 so sweep parallelism cannot mask engine parallelism);
+#   * sweep parallelism — the full k=4 grid, UFAB_JOBS=1 vs all cores.
 #
 #   scripts/run_perf.sh            # full lane: microbenches + timed fig17
 #   scripts/run_perf.sh --smoke    # microbenches only, short min-time
 #
 # Environment:
-#   UFAB_JOBS   worker threads for the bench variant sweeps (default: all
-#               cores).  The timed fig17 run is recorded at UFAB_JOBS=1 too,
-#               so single-thread engine gains are visible separately from
-#               sweep parallelism.
+#   UFAB_JOBS    worker threads for the sweep-parallel side (default: nproc).
+#   UFAB_SHARDS_AB  shard count for the sharded side (default: 4).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,28 +35,47 @@ if [[ "${SMOKE}" == "1" ]]; then MIN_TIME=0.05; fi
 "${BUILD_DIR}/bench/micro_datastructures" \
   --benchmark_min_time="${MIN_TIME}" \
   --benchmark_out="${MICRO_JSON}" --benchmark_out_format=json \
-  --benchmark_filter='BM_(EventQueue|EventQueueBurst|EventQueueFarHorizon|PacketMake|CoreAgentProbe|Fig17Slice)'
+  --benchmark_filter='BM_(EventQueue|EventQueueBurst|EventQueueFarHorizon|ShardMailbox|EpochBarrier|PacketMake|CoreAgentProbe|Fig17Slice)'
 
-# Wall-clock the full fig17 bench (the paper's headline experiment and the
-# engine's end-to-end workload) serially and with the parallel sweep.
-fig17_serial_s="null"
-fig17_parallel_s="null"
+# Wall-clocks one fig17 invocation with the given extra environment.
+wall() {
+  local t0 t1
+  t0=$(date +%s.%N)
+  env "$@" "${BUILD_DIR}/bench/fig17_large_scale" >/dev/null
+  t1=$(date +%s.%N)
+  awk -v a="$t0" -v b="$t1" 'BEGIN{printf "%.2f", b-a}'
+}
+
 jobs="${UFAB_JOBS:-$(nproc)}"
+shards_ab="${UFAB_SHARDS_AB:-4}"
+serial_samples=""
+sharded_samples=""
+jobs1_samples=""
+jobsN_samples=""
 if [[ "${SMOKE}" == "0" ]]; then
-  t0=$(date +%s.%N)
-  UFAB_JOBS=1 UFAB_OBS=0 "${BUILD_DIR}/bench/fig17_large_scale" >/dev/null
-  t1=$(date +%s.%N)
-  fig17_serial_s=$(awk -v a="$t0" -v b="$t1" 'BEGIN{printf "%.2f", b-a}')
-  t0=$(date +%s.%N)
-  UFAB_JOBS="${jobs}" UFAB_OBS=0 "${BUILD_DIR}/bench/fig17_large_scale" >/dev/null
-  t1=$(date +%s.%N)
-  fig17_parallel_s=$(awk -v a="$t0" -v b="$t1" 'BEGIN{printf "%.2f", b-a}')
+  # Engine sharding A/B: one k=8 grid cell, serial engine vs sharded engine.
+  cell=(UFAB_FIG17_K=8 UFAB_FIG17_ONLY=uFAB,1,0.5 UFAB_JOBS=1 UFAB_OBS=0)
+  for i in 1 2 3; do
+    echo "[perf] fig17 cell, round ${i}/3: UFAB_SHARDS=1 ..." >&2
+    serial_samples+="${serial_samples:+,}$(wall "${cell[@]}" UFAB_SHARDS=1)"
+    echo "[perf] fig17 cell, round ${i}/3: UFAB_SHARDS=${shards_ab} ..." >&2
+    sharded_samples+="${sharded_samples:+,}$(wall "${cell[@]}" UFAB_SHARDS="${shards_ab}")"
+  done
+  # Sweep parallelism A/B: the full k=4 grid, 1 worker vs all cores.
+  for i in 1 2 3; do
+    echo "[perf] fig17 k=4 grid, round ${i}/3: UFAB_JOBS=1 ..." >&2
+    jobs1_samples+="${jobs1_samples:+,}$(wall UFAB_FIG17_K=4 UFAB_OBS=0 UFAB_JOBS=1)"
+    echo "[perf] fig17 k=4 grid, round ${i}/3: UFAB_JOBS=${jobs} ..." >&2
+    jobsN_samples+="${jobsN_samples:+,}$(wall UFAB_FIG17_K=4 UFAB_OBS=0 UFAB_JOBS="${jobs}")"
+  done
 fi
 
-python3 - "$MICRO_JSON" "$OUT" "$fig17_serial_s" "$fig17_parallel_s" "$jobs" <<'PY'
-import json, platform, sys
+python3 - "$MICRO_JSON" "$OUT" "$serial_samples" "$sharded_samples" \
+  "$jobs1_samples" "$jobsN_samples" "$jobs" "$shards_ab" <<'PY'
+import json, os, platform, sys
 
-micro_path, out_path, serial_s, parallel_s, jobs = sys.argv[1:6]
+(micro_path, out_path, serial_s, sharded_s,
+ jobs1_s, jobsN_s, jobs, shards_ab) = sys.argv[1:9]
 with open(micro_path) as f:
     micro = json.load(f)
 
@@ -69,22 +90,38 @@ for b in micro.get("benchmarks", []):
         "iterations": b["iterations"],
     }
 
+def samples(csv):
+    return [float(x) for x in csv.split(",")] if csv else None
+
+def ab(a_csv, b_csv):
+    a, b = samples(a_csv), samples(b_csv)
+    entry = {"a_samples_s": a, "b_samples_s": b,
+             "a_min_s": min(a) if a else None,
+             "b_min_s": min(b) if b else None}
+    if a and b and min(b) > 0:
+        entry["speedup_min_over_min"] = round(min(a) / min(b), 3)
+    return entry
+
+sharding = ab(serial_s, sharded_s)
+sharding.update({"a": "UFAB_SHARDS=1", "b": f"UFAB_SHARDS={shards_ab}",
+                 "workload": "fig17 k=8 cell uFAB,1,0.5 (UFAB_JOBS=1)"})
+sweep = ab(jobs1_s, jobsN_s)
+sweep.update({"a": "UFAB_JOBS=1", "b": f"UFAB_JOBS={jobs}",
+              "workload": "fig17 k=4 full grid"})
+
 doc = {
-    "schema": "ufab-bench-engine-v1",
-    "notes": "single-shot wall clocks; on shared/single-CPU hosts expect "
-             "double-digit noise, and parallel_wall_s can only beat "
-             "serial_wall_s when cpus_online > 1.  For A/B claims use "
-             "interleaved min-of-N runs.",
+    "schema": "ufab-bench-engine-v2",
+    "notes": "interleaved min-of-3 wall clocks (A B A B A B); speedups are "
+             "min(A)/min(B).  On single-CPU hosts the sharded and sweep "
+             "sides cannot beat serial — the lane still records the samples "
+             "so the equivalence claim is auditable everywhere.",
     "host": {
         "machine": platform.machine(),
-        "cpus_online": __import__("os").cpu_count(),
+        "cpus_online": os.cpu_count(),
     },
     "micro": entries,
-    "fig17_large_scale": {
-        "serial_wall_s": None if serial_s == "null" else float(serial_s),
-        "parallel_wall_s": None if parallel_s == "null" else float(parallel_s),
-        "parallel_jobs": int(jobs),
-    },
+    "fig17_sharding_ab": sharding,
+    "fig17_sweep_ab": sweep,
 }
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)

@@ -3,19 +3,22 @@
 #
 #   scripts/run_tier1.sh                 # plain RelWithDebInfo build
 #   scripts/run_tier1.sh address,undefined
-#                                        # sanitized lane (ASan+UBSan), own
-#                                        # build dir so object files never mix
+#                                        # sanitized lane (ASan+UBSan)
+#   scripts/run_tier1.sh thread          # TSan lane (sharded engine races)
+#
+# Each sanitizer selection gets its own build dir so object files never mix.
+# Environment (UFAB_SHARDS, UFAB_SHARD_EXEC, UFAB_JOBS, ...) passes through
+# to the tests: CI's sharded lane runs `UFAB_SHARDS=4 scripts/run_tier1.sh`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SANITIZE="${1:-}"
-if [[ -n "${SANITIZE}" ]]; then
-  BUILD_DIR="build-sanitize"
-  CMAKE_ARGS=(-DUFAB_SANITIZE="${SANITIZE}")
-else
-  BUILD_DIR="build"
-  CMAKE_ARGS=(-DUFAB_SANITIZE=)
-fi
+case "${SANITIZE}" in
+  "")       BUILD_DIR="build" ;;
+  thread)   BUILD_DIR="build-tsan" ;;
+  *)        BUILD_DIR="build-sanitize" ;;
+esac
+CMAKE_ARGS=(-DUFAB_SANITIZE="${SANITIZE}")
 
 cmake -B "${BUILD_DIR}" -S . "${CMAKE_ARGS[@]}"
 cmake --build "${BUILD_DIR}" -j "$(nproc)"

@@ -1,0 +1,17 @@
+// Which engine shard the current thread is executing for.
+//
+// The sharded simulator (src/sim/simulator.*) runs one event loop per shard,
+// possibly on worker threads.  Lower layers that keep per-thread state — the
+// obs flight recorder routes writes into per-shard rings — need the shard
+// index without depending on the sim layer, so the thread-local lives here in
+// core.  Single-shard runs (and any thread the simulator never touched) read
+// shard 0, which reproduces the pre-sharding behavior exactly.
+#pragma once
+
+namespace ufab {
+
+inline thread_local int tls_shard_index = 0;
+
+[[nodiscard]] inline int current_shard_index() { return tls_shard_index; }
+
+}  // namespace ufab

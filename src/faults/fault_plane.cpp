@@ -20,7 +20,12 @@ const char* to_string(LossClass c) {
 }
 
 FaultPlane::FaultPlane(harness::Fabric& fab, std::uint64_t seed)
-    : fab_(fab), rng_(Rng{seed}.fork("fault-plane")) {}
+    : fab_(fab), rng_(Rng{seed}.fork("fault-plane")) {
+  // Fault events flip link/switch state anywhere in the fabric and draw from
+  // one shared RNG; under a sharded engine that is only well-defined when
+  // shards execute one at a time.
+  if (fab_.sim().shard_count() > 1) fab_.sim().require_sequential();
+}
 
 void FaultPlane::attach_obs(obs::Obs& obs) {
   if (!obs.enabled()) return;

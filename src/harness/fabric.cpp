@@ -1,6 +1,7 @@
 #include "src/harness/fabric.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "src/core/assert.hpp"
 #include "src/core/log.hpp"
@@ -9,6 +10,17 @@ namespace ufab::harness {
 
 Fabric::~Fabric() {
   if (log_clock_installed_) set_log_clock({});
+}
+
+void Fabric::configure_sharding(int shards, sim::ShardExec exec) {
+  partition_ = topo::partition_network(*net_, shards);
+  sim_.configure_shards(partition_.shards, partition_.lookahead, exec);
+  // Cut links hand their deliveries to the peer shard's mailbox instead of
+  // scheduling locally.
+  for (const LinkId lid : partition_.cut_links) {
+    net_->link(lid)->set_cross_shard_dst(
+        partition_.link_dst_shard.at(static_cast<std::size_t>(lid.value())));
+  }
 }
 
 obs::Obs& Fabric::enable_observability(obs::ObsOptions opts) {
@@ -89,6 +101,24 @@ obs::Obs& Fabric::enable_observability(obs::ObsOptions opts) {
           ->set(agg_gbps > 0.0 ? delivered_gbps / agg_gbps : 0.0);
     }
   });
+
+  // Per-shard engine counters.  A collector (not direct gauge_fn) so the
+  // gauges appear even when sharding is configured after observability, and
+  // only for actually-sharded runs.
+  m.add_collector([this](obs::MetricRegistry& reg) {
+    if (sim_.shard_count() <= 1) return;
+    for (int s = 0; s < sim_.shard_count(); ++s) {
+      const obs::Labels labels{{"shard", std::to_string(s)}};
+      reg.gauge("sim.shard.events_processed", labels)
+          ->set(static_cast<double>(sim_.shard_events_processed(s)));
+      reg.gauge("sim.shard.mailbox_crossings", labels)
+          ->set(static_cast<double>(sim_.shard_crossings_out(s)));
+      reg.gauge("sim.shard.barrier_wait_ns", labels)
+          ->set(static_cast<double>(sim_.shard_barrier_wait_ns(s)));
+      reg.gauge("sim.shard.pool_in_use_hwm", labels)
+          ->set(static_cast<double>(sim_.shard_pool(s).in_use_high_water()));
+    }
+  });
   return *obs_;
 }
 
@@ -131,10 +161,12 @@ void Fabric::write_trace_json(const std::string& path) {
 }
 
 void Fabric::install_pair_metering(TimeNs bucket) {
-  for (auto& stack : stacks_) {
-    if (stack == nullptr) continue;
-    stack->add_rx_tap([this, bucket](const sim::Packet& pkt) {
-      auto [it, inserted] = pair_meters_.try_emplace(pkt.pair.key(), nullptr);
+  pair_meters_by_host_.resize(net_->host_count());
+  for (std::size_t h = 0; h < stacks_.size(); ++h) {
+    if (stacks_[h] == nullptr) continue;
+    stacks_[h]->add_rx_tap([this, bucket, h](const sim::Packet& pkt) {
+      auto& per_host = pair_meters_by_host_[h];
+      auto [it, inserted] = per_host.try_emplace(pkt.pair.key(), nullptr);
       if (inserted) it->second = std::make_unique<RateMeter>(bucket);
       it->second->add(sim_.now(), pkt.payload);
     });
@@ -142,15 +174,22 @@ void Fabric::install_pair_metering(TimeNs bucket) {
 }
 
 RateMeter* Fabric::pair_meter(VmPairId pair) {
-  auto it = pair_meters_.find(pair.key());
-  return it == pair_meters_.end() ? nullptr : it->second.get();
+  // A pair's payload is delivered (and therefore metered) at exactly one
+  // place: the destination VM's host.
+  if (pair_meters_by_host_.empty()) return nullptr;
+  const HostId dst = vms_.host_of(pair.dst);
+  auto& per_host = pair_meters_by_host_.at(static_cast<std::size_t>(dst.value()));
+  auto it = per_host.find(pair.key());
+  return it == per_host.end() ? nullptr : it->second.get();
 }
 
 void Fabric::install_tenant_metering(TimeNs bucket) {
-  for (auto& stack : stacks_) {
-    if (stack == nullptr) continue;
-    stack->add_rx_tap([this, bucket](const sim::Packet& pkt) {
-      auto [it, inserted] = tenant_meters_.try_emplace(pkt.tenant.value(), nullptr);
+  tenant_meters_by_host_.resize(net_->host_count());
+  for (std::size_t h = 0; h < stacks_.size(); ++h) {
+    if (stacks_[h] == nullptr) continue;
+    stacks_[h]->add_rx_tap([this, bucket, h](const sim::Packet& pkt) {
+      auto& per_host = tenant_meters_by_host_[h];
+      auto [it, inserted] = per_host.try_emplace(pkt.tenant.value(), nullptr);
       if (inserted) it->second = std::make_unique<RateMeter>(bucket);
       it->second->add(sim_.now(), pkt.payload);
     });
@@ -158,12 +197,26 @@ void Fabric::install_tenant_metering(TimeNs bucket) {
 }
 
 RateMeter* Fabric::tenant_meter(TenantId tenant) {
-  auto it = tenant_meters_.find(tenant.value());
-  return it == tenant_meters_.end() ? nullptr : it->second.get();
+  // A tenant receives at many hosts: merge the per-host meters on demand.
+  std::unique_ptr<RateMeter> merged;
+  for (auto& per_host : tenant_meters_by_host_) {
+    auto it = per_host.find(tenant.value());
+    if (it == per_host.end()) continue;
+    if (merged == nullptr) merged = std::make_unique<RateMeter>(it->second->bucket_width());
+    merged->merge_from(*it->second);
+  }
+  if (merged == nullptr) return nullptr;
+  auto& slot = merged_tenant_[tenant.value()];
+  slot = std::move(merged);
+  return slot.get();
 }
 
 std::uint64_t Fabric::send(VmPairId pair, std::int64_t bytes, std::uint64_t user_tag) {
   const HostId src = vms_.host_of(pair.src);
+  // Home the send on the source host's shard: the events it triggers (NIC
+  // kicks, pacing wake-ups, loopback deliveries) must live where the host's
+  // transport state lives.
+  const auto scope = sim_.scoped(shard_of_host(src));
   transport::Message msg;
   msg.pair = pair;
   msg.tenant = vms_.tenant_of(pair.src);
@@ -176,8 +229,10 @@ std::uint64_t Fabric::send(VmPairId pair, std::int64_t bytes, std::uint64_t user
 void Fabric::keep_backlogged(VmPairId pair, TimeNs start, TimeNs stop,
                              std::int64_t chunk_bytes) {
   // Top-up loop: whenever the send queue dips below two chunks, enqueue one
-  // more, so the pair always has demand without unbounded queue growth.
-  sim_.at(start, [this, pair, stop, chunk_bytes] { top_up_tick(pair, stop, chunk_bytes); });
+  // more, so the pair always has demand without unbounded queue growth.  The
+  // tick lives on the sending host's shard (follow-ups inherit it).
+  schedule_on_host(vms_.host_of(pair.src), start,
+                   [this, pair, stop, chunk_bytes] { top_up_tick(pair, stop, chunk_bytes); });
 }
 
 void Fabric::top_up_tick(VmPairId pair, TimeNs stop, std::int64_t chunk_bytes) {
@@ -196,6 +251,9 @@ void Fabric::top_up_tick(VmPairId pair, TimeNs stop, std::int64_t chunk_bytes) {
 }
 
 void Fabric::sample_queues(TimeNs period, TimeNs until, PercentileTracker& out) {
+  // The sampler reads every link's queue depth across all shards mid-run;
+  // that is only race-free when shards execute one at a time.
+  if (sim_.shard_count() > 1) sim_.require_sequential();
   sim_.after(period, [this, period, until, &out] { sample_queues_tick(period, until, &out); });
 }
 

@@ -18,6 +18,7 @@
 #include "src/stats/rate_meter.hpp"
 #include "src/telemetry/core_agent.hpp"
 #include "src/topo/network.hpp"
+#include "src/topo/partition.hpp"
 #include "src/transport/transport.hpp"
 
 namespace ufab::harness {
@@ -33,9 +34,33 @@ class Fabric {
 
   ~Fabric();
 
+  /// Partitions the topology and switches the engine into canonical sharded
+  /// mode (see DESIGN.md §9).  Call right after construction, before any
+  /// scheme, source, or meter schedules events.  `shards` is clamped to what
+  /// the topology supports; `shards == 1` still enables canonical ordering so
+  /// serial and sharded runs are comparable byte-for-byte.
+  void configure_sharding(int shards, sim::ShardExec exec = sim::ShardExec::kAuto);
+
+  /// The shard a node / host was assigned to (0 when not sharded).
+  [[nodiscard]] int shard_of_node(NodeId n) const {
+    return partition_.node_shard.empty() ? 0 : partition_.shard_of(n);
+  }
+  [[nodiscard]] int shard_of_host(HostId h) const { return shard_of_node(net_->node_of(h)); }
+  [[nodiscard]] const topo::Partition& partition() const { return partition_; }
+
+  /// Schedules `fn` at `t` homed on `host`'s shard, so setup-time work lands
+  /// in the same calendar regardless of the shard count.
+  template <typename F>
+  void schedule_on_host(HostId host, TimeNs t, F&& fn) {
+    const auto scope = sim_.scoped(shard_of_host(host));
+    sim_.at(t, std::forward<F>(fn));
+  }
+
   /// Attaches a uFAB-C agent to every switch egress port.
   void instrument_cores(const telemetry::CoreConfig& cfg = {}) {
     for (sim::Switch* sw : net_->switches()) {
+      // Agent timers belong to the switch's shard.
+      const auto scope = sim_.scoped(shard_of_node(sw->id()));
       auto agents = telemetry::instrument_switch(sim_, *sw, cfg);
       auto& of_switch = agents_by_switch_[sw->id().value()];
       for (auto& a : agents) {
@@ -96,6 +121,17 @@ class Fabric {
   /// Samples every link's queue into `out` each `period` until `until`.
   void sample_queues(TimeNs period, TimeNs until, PercentileTracker& out);
 
+  /// Schedules a callback that touches state across the whole fabric —
+  /// killing a set of links, reading every switch's registers.  Under a
+  /// multi-shard engine this forces sequential epoch execution (results are
+  /// identical, only the parallelism is declined; DESIGN.md §9.4), because
+  /// no single shard may safely reach across the partition mid-epoch.
+  template <typename F>
+  void schedule_global(TimeNs t, F&& fn) {
+    if (sim_.shard_count() > 1) sim_.require_sequential();
+    sim_.at(t, std::forward<F>(fn));
+  }
+
   [[nodiscard]] sim::Simulator& sim() { return sim_; }
   [[nodiscard]] topo::Network& net() { return *net_; }
   [[nodiscard]] VmMap& vms() { return vms_; }
@@ -138,8 +174,16 @@ class Fabric {
   std::vector<std::unique_ptr<telemetry::CoreAgent>> core_agents_;
   std::unordered_map<std::int32_t, std::vector<telemetry::CoreAgent*>> agents_by_switch_;
   std::vector<std::unique_ptr<transport::TransportStack>> stacks_;
-  std::unordered_map<std::uint64_t, std::unique_ptr<RateMeter>> pair_meters_;
-  std::unordered_map<std::int32_t, std::unique_ptr<RateMeter>> tenant_meters_;
+  topo::Partition partition_;
+  /// Meters are accumulated per receiving host (a host belongs to exactly one
+  /// shard, so sharded runs never share a meter across threads) and merged at
+  /// query time; bucket sums are order-independent, so the merged view equals
+  /// the old single-map behavior.
+  std::vector<std::unordered_map<std::uint64_t, std::unique_ptr<RateMeter>>>
+      pair_meters_by_host_;
+  std::vector<std::unordered_map<std::int32_t, std::unique_ptr<RateMeter>>>
+      tenant_meters_by_host_;
+  std::unordered_map<std::int32_t, std::unique_ptr<RateMeter>> merged_tenant_;
   std::unique_ptr<obs::Obs> obs_;
   std::size_t cores_with_obs_ = 0;  ///< Agents already attached (idempotence).
   bool log_clock_installed_ = false;

@@ -30,6 +30,9 @@ void install_scheme(Fabric& fab, Scheme s, const SchemeOptions& opts) {
   for (std::size_t h = 0; h < fab.net().host_count(); ++h) {
     const HostId host{static_cast<std::int32_t>(h)};
     Rng rng = fab.rng().fork(h);
+    // Stack construction schedules the host's first timers: home them on the
+    // host's shard so serial and sharded runs build identical calendars.
+    const auto scope = fab.sim().scoped(fab.shard_of_host(host));
     switch (s) {
       case Scheme::kUfab: {
         fab.adopt_stack(host, std::make_unique<edge::EdgeAgent>(

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "src/core/assert.hpp"
+#include "src/core/shard_context.hpp"
 #include "src/obs/metrics.hpp"
 
 namespace ufab::obs {
@@ -205,28 +206,62 @@ std::string event_args_json(const TraceEvent& ev) {
 
 }  // namespace
 
-FlightRecorder::FlightRecorder(std::size_t capacity) {
+FlightRecorder::FlightRecorder(std::size_t capacity) : cap_(capacity) {
   UFAB_CHECK_MSG(capacity > 0, "flight recorder needs a non-empty ring");
-  ring_.resize(capacity);
+  rings_[0] = std::make_unique<Ring>();
+  rings_[0]->buf.resize(cap_);
+}
+
+FlightRecorder::Ring& FlightRecorder::ring_for(int shard) {
+  auto& slot = rings_[static_cast<std::size_t>(shard) % kMaxRings];
+  if (slot == nullptr) {
+    // First record from this shard; only that shard's thread touches the slot
+    // during a run, so lazy creation is race-free.
+    slot = std::make_unique<Ring>();
+    slot->buf.resize(cap_);
+  }
+  return *slot;
 }
 
 void FlightRecorder::record(const TraceEvent& ev) {
-  ring_[static_cast<std::size_t>(total_ % ring_.size())] = ev;
-  ++total_;
+  Ring& r = ring_for(current_shard_index());
+  r.buf[static_cast<std::size_t>(r.total % r.buf.size())] = ev;
+  ++r.total;
 }
 
 std::size_t FlightRecorder::size() const {
-  return static_cast<std::size_t>(std::min<std::uint64_t>(total_, ring_.size()));
+  std::size_t n = 0;
+  for (const auto& r : rings_) {
+    if (r != nullptr) {
+      n += static_cast<std::size_t>(std::min<std::uint64_t>(r->total, r->buf.size()));
+    }
+  }
+  return n;
+}
+
+std::uint64_t FlightRecorder::recorded_total() const {
+  std::uint64_t n = 0;
+  for (const auto& r : rings_) {
+    if (r != nullptr) n += r->total;
+  }
+  return n;
 }
 
 std::vector<TraceEvent> FlightRecorder::events() const {
+  // Concatenate the per-shard rings (each oldest first), then stable-sort by
+  // timestamp: equal-time events keep (shard, ring position) order, so the
+  // merged view is deterministic, and unchanged when only shard 0 recorded.
   std::vector<TraceEvent> out;
-  const std::size_t n = size();
-  out.reserve(n);
-  const std::uint64_t first = total_ - n;
-  for (std::uint64_t i = first; i < total_; ++i) {
-    out.push_back(ring_[static_cast<std::size_t>(i % ring_.size())]);
+  out.reserve(size());
+  for (const auto& r : rings_) {
+    if (r == nullptr) continue;
+    const std::uint64_t n = std::min<std::uint64_t>(r->total, r->buf.size());
+    for (std::uint64_t i = r->total - n; i < r->total; ++i) {
+      out.push_back(r->buf[static_cast<std::size_t>(i % r->buf.size())]);
+    }
   }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.at < b.at; });
   return out;
 }
 
@@ -239,12 +274,14 @@ std::vector<TraceEvent> FlightRecorder::events_for_pair(VmPairId pair) const {
 }
 
 void FlightRecorder::clear() {
-  total_ = 0;
+  for (auto& r : rings_) {
+    if (r != nullptr) r->total = 0;
+  }
 }
 
 void FlightRecorder::write_json(std::ostream& os) const {
   const std::vector<TraceEvent> evs = events();
-  os << "{\n  \"recorded_total\": " << total_ << ",\n  \"events\": [\n";
+  os << "{\n  \"recorded_total\": " << recorded_total() << ",\n  \"events\": [\n";
   char buf[160];
   for (std::size_t i = 0; i < evs.size(); ++i) {
     const TraceEvent& ev = evs[i];

@@ -16,8 +16,10 @@
 //    window-update causal chain.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -111,18 +113,24 @@ struct TraceEvent {
 /// real host/switch/tenant names; the default renders generic ones).
 using TrackNamer = std::function<std::string(const Track&)>;
 
+/// Recording routes to a per-shard ring (ufab::current_shard_index()), so a
+/// sharded engine's worker threads never share a write cursor; exports merge
+/// the rings by timestamp with (shard, ring) order breaking ties, which is
+/// deterministic and — when only shard 0 ever records — identical to the old
+/// single-ring behavior.
 class FlightRecorder {
  public:
   explicit FlightRecorder(std::size_t capacity = 1 << 16);
 
   void record(const TraceEvent& ev);
 
-  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  /// Per-shard ring capacity.
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
   [[nodiscard]] std::size_t size() const;
   /// Total events ever recorded, including overwritten ones.
-  [[nodiscard]] std::uint64_t recorded_total() const { return total_; }
+  [[nodiscard]] std::uint64_t recorded_total() const;
 
-  /// Events currently held, oldest first.
+  /// Events currently held, oldest first (merged across shard rings).
   [[nodiscard]] std::vector<TraceEvent> events() const;
   /// Causal slice: every retained event touching `pair`, oldest first.
   [[nodiscard]] std::vector<TraceEvent> events_for_pair(VmPairId pair) const;
@@ -133,8 +141,16 @@ class FlightRecorder {
   void write_chrome_trace(std::ostream& os, const TrackNamer& namer = {}) const;
 
  private:
-  std::vector<TraceEvent> ring_;
-  std::uint64_t total_ = 0;  ///< Next write slot = total_ % capacity.
+  /// Mirrors the engine's shard cap; each slot is written by one shard only.
+  static constexpr std::size_t kMaxRings = 64;
+  struct Ring {
+    std::vector<TraceEvent> buf;
+    std::uint64_t total = 0;  ///< Next write slot = total % buf.size().
+  };
+  [[nodiscard]] Ring& ring_for(int shard);
+
+  std::size_t cap_;
+  std::array<std::unique_ptr<Ring>, kMaxRings> rings_;
 };
 
 }  // namespace ufab::obs

@@ -11,26 +11,7 @@ namespace ufab::sim {
 namespace {
 /// Retain enough checkpoints to answer rate queries up to this far back.
 constexpr TimeNs kMaxRateWindow{200'000};  // 200 us
-
-/// The propagation-stage event: owns the packet until delivery.  A named
-/// functor (not a lambda) so it can be marked trivially relocatable — it is
-/// the single hottest event shape, and the mark lets the event queue move it
-/// by memcpy instead of an out-of-line unique_ptr move (see UniqueFunction).
-struct DeliverEvent {
-  Node* dst;
-  PacketPtr p;
-  void operator()() { dst->receive(std::move(p)); }
-};
 }  // namespace
-}  // namespace ufab::sim
-
-/// DeliverEvent is a raw pointer plus a unique_ptr with a stateless deleter:
-/// moving its bytes and abandoning the source is equivalent to its move
-/// constructor followed by destroying the (then empty) source.
-template <>
-inline constexpr bool ufab::is_trivially_relocatable_v<ufab::sim::DeliverEvent> = true;
-
-namespace ufab::sim {
 
 Link::Link(Simulator& sim, LinkId id, std::string name, Node* dst, LinkConfig cfg)
     : sim_(sim), id_(id), name_(std::move(name)), dst_(dst), cfg_(cfg) {
@@ -162,6 +143,12 @@ void Link::finish_transmit(std::int32_t bytes, std::uint64_t epoch) {
       // packet never reaches the peer.
       ++fault_drops_;
       record_drop(*pkt, obs::DropReason::kWireFault);
+    } else if (cross_shard_dst_ >= 0) {
+      // The peer lives on another engine shard: hand the packet to the
+      // cross-shard mailbox with the exact arrival time and ordering key the
+      // local after() call would have produced (post_cross consumes the same
+      // child slot), so the merged schedule is partition-independent.
+      sim_.post_cross(cross_shard_dst_, sim_.now() + cfg_.prop_delay, dst_, std::move(pkt));
     } else {
       // Hand the packet to the propagation stage; delivery is a future event
       // that owns the packet (freed with the queue if the run is cut short).

@@ -98,6 +98,12 @@ class Link {
   /// never changes queueing or timing.
   void set_obs(obs::Obs* obs) { obs_ = obs; }
 
+  /// Marks this link as a shard-cut link: delivered packets are posted to
+  /// `shard`'s mailbox instead of scheduled locally (sharded engine only;
+  /// -1 restores local delivery).  Set by Fabric::configure_sharding.
+  void set_cross_shard_dst(int shard) { cross_shard_dst_ = shard; }
+  [[nodiscard]] int cross_shard_dst() const { return cross_shard_dst_; }
+
  private:
   void start_next();
   void finish_transmit(std::int32_t bytes, std::uint64_t epoch);
@@ -121,6 +127,7 @@ class Link {
   PullSource source_;
   FaultFilter fault_filter_;
   obs::Obs* obs_ = nullptr;
+  int cross_shard_dst_ = -1;  ///< Destination shard when this link is cut.
 
   std::int64_t tx_bytes_cum_ = 0;
   std::int64_t drops_ = 0;

@@ -2,8 +2,10 @@
 #pragma once
 
 #include <string>
+#include <utility>
 
 #include "src/core/ids.hpp"
+#include "src/core/unique_function.hpp"
 #include "src/sim/packet.hpp"
 
 namespace ufab::sim {
@@ -26,4 +28,22 @@ class Node {
   std::string name_;
 };
 
+/// The propagation-stage event: owns the packet until delivery.  A named
+/// functor (not a lambda) so it can be marked trivially relocatable — it is
+/// the single hottest event shape, and the mark lets the event queue move it
+/// by memcpy instead of an out-of-line unique_ptr move (see UniqueFunction).
+/// Lives here (not in link.cpp) because the sharded engine also materializes
+/// one when injecting a cross-shard crossing into the destination calendar.
+struct DeliverEvent {
+  Node* dst;
+  PacketPtr p;
+  void operator()() { dst->receive(std::move(p)); }
+};
+
 }  // namespace ufab::sim
+
+/// DeliverEvent is a raw pointer plus a unique_ptr with a stateless deleter:
+/// moving its bytes and abandoning the source is equivalent to its move
+/// constructor followed by destroying the (then empty) source.
+template <>
+inline constexpr bool ufab::is_trivially_relocatable_v<ufab::sim::DeliverEvent> = true;

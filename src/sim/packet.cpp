@@ -115,6 +115,8 @@ Packet* PacketPool::take() {
   }
   Packet* p = free_.back();
   free_.pop_back();
+  ++in_use_;
+  if (in_use_ > in_use_hwm_) in_use_hwm_ = in_use_;
   return p;
 }
 
@@ -122,6 +124,7 @@ void PacketPool::put(Packet* p) {
   p->reset_for_reuse();
   free_.push_back(p);
   ++recycled_;
+  --in_use_;
 }
 
 }  // namespace ufab::sim

@@ -45,6 +45,9 @@ class PacketPool {
   [[nodiscard]] std::size_t free_count() const { return free_.size(); }
   /// Packets returned to the freelist for reuse (counted at put time).
   [[nodiscard]] std::uint64_t recycled_total() const { return recycled_; }
+  /// Most packets simultaneously live over the pool's lifetime (shard
+  /// imbalance shows up here: a hot shard's pool peaks far above the rest).
+  [[nodiscard]] std::size_t in_use_high_water() const { return in_use_hwm_; }
 
  private:
   static constexpr std::size_t kChunkPackets = 256;
@@ -55,6 +58,8 @@ class PacketPool {
   std::size_t allocated_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t recycled_ = 0;
+  std::size_t in_use_ = 0;
+  std::size_t in_use_hwm_ = 0;
 };
 
 }  // namespace ufab::sim

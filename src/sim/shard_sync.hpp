@@ -1,0 +1,113 @@
+// Synchronization primitives for the sharded engine.
+//
+// ShardMailbox is the cross-shard handoff buffer: the owning shard appends
+// crossings while its event pass runs (single writer, no locking — passes
+// never overlap with drains), and the coordinator drains it between passes in
+// shard-index order, which is what makes cross-shard injection a fixed total
+// order.  EpochBarrier parks the worker threads between passes: the
+// coordinator publishes a pass generation, workers run their shard's pass and
+// report back, and the coordinator proceeds only when every worker is done.
+// Both are benchmarked in bench/micro_datastructures.cpp (BM_ShardMailbox,
+// BM_EpochBarrier).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace ufab::sim {
+
+/// Single-writer append buffer with coordinator-side drain.  The writer is
+/// the shard that owns the mailbox (during its pass); drains happen at epoch
+/// barriers while every worker is parked, so no operation ever races.
+template <typename T>
+class ShardMailbox {
+ public:
+  void post(T v) {
+    box_.push_back(std::move(v));
+    ++posted_;
+  }
+
+  /// Moves the buffered entries into `out` (cleared first) and leaves the
+  /// mailbox empty.  Swapping keeps both vectors' capacity, so steady-state
+  /// epochs allocate nothing.
+  void drain_into(std::vector<T>& out) {
+    out.clear();
+    std::swap(out, box_);
+  }
+
+  [[nodiscard]] bool empty() const { return box_.empty(); }
+  [[nodiscard]] std::size_t size() const { return box_.size(); }
+  /// Entries ever posted (the mailbox-crossings counter for obs).
+  [[nodiscard]] std::uint64_t posted_total() const { return posted_; }
+
+ private:
+  std::vector<T> box_;
+  std::uint64_t posted_ = 0;
+};
+
+/// Two-phase barrier between the coordinator and the shard workers.
+///
+/// Coordinator: release(gen) -> run its own shard's pass -> wait_all_done().
+/// Worker: wait_for_pass(gen) -> run its shard's pass -> arrive_done().
+/// shutdown() wakes every worker with a stop signal (wait_for_pass returns
+/// false) so threads can be joined.
+class EpochBarrier {
+ public:
+  explicit EpochBarrier(int workers) : workers_(workers) {}
+
+  // --- coordinator side ---
+  void release(std::uint64_t gen) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      gen_ = gen;
+      done_ = 0;
+    }
+    cv_start_.notify_all();
+  }
+
+  void wait_all_done() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [this] { return done_ == workers_; });
+  }
+
+  void shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_start_.notify_all();
+  }
+
+  // --- worker side ---
+  /// Blocks until a pass newer than `last_gen` is released (updates
+  /// `last_gen` and returns true) or shutdown is requested (returns false).
+  [[nodiscard]] bool wait_for_pass(std::uint64_t& last_gen) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_start_.wait(lock, [&] { return stop_ || gen_ != last_gen; });
+    if (stop_) return false;
+    last_gen = gen_;
+    return true;
+  }
+
+  void arrive_done() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++done_;
+    }
+    cv_done_.notify_one();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  int workers_;
+  int done_ = 0;
+  std::uint64_t gen_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace ufab::sim

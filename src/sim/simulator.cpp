@@ -1,0 +1,231 @@
+// Sharded (conservative parallel DES) execution for Simulator.
+//
+// The serial hot paths live inline in simulator.hpp; everything here runs
+// once per epoch, not once per event.  An epoch is one synchronized pass:
+// every shard processes its calendar up to a common boundary, then the
+// coordinator — alone, with every worker parked at the barrier — drains the
+// cross-shard outboxes in (src shard, post order) order and injects the
+// crossings into the destination calendars.  The epoch length is the
+// partition's lookahead: the minimum propagation delay over cut links.  A
+// crossing posted at wire-exit time tau arrives at tau + prop >= tau +
+// lookahead, which is at or past the boundary of the epoch that produced it,
+// so a shard processing events strictly before the boundary can never miss a
+// remote event — the conservative-PDES safety argument (see DESIGN.md §9).
+#include "src/sim/simulator.hpp"
+
+#include <chrono>
+
+#include "src/sim/node.hpp"
+
+namespace ufab::sim {
+
+namespace {
+[[nodiscard]] std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+Simulator::~Simulator() {
+  if (barrier_ != nullptr) barrier_->shutdown();
+  for (std::thread& w : workers_) w.join();
+}
+
+void Simulator::configure_shards(int shards, TimeNs lookahead, ShardExec exec) {
+  UFAB_CHECK_MSG(!exec_started_, "configure_shards after a run started");
+  UFAB_CHECK_MSG(!canonical_, "configure_shards called twice");
+  const Shard& s0 = *shards_.front();
+  UFAB_CHECK_MSG(shards_.size() == 1 && s0.processed == 0 && s0.next_seq == 0 &&
+                     s0.ring_size == 0 && s0.overflow.heap.empty() && root_k_ == 0,
+                 "configure_shards must precede all scheduling");
+  UFAB_CHECK(shards >= 1 && shards <= kMaxShards);
+  UFAB_CHECK(lookahead.ns() > 0);
+  canonical_ = true;
+  lookahead_ = lookahead;
+  exec_request_ = exec;
+  for (int i = 1; i < shards; ++i) shards_.push_back(std::make_unique<Shard>(i));
+}
+
+void Simulator::require_sequential() {
+  UFAB_CHECK_MSG(!(exec_started_ && exec_threads_),
+                 "require_sequential() after threaded execution began");
+  sequential_only_ = true;
+}
+
+void Simulator::ensure_exec_started() {
+  if (exec_started_) return;
+  exec_started_ = true;
+  bool threads = shards_.size() > 1;
+  switch (exec_request_) {
+    case ShardExec::kSequential:
+      threads = false;
+      break;
+    case ShardExec::kThreads:
+      break;  // forced, even on a single-CPU host (useful under TSan)
+    case ShardExec::kAuto:
+      threads = threads && std::thread::hardware_concurrency() > 1;
+      break;
+  }
+  // A sequential requirement wins over a threads request: sequential epochs
+  // fire the identical schedule, so correctness is never at stake — only the
+  // cross-shard reads (queue sampling, fault plane) that demanded it.
+  if (sequential_only_) threads = false;
+  exec_threads_ = threads;
+  if (!threads) return;
+  barrier_ = std::make_unique<EpochBarrier>(static_cast<int>(shards_.size()) - 1);
+  workers_.reserve(shards_.size() - 1);
+  for (std::size_t i = 1; i < shards_.size(); ++i) {
+    workers_.emplace_back([this, i] { worker_main(static_cast<int>(i)); });
+  }
+}
+
+void Simulator::worker_main(int shard_index) {
+  Shard& s = *shards_[static_cast<std::size_t>(shard_index)];
+  tls_ = ShardScope::Active{this, &s};
+  ufab::tls_shard_index = shard_index;
+  std::uint64_t gen = 0;
+  if (!barrier_->wait_for_pass(gen)) return;
+  while (true) {
+    shard_pass(s, pass_boundary_, pass_inclusive_);
+    const std::int64_t parked_at = steady_ns();
+    barrier_->arrive_done();
+    if (!barrier_->wait_for_pass(gen)) return;
+    // Written between passes is safe: the coordinator only reads this while
+    // workers are parked, ordered through the barrier's mutex.
+    s.barrier_wait_ns += steady_ns() - parked_at;
+  }
+}
+
+/// Runs one synchronized pass on every shard.  Threaded mode: workers run
+/// their own shard while the coordinator (already scoped to shard 0 by the
+/// caller) runs shard 0.  Sequential mode: the coordinator runs each shard's
+/// pass in index order — byte-identical schedule, no concurrency.
+void Simulator::run_pass(TimeNs boundary, bool inclusive) {
+  if (exec_threads_) {
+    pass_boundary_ = boundary;
+    pass_inclusive_ = inclusive;
+    barrier_->release(++pass_gen_);
+    shard_pass(*shards_.front(), boundary, inclusive);
+    barrier_->wait_all_done();
+  } else {
+    for (auto& s : shards_) {
+      const ShardScope scope = scoped(s->index);
+      shard_pass(*s, boundary, inclusive);
+    }
+  }
+}
+
+void Simulator::shard_pass(Shard& s, TimeNs boundary, bool inclusive) {
+  while (true) {
+    const Event* ev = peek(s);
+    if (ev == nullptr) break;
+    if (inclusive ? ev->at > boundary : ev->at >= boundary) break;
+    pop_and_run(s);
+  }
+}
+
+TimeNs Simulator::earliest_pending() {
+  TimeNs earliest = TimeNs::max();
+  for (auto& s : shards_) {
+    const Event* ev = peek(*s);
+    if (ev != nullptr && ev->at < earliest) earliest = ev->at;
+  }
+  return earliest;
+}
+
+void Simulator::set_clocks(TimeNs t) {
+  for (auto& s : shards_) {
+    if (t > s->now) s->now = t;
+  }
+}
+
+bool Simulator::outboxes_empty() const {
+  for (const auto& s : shards_) {
+    if (!s->outbox.empty()) return false;
+  }
+  return true;
+}
+
+/// Drains every outbox in shard-index order and injects the crossings into
+/// their destination calendars, cloning each packet into the destination
+/// shard's pool (pools are single-shard-owned; the original returns to its
+/// source pool here, while every worker is parked).  The clone preserves the
+/// packet id, so ACK matching at the sender sees the id it recorded.
+/// Returns whether any injected crossing fires at or before `le_mark` — the
+/// run_until final-epoch loop uses this to know it must run another
+/// inclusive pass.
+bool Simulator::inject_crossings(TimeNs le_mark) {
+  bool any_le = false;
+  for (auto& src : shards_) {
+    if (src->outbox.empty()) continue;
+    src->outbox.drain_into(inject_scratch_);
+    for (Crossing& c : inject_scratch_) {
+      Shard& dst = *shards_[static_cast<std::size_t>(c.dst_shard)];
+      UFAB_CHECK_MSG(c.at >= dst.now, "cross-shard crossing violates the lookahead bound");
+      Packet* raw = dst.pool.take();
+      *raw = *c.pkt;
+      raw->origin_pool = &dst.pool;
+      PacketPtr clone{raw};
+      c.pkt.reset();
+      if (c.at <= le_mark) any_le = true;
+      push(dst, c.at, c.h, c.k, UniqueFunction(DeliverEvent{c.dst, std::move(clone)}));
+    }
+    inject_scratch_.clear();
+  }
+  return any_le;
+}
+
+void Simulator::run_until_sharded(TimeNs t) {
+  ensure_exec_started();
+  const ShardScope scope = scoped(0);
+  while (true) {
+    // Between epochs every clock is equal and every outbox is empty.
+    const TimeNs clock = shards_.front()->now;
+    if (clock >= t) break;
+    const TimeNs earliest = earliest_pending();
+    if (earliest > t) {
+      // Nothing left at or before the horizon (events at exactly t included).
+      set_clocks(t);
+      break;
+    }
+    // Fast-forward: idle gaps cost one epoch, not (gap / lookahead) of them.
+    const TimeNs base = std::max(clock, earliest);
+    if (lookahead_ == TimeNs::max() || t - base <= lookahead_) {
+      // Final epoch: process inclusively up to t, then loop — a crossing
+      // produced at tau in (t - lookahead, t] can arrive exactly at t and
+      // the serial engine would fire it, so keep passing until no injected
+      // crossing lands at or before t.  Terminates: second-round events all
+      // run at exactly t, and their crossings land strictly after t.
+      run_pass(t, true);
+      set_clocks(t);
+      while (inject_crossings(t)) run_pass(t, true);
+      break;
+    }
+    const TimeNs boundary = base + lookahead_;
+    run_pass(boundary, false);
+    set_clocks(boundary);
+    (void)inject_crossings(TimeNs{-1});
+  }
+}
+
+void Simulator::run_sharded_drain() {
+  ensure_exec_started();
+  const ShardScope scope = scoped(0);
+  while (true) {
+    const TimeNs earliest = earliest_pending();
+    if (earliest == TimeNs::max()) break;  // outboxes are empty between epochs
+    if (lookahead_ == TimeNs::max()) {
+      // No cut links: shards are causally independent; one unbounded
+      // inclusive pass drains everything and can post no crossings.
+      run_pass(TimeNs::max(), true);
+      continue;
+    }
+    const TimeNs boundary = earliest + lookahead_;
+    run_pass(boundary, false);
+    set_clocks(boundary);
+    (void)inject_crossings(TimeNs{-1});
+  }
+}
+
+}  // namespace ufab::sim

@@ -1,87 +1,256 @@
 // The discrete-event engine.
 //
-// A single-threaded future-event list: events are (time, sequence, closure)
-// triples ordered by time with FIFO tie-breaking, which makes runs exactly
+// A future-event list per shard: events are (time, h, k, closure) tuples
+// ordered by time with deterministic tie-breaking, which makes runs exactly
 // reproducible for a fixed seed.
 //
-// The list is a two-tier bucketed calendar queue rather than one global
-// binary heap.  Near-horizon events (within ~0.5 ms of `now`) land in a ring
-// of 512 ns time buckets; far-horizon events go to an overflow tier and
-// migrate into the ring as the clock approaches them.  Each bucket keeps its
-// events in an append-only slot vector (reset whenever the bucket drains,
+// Each shard's list is a two-tier bucketed calendar queue rather than one
+// global binary heap.  Near-horizon events (within ~0.5 ms of `now`) land in
+// a ring of 512 ns time buckets; far-horizon events go to an overflow tier
+// and migrate into the ring as the clock approaches them.  Each bucket keeps
+// its events in an append-only slot vector (reset whenever the bucket drains,
 // which at 512 ns a bucket is constantly) and orders them through a small
-// heap of (time, seq, slot) keys — sifts compare and
-// move 24-byte keys without touching the events themselves, and a closure is
-// moved exactly once in (into its slot) and once out (when it fires).  The
-// pop order is exactly
-// the (time, seq) total order of the old priority_queue — FIFO tie-break
-// included — so results and `events_processed()` are byte-identical for a
-// fixed seed (proven by tests/sim/calendar_queue_test.cpp).
+// heap of (time, h, k, slot) keys — sifts compare and move 24-byte keys
+// without touching the events themselves, and a closure is moved exactly once
+// in (into its slot) and once out (when it fires).
+//
+// Ordering comes in two modes, distinguished only by how (h, k) is stamped —
+// the comparator and the queues are identical:
+//
+//  * Default (single shard, no configure_shards): h is a global scheduling
+//    sequence number and k is 0, so the pop order is exactly the (time, seq)
+//    total order of the old priority_queue — FIFO tie-break included — and
+//    results are byte-identical to the pre-sharding engine (proven by
+//    tests/sim/calendar_queue_test.cpp).
+//
+//  * Canonical (configure_shards was called, any shard count >= 1): h is a
+//    mixed 64-bit identity of the *scheduling parent* (the event whose
+//    closure called at()/after(), or a fixed root id for setup code) and k
+//    counts that parent's children in order.  The key no longer depends on
+//    global scheduling interleavings — only on the causal tree, which is the
+//    same no matter how events are distributed across shards — so a 4-shard
+//    run fires events in exactly the order a 1-shard canonical run does.
+//    Within one parent, ties keep FIFO order (k increments); across parents
+//    at the same instant, the mixed identity is the arbiter.  (A 64-bit hash
+//    collision between two distinct parents scheduling at the same
+//    nanosecond would fall through to the slot index; at fig17 scale the
+//    probability is ~1e-10 per run and any such run would still be
+//    deterministic, just not provably shard-count-invariant.)
+//
+// Sharded execution (configure_shards(n > 1)) is conservative parallel DES:
+// shards run epochs of length `lookahead` (the min propagation delay over
+// cut links) in lockstep — each shard processes its own calendar up to the
+// epoch boundary, cross-shard packets are posted to per-shard outboxes, and
+// the coordinator drains the outboxes between epochs in (src shard, post
+// order) order, cloning each packet into the destination shard's pool.
+// Because a crossing materializes at wire-exit and arrives one full
+// propagation delay later, no crossing can land inside the epoch that
+// produced it, so each shard's pass needs no peeking at its neighbors.  The
+// epoch machinery lives in simulator.cpp; the serial hot paths stay inline
+// here.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "src/core/assert.hpp"
+#include "src/core/shard_context.hpp"
 #include "src/core/time.hpp"
 #include "src/core/unique_function.hpp"
+#include "src/sim/packet.hpp"
 #include "src/sim/packet_pool.hpp"
+#include "src/sim/shard_sync.hpp"
 
 namespace ufab::sim {
 
+class Node;
+
+/// How a multi-shard configuration executes its epochs.
+enum class ShardExec : std::uint8_t {
+  kAuto,        ///< Worker threads when the host has >1 CPU, else sequential.
+  kThreads,     ///< One persistent worker thread per non-coordinator shard.
+  kSequential,  ///< Coordinator runs every shard's pass in index order.
+};
+
 class Simulator {
  public:
-  Simulator() : ring_(kNumBuckets) {}
+  Simulator() { shards_.push_back(std::make_unique<Shard>(0)); }
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  [[nodiscard]] TimeNs now() const { return now_; }
+  [[nodiscard]] TimeNs now() const { return active().now; }
 
-  /// Schedules `fn` at absolute time `t` (>= now). The closure may be
-  /// move-only, so events can own what they deliver (packets in flight).
+  /// Schedules `fn` at absolute time `t` (>= now) on the active shard. The
+  /// closure may be move-only, so events can own what they deliver (packets
+  /// in flight).
   void at(TimeNs t, UniqueFunction fn) {
-    UFAB_CHECK_MSG(t >= now_, "scheduling into the past");
-    const std::uint64_t ab = abs_bucket(t);
-    const std::uint64_t seq = next_seq_++;
-    if (ab >= abs_bucket(now_) + kNumBuckets) {
-      bucket_push<true>(overflow_, t, seq, std::move(fn));
+    Shard& s = active();
+    UFAB_CHECK_MSG(t >= s.now, "scheduling into the past");
+    std::uint64_t h;
+    std::uint32_t k;
+    if (!canonical_) {
+      h = s.next_seq++;
+      k = 0;
+    } else if (s.in_event) {
+      h = s.cur_id;
+      k = s.cur_k++;
     } else {
-      ring_push(ab, t, seq, std::move(fn));
+      // Setup/root context: all shards share one root identity and one FIFO
+      // counter, so setup code keeps registration order across shards.
+      h = kRootIdentity;
+      k = root_k_++;
     }
+    push(s, t, h, k, std::move(fn));
   }
 
   /// Schedules `fn` after `delay` from now.
-  void after(TimeNs delay, UniqueFunction fn) { at(now_ + delay, std::move(fn)); }
+  void after(TimeNs delay, UniqueFunction fn) { at(now() + delay, std::move(fn)); }
 
-  /// Runs until the event list drains.
+  /// Runs until every event list (and outbox) drains.
   void run() {
-    while (peek() != nullptr) pop_and_run();
+    if (shards_.size() == 1) {
+      Shard& s = *shards_.front();
+      while (peek(s) != nullptr) pop_and_run(s);
+    } else {
+      run_sharded_drain();
+    }
   }
 
   /// Runs all events with time <= `t`, then sets now to `t`.
   void run_until(TimeNs t) {
-    while (true) {
-      const Event* ev = peek();
-      if (ev == nullptr || ev->at > t) break;
-      pop_and_run();
+    if (shards_.size() == 1) {
+      Shard& s = *shards_.front();
+      while (true) {
+        const Event* ev = peek(s);
+        if (ev == nullptr || ev->at > t) break;
+        pop_and_run(s);
+      }
+      if (t > s.now) s.now = t;
+    } else {
+      run_until_sharded(t);
     }
-    if (t > now_) now_ = t;
   }
 
-  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
-  [[nodiscard]] std::size_t pending() const { return ring_size_ + overflow_.heap.size(); }
+  [[nodiscard]] std::uint64_t events_processed() const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s->processed;
+    return total;
+  }
+  [[nodiscard]] std::size_t pending() const {
+    std::size_t total = 0;
+    for (const auto& s : shards_) {
+      total += s->ring_size + s->overflow.heap.size() + s->outbox.size();
+    }
+    return total;
+  }
 
-  /// The simulator's packet freelist: packets made through it are recycled on
-  /// delivery/drop instead of freed (see PacketPool).  Declared before the
+  /// The active shard's packet freelist: packets made through it are recycled
+  /// on delivery/drop instead of freed (see PacketPool).  Declared before the
   /// event tiers so pending events' packets are destroyed first on teardown.
-  [[nodiscard]] PacketPool& packet_pool() { return pool_; }
+  [[nodiscard]] PacketPool& packet_pool() { return active().pool; }
+
+  // --- sharding ---
+
+  /// Switches the engine to canonical ordering with `shards` event loops
+  /// synchronized in epochs of `lookahead` (the min prop delay over
+  /// cut links; TimeNs::max() when no link is cut).  Must be called before
+  /// any event is scheduled.  `shards == 1` still switches ordering to
+  /// canonical mode — that is how a 1-shard run produces the same schedule
+  /// as a 4-shard run of the same experiment.
+  void configure_shards(int shards, TimeNs lookahead, ShardExec exec = ShardExec::kAuto);
+
+  [[nodiscard]] int shard_count() const { return static_cast<int>(shards_.size()); }
+  [[nodiscard]] bool canonical_order() const { return canonical_; }
+  [[nodiscard]] TimeNs lookahead() const { return lookahead_; }
+
+  /// Forces sequential (single-thread) epoch execution.  Sequential epochs
+  /// fire the exact same schedule as threaded ones, so this is a safety
+  /// valve, not a semantic switch: callbacks that touch cross-shard state
+  /// (queue sampling across all links, the fault plane) call it during
+  /// setup.  Must happen before the first run.
+  void require_sequential();
+
+  /// True once a multi-shard run has started with worker threads.
+  [[nodiscard]] bool threaded() const { return exec_started_ && exec_threads_; }
+
+  /// RAII guard homing scheduling calls onto one shard: while alive, at() /
+  /// after() / packet_pool() on this thread resolve to `shard`.  Setup code
+  /// uses it to place per-host/per-switch work on the owning shard.
+  class [[nodiscard]] ShardScope {
+   public:
+    ~ShardScope() {
+      tls_ = prev_;
+      ufab::tls_shard_index = prev_index_;
+    }
+    ShardScope(const ShardScope&) = delete;
+    ShardScope& operator=(const ShardScope&) = delete;
+
+   private:
+    friend class Simulator;
+    ShardScope(Simulator* sim, int shard) : prev_(tls_), prev_index_(ufab::tls_shard_index) {
+      tls_ = Active{sim, sim->shards_[static_cast<std::size_t>(shard)].get()};
+      ufab::tls_shard_index = shard;
+    }
+    struct Active {
+      Simulator* sim;
+      void* shard;
+    };
+    Active prev_;
+    int prev_index_;
+  };
+
+  [[nodiscard]] ShardScope scoped(int shard) {
+    UFAB_CHECK(shard >= 0 && shard < shard_count());
+    return ShardScope(this, shard);
+  }
+
+  /// Posts a packet crossing a cut link into `dst_shard`'s calendar: the
+  /// delivery fires at absolute time `at` with the same ordering key the
+  /// event would have had as a local after() call, so the merged schedule is
+  /// independent of the partition.  Only valid in canonical mode from inside
+  /// a running event.
+  void post_cross(int dst_shard, TimeNs at, Node* dst, PacketPtr pkt) {
+    Shard& s = active();
+    UFAB_CHECK(canonical_ && s.in_event);
+    UFAB_CHECK(dst_shard >= 0 && dst_shard < shard_count());
+    s.outbox.post(Crossing{at, s.cur_id, s.cur_k++, dst_shard, dst, std::move(pkt)});
+  }
+
+  // --- per-shard introspection (obs gauges, tests) ---
+  [[nodiscard]] std::uint64_t shard_events_processed(int shard) const {
+    return shard_at(shard).processed;
+  }
+  [[nodiscard]] std::uint64_t shard_crossings_out(int shard) const {
+    return shard_at(shard).outbox.posted_total();
+  }
+  [[nodiscard]] std::int64_t shard_barrier_wait_ns(int shard) const {
+    return shard_at(shard).barrier_wait_ns;
+  }
+  [[nodiscard]] const PacketPool& shard_pool(int shard) const { return shard_at(shard).pool; }
+
+  /// The canonical identity an event gets from parent identity `h` and child
+  /// index `k` (splitmix64-style finalizer).  Exposed so tests can mirror
+  /// the engine's tie-break order in a reference queue.
+  [[nodiscard]] static std::uint64_t event_identity(std::uint64_t h, std::uint32_t k) {
+    std::uint64_t x = h + 0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(k) + 1);
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return x;
+  }
 
  private:
   struct Event {
     TimeNs at;
-    std::uint64_t seq;
+    std::uint64_t h;
+    std::uint32_t k;
     UniqueFunction fn;
   };
 
@@ -90,7 +259,8 @@ class Simulator {
   /// the (much larger) events.
   struct HeapEntry {
     std::int64_t at;
-    std::uint64_t seq;
+    std::uint64_t h;
+    std::uint32_t k;
     std::uint32_t idx;
   };
 
@@ -112,40 +282,84 @@ class Simulator {
     [[nodiscard]] bool empty() const { return heap.empty(); }
   };
 
+  /// One cross-shard packet handoff, carrying the exact ordering key the
+  /// delivery event will use in the destination calendar.
+  struct Crossing {
+    TimeNs at;
+    std::uint64_t h;
+    std::uint32_t k;
+    int dst_shard;
+    Node* dst;
+    PacketPtr pkt;
+  };
+
   static constexpr int kBucketShift = 9;  ///< 512 ns per bucket.
   static constexpr std::uint64_t kNumBuckets = 1024;  ///< ~0.5 ms near horizon.
+  static constexpr int kMaxShards = 64;
+  /// Identity of the implicit root event (setup code outside any event).
+  static constexpr std::uint64_t kRootIdentity = 0x52EEDF00DDEADB01ull;
+
+  /// One event loop: its own clock, calendar, packet pool, and outbox.  The
+  /// pool is declared first so the event tiers (whose pending closures own
+  /// packets) are destroyed while the pool is still alive.
+  struct Shard {
+    explicit Shard(int idx) : index(idx), ring(kNumBuckets) {}
+
+    int index;
+    PacketPool pool;
+    TimeNs now = TimeNs::zero();
+    std::uint64_t next_seq = 0;  ///< Default-mode FIFO sequence.
+    std::uint64_t processed = 0;
+    std::vector<Bucket> ring;
+    std::size_t ring_size = 0;
+    std::uint64_t cursor = 0;     ///< No ring events live in buckets before this.
+    bool peeked_overflow = false;  ///< Tier of the last peek() result.
+    Bucket overflow;
+
+    // Canonical-mode scheduling context (the currently executing event).
+    std::uint64_t cur_id = 0;
+    std::uint32_t cur_k = 0;
+    bool in_event = false;
+
+    // Cross-shard machinery.
+    ShardMailbox<Crossing> outbox;
+    std::int64_t barrier_wait_ns = 0;  ///< Worker idle time at epoch barriers.
+  };
 
   [[nodiscard]] static std::uint64_t abs_bucket(TimeNs t) {
     return static_cast<std::uint64_t>(t.ns()) >> kBucketShift;
   }
 
   /// Heap predicate for std::push_heap/std::pop_heap (max-heap semantics):
-  /// "a sorts after b", so the heap top is the earliest (time, seq).  A
+  /// "a sorts after b", so the heap top is the earliest (time, h, k).  A
   /// functor type, not a function: passing a function pointer would make
   /// every sift comparison an indirect call (measured at >1e9 calls per
   /// fig17 run), while a stateless functor inlines into the sift loops.
   struct Later {
     [[nodiscard]] bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
+      if (a.h != b.h) return a.h > b.h;
+      if (a.k != b.k) return a.k > b.k;
+      return a.idx > b.idx;
     }
   };
 
   template <bool kRecycle>
-  static void bucket_push(Bucket& b, TimeNs t, std::uint64_t seq, UniqueFunction&& fn) {
+  static void bucket_push(Bucket& b, TimeNs t, std::uint64_t h, std::uint32_t k,
+                          UniqueFunction&& fn) {
     auto idx = static_cast<std::uint32_t>(b.slots.size());
     if constexpr (kRecycle) {
       if (!b.free_idx.empty()) {
         idx = b.free_idx.back();
         b.free_idx.pop_back();
-        b.slots[idx] = Event{t, seq, std::move(fn)};
+        b.slots[idx] = Event{t, h, k, std::move(fn)};
       } else {
-        b.slots.emplace_back(t, seq, std::move(fn));
+        b.slots.emplace_back(t, h, k, std::move(fn));
       }
     } else {
-      b.slots.emplace_back(t, seq, std::move(fn));
+      b.slots.emplace_back(t, h, k, std::move(fn));
     }
-    b.heap.push_back(HeapEntry{t.ns(), seq, idx});
+    b.heap.push_back(HeapEntry{t.ns(), h, k, idx});
     std::push_heap(b.heap.begin(), b.heap.end(), Later{});
   }
 
@@ -164,67 +378,120 @@ class Simulator {
     return ev;
   }
 
-  void ring_push(std::uint64_t ab, TimeNs t, std::uint64_t seq, UniqueFunction&& fn) {
-    bucket_push<false>(ring_[ab & (kNumBuckets - 1)], t, seq, std::move(fn));
-    ++ring_size_;
-    if (ab < cursor_) cursor_ = ab;
+  static void ring_push(Shard& s, std::uint64_t ab, TimeNs t, std::uint64_t h, std::uint32_t k,
+                        UniqueFunction&& fn) {
+    bucket_push<false>(s.ring[ab & (kNumBuckets - 1)], t, h, k, std::move(fn));
+    ++s.ring_size;
+    if (ab < s.cursor) s.cursor = ab;
+  }
+
+  static void push(Shard& s, TimeNs t, std::uint64_t h, std::uint32_t k, UniqueFunction&& fn) {
+    const std::uint64_t ab = abs_bucket(t);
+    if (ab >= abs_bucket(s.now) + kNumBuckets) {
+      bucket_push<true>(s.overflow, t, h, k, std::move(fn));
+    } else {
+      ring_push(s, ab, t, h, k, std::move(fn));
+    }
   }
 
   /// Pulls overflow events that now fall inside the near-horizon window into
   /// the ring.  Overflow is ordered, so this stops at the first far event.
-  void migrate_overflow() {
-    if (overflow_.empty()) return;  // the common case: nothing far-scheduled
-    const std::uint64_t window_end = abs_bucket(now_) + kNumBuckets;
-    while (!overflow_.empty()) {
-      const HeapEntry& top = overflow_.heap.front();
+  static void migrate_overflow(Shard& s) {
+    if (s.overflow.empty()) return;  // the common case: nothing far-scheduled
+    const std::uint64_t window_end = abs_bucket(s.now) + kNumBuckets;
+    while (!s.overflow.empty()) {
+      const HeapEntry& top = s.overflow.heap.front();
       const std::uint64_t ab = abs_bucket(TimeNs{top.at});
       if (ab >= window_end) break;
-      Event ev = bucket_pop<true>(overflow_);
-      ring_push(ab, ev.at, ev.seq, std::move(ev.fn));
+      Event ev = bucket_pop<true>(s.overflow);
+      ring_push(s, ab, ev.at, ev.h, ev.k, std::move(ev.fn));
     }
   }
 
   /// The earliest pending event, or nullptr.  Advances the bucket cursor past
-  /// empty buckets; `peeked_overflow_` records which tier holds the result.
-  [[nodiscard]] const Event* peek() {
-    migrate_overflow();
-    if (ring_size_ > 0) {
+  /// empty buckets; `peeked_overflow` records which tier holds the result.
+  [[nodiscard]] static const Event* peek(Shard& s) {
+    migrate_overflow(s);
+    if (s.ring_size > 0) {
       // Ring events are all within the window, so every index maps to one
       // absolute bucket and scanning at most kNumBuckets finds the earliest.
-      if (cursor_ < abs_bucket(now_)) cursor_ = abs_bucket(now_);
-      while (ring_[cursor_ & (kNumBuckets - 1)].empty()) ++cursor_;
-      peeked_overflow_ = false;
-      const Bucket& b = ring_[cursor_ & (kNumBuckets - 1)];
+      if (s.cursor < abs_bucket(s.now)) s.cursor = abs_bucket(s.now);
+      while (s.ring[s.cursor & (kNumBuckets - 1)].empty()) ++s.cursor;
+      s.peeked_overflow = false;
+      const Bucket& b = s.ring[s.cursor & (kNumBuckets - 1)];
       return &b.slots[b.heap.front().idx];
     }
-    if (!overflow_.empty()) {
+    if (!s.overflow.empty()) {
       // Every within-window event has migrated, so the overflow top — which
       // lies beyond the window — is the global earliest.
-      peeked_overflow_ = true;
-      return &overflow_.slots[overflow_.heap.front().idx];
+      s.peeked_overflow = true;
+      return &s.overflow.slots[s.overflow.heap.front().idx];
     }
     return nullptr;
   }
 
   /// Pops the event `peek()` just located and runs it.
-  void pop_and_run() {
-    Event ev = peeked_overflow_ ? bucket_pop<true>(overflow_)
-                                : bucket_pop<false>(ring_[cursor_ & (kNumBuckets - 1)]);
-    if (!peeked_overflow_) --ring_size_;
-    now_ = ev.at;
-    ++processed_;
-    ev.fn();
+  void pop_and_run(Shard& s) {
+    Event ev = s.peeked_overflow ? bucket_pop<true>(s.overflow)
+                                 : bucket_pop<false>(s.ring[s.cursor & (kNumBuckets - 1)]);
+    if (!s.peeked_overflow) --s.ring_size;
+    s.now = ev.at;
+    ++s.processed;
+    if (canonical_) {
+      s.cur_id = event_identity(ev.h, ev.k);
+      s.cur_k = 0;
+      s.in_event = true;
+      ev.fn();
+      s.in_event = false;
+    } else {
+      ev.fn();
+    }
   }
 
-  PacketPool pool_;
-  TimeNs now_ = TimeNs::zero();
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t processed_ = 0;
-  std::vector<Bucket> ring_;
-  std::size_t ring_size_ = 0;
-  std::uint64_t cursor_ = 0;       ///< No ring events live in buckets before this.
-  bool peeked_overflow_ = false;   ///< Tier of the last peek() result.
-  Bucket overflow_;
+  /// The shard this thread's scheduling calls resolve to: the scoped/worker
+  /// shard when one is set for *this* simulator, else shard 0 (setup code,
+  /// tests, foreign threads).
+  [[nodiscard]] Shard& active() {
+    const ShardScope::Active a = tls_;
+    return a.sim == this ? *static_cast<Shard*>(a.shard) : *shards_.front();
+  }
+  [[nodiscard]] const Shard& active() const {
+    const ShardScope::Active a = tls_;
+    return a.sim == this ? *static_cast<const Shard*>(a.shard) : *shards_.front();
+  }
+  [[nodiscard]] const Shard& shard_at(int i) const {
+    return *shards_.at(static_cast<std::size_t>(i));
+  }
+
+  // --- sharded execution (simulator.cpp) ---
+  void run_until_sharded(TimeNs t);
+  void run_sharded_drain();
+  void ensure_exec_started();
+  void run_pass(TimeNs boundary, bool inclusive);
+  void shard_pass(Shard& s, TimeNs boundary, bool inclusive);
+  [[nodiscard]] TimeNs earliest_pending();
+  void set_clocks(TimeNs t);
+  [[nodiscard]] bool inject_crossings(TimeNs le_mark);
+  [[nodiscard]] bool outboxes_empty() const;
+  void worker_main(int shard_index);
+
+  inline static thread_local ShardScope::Active tls_{nullptr, nullptr};
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool canonical_ = false;
+  TimeNs lookahead_ = TimeNs::max();
+  std::uint32_t root_k_ = 0;  ///< FIFO counter for root-context scheduling.
+
+  ShardExec exec_request_ = ShardExec::kAuto;
+  bool sequential_only_ = false;
+  bool exec_started_ = false;
+  bool exec_threads_ = false;
+  std::unique_ptr<EpochBarrier> barrier_;
+  std::vector<std::thread> workers_;
+  TimeNs pass_boundary_ = TimeNs::zero();
+  bool pass_inclusive_ = false;
+  std::uint64_t pass_gen_ = 0;
+  std::vector<Crossing> inject_scratch_;
 };
 
 }  // namespace ufab::sim

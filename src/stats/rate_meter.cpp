@@ -17,6 +17,13 @@ void RateMeter::add(TimeNs now, std::int64_t bytes) {
   total_ += bytes;
 }
 
+void RateMeter::merge_from(const RateMeter& other) {
+  UFAB_CHECK_MSG(width_ == other.width_, "merge_from requires equal bucket widths");
+  if (other.buckets_.size() > buckets_.size()) buckets_.resize(other.buckets_.size(), 0);
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  total_ += other.total_;
+}
+
 Bandwidth RateMeter::rate(TimeNs now) const { return trailing_rate(now, 1); }
 
 Bandwidth RateMeter::trailing_rate(TimeNs now, int n) const {

@@ -42,6 +42,12 @@ class RateMeter {
   [[nodiscard]] std::int64_t total_bytes() const { return total_; }
   [[nodiscard]] TimeNs bucket_width() const { return width_; }
 
+  /// Adds another meter's per-bucket bytes into this one.  Both meters must
+  /// share the same bucket width.  Bucket sums are order-independent, so a
+  /// merged meter reads the same regardless of which host (or shard) each
+  /// byte was counted on.
+  void merge_from(const RateMeter& other);
+
  private:
   [[nodiscard]] std::int64_t bucket_index(TimeNs t) const { return t.ns() / width_.ns(); }
 

@@ -198,6 +198,7 @@ void Network::for_each_shortest_dfs(NodeId at, NodeId dst, const std::vector<std
 const std::vector<Path>& Network::paths(HostId src, HostId dst, std::size_t max_paths) {
   UFAB_CHECK_MSG(finalized_, "call finalize() before querying paths");
   UFAB_CHECK_MSG(src != dst, "paths() between a host and itself");
+  const std::lock_guard<std::mutex> lock(path_mu_);
   const std::uint64_t key = pair_key(src, dst);
   if (auto it = path_cache_.find(key); it != path_cache_.end()) return it->second;
   const auto dist = bfs_distances_to(node_of(dst));

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -52,8 +53,17 @@ class Network {
   [[nodiscard]] NodeId node_of(HostId id) const;
   [[nodiscard]] std::size_t host_count() const { return host_nodes_.size(); }
   [[nodiscard]] std::size_t switch_count() const { return switch_count_; }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] sim::Link* link(LinkId id) const;
   [[nodiscard]] const std::vector<sim::Link*>& links() const { return links_; }
+  /// The node a link's egress belongs to (the partitioner's edge list).
+  [[nodiscard]] NodeId link_owner(LinkId id) const {
+    return link_owner_.at(static_cast<std::size_t>(id.value()));
+  }
+  /// The opposite direction of a duplex link pair.
+  [[nodiscard]] LinkId reverse_link(LinkId id) const {
+    return reverse_link_.at(static_cast<std::size_t>(id.value()));
+  }
   /// All switches, in creation order.
   [[nodiscard]] std::vector<sim::Switch*> switches() const;
 
@@ -94,6 +104,11 @@ class Network {
   std::size_t switch_count_ = 0;
   bool finalized_ = false;
 
+  /// Guards path_cache_: connections are created lazily at runtime, so
+  /// sharded (multi-threaded) runs can race first-use path queries.  Element
+  /// references survive rehashing, so a returned span stays valid after the
+  /// lock drops.
+  std::mutex path_mu_;
   std::unordered_map<std::uint64_t, std::vector<Path>> path_cache_;
 };
 

@@ -247,18 +247,30 @@ void TransportStack::scan_for_timeouts() {
   const TimeNs now = sim_.now();
   bool any_outstanding = false;
   bool gained_rtx = false;
+  std::vector<Connection::Outstanding> expired;
   for (Connection* conn : conn_order_) {
     const TimeNs rto = conn->base_rtt.scaled(opts_.rto_rtts);
+    // `outstanding` is keyed by packet id, whose values depend on pool
+    // layout; collect expired entries and order them by send history so the
+    // retransmit order is a function of the traffic, not of hash iteration.
+    expired.clear();
     for (auto it = conn->outstanding.begin(); it != conn->outstanding.end();) {
       if (now - it->second.sent_at > rto) {
         conn->inflight_bytes -= it->second.wire_bytes;
-        conn->rtx_queue.push_back(it->second);
+        expired.push_back(it->second);
         it = conn->outstanding.erase(it);
         gained_rtx = true;
       } else {
         ++it;
       }
     }
+    std::sort(expired.begin(), expired.end(),
+              [](const Connection::Outstanding& a, const Connection::Outstanding& b) {
+                if (a.sent_at != b.sent_at) return a.sent_at < b.sent_at;
+                if (a.msg_id != b.msg_id) return a.msg_id < b.msg_id;
+                return a.offset < b.offset;
+              });
+    for (auto& o : expired) conn->rtx_queue.push_back(std::move(o));
     if (!conn->outstanding.empty() || !conn->rtx_queue.empty()) any_outstanding = true;
   }
   if (any_outstanding) ensure_rtx_scan();

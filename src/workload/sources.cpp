@@ -12,9 +12,10 @@ namespace ufab::workload {
 
 OnOffSource::OnOffSource(harness::Fabric& fab, VmPairId pair, Config cfg)
     : fab_(fab), pair_(pair), cfg_(cfg), unlimited_(cfg.start_unlimited) {
-  fab_.sim().at(cfg_.start, [this] {
-    toggle_initial();
-  });
+  // The source's timers live on the sending host's shard (follow-up events
+  // inherit it), matching where the sends execute.
+  fab_.schedule_on_host(fab_.vms().host_of(pair_.src), cfg_.start,
+                        [this] { toggle_initial(); });
 }
 
 void OnOffSource::toggle_initial() {
@@ -66,30 +67,59 @@ void OnOffSource::top_up_unlimited() {
 
 void FlowRecorder::on_start(std::uint64_t tag, TimeNs started, double expected_sec,
                             std::int64_t size_bytes) {
-  pending_[tag] = Pending{started, expected_sec, size_bytes};
-  ++started_;
+  slot_of_tag_.emplace(tag, flows_.size());
+  flows_.push_back(Flow{started, expected_sec, size_bytes});
 }
 
 void FlowRecorder::on_delivery(std::uint64_t tag, TimeNs delivered) {
-  auto it = pending_.find(tag);
-  if (it == pending_.end()) return;
-  const double fct_sec = (delivered - it->second.started).sec();
-  fct_us_.add(fct_sec * 1e6);
-  const double slow = fct_sec / std::max(it->second.expected_sec, 1e-9);
-  slowdown_.add(slow);
-  done_.push_back(Done{slow, it->second.size});
-  ++records_done_;
-  pending_.erase(it);
+  const auto it = slot_of_tag_.find(tag);
+  if (it == slot_of_tag_.end()) return;
+  Flow& f = flows_[it->second];
+  if (f.delivered.ns() >= 0) return;  // first completion wins
+  f.delivered = delivered;
+}
+
+void FlowRecorder::refresh() const {
+  std::size_t done = 0;
+  for (const Flow& f : flows_) {
+    if (f.delivered.ns() >= 0) ++done;
+  }
+  if (done == cached_done_ && flows_.size() == cached_started_) return;
+  cached_done_ = done;
+  cached_started_ = flows_.size();
+  fct_us_ = PercentileTracker{};
+  slowdown_ = PercentileTracker{};
+  for (const Flow& f : flows_) {
+    if (f.delivered.ns() < 0) continue;
+    const double fct_sec = (f.delivered - f.started).sec();
+    fct_us_.add(fct_sec * 1e6);
+    slowdown_.add(fct_sec / std::max(f.expected_sec, 1e-9));
+  }
+}
+
+const PercentileTracker& FlowRecorder::fct_us() const {
+  refresh();
+  return fct_us_;
+}
+
+const PercentileTracker& FlowRecorder::slowdown() const {
+  refresh();
+  return slowdown_;
+}
+
+std::size_t FlowRecorder::completed() const {
+  refresh();
+  return cached_done_;
 }
 
 double FlowRecorder::violation_volume_pct() const {
   double violated = 0.0;
   double total = 0.0;
-  for (const Done& d : done_) {
-    total += static_cast<double>(d.size);
-    if (d.slowdown > 1.0) {
-      violated += static_cast<double>(d.size) * (1.0 - 1.0 / d.slowdown);
-    }
+  for (const Flow& f : flows_) {
+    if (f.delivered.ns() < 0) continue;
+    total += static_cast<double>(f.size);
+    const double slow = (f.delivered - f.started).sec() / std::max(f.expected_sec, 1e-9);
+    if (slow > 1.0) violated += static_cast<double>(f.size) * (1.0 - 1.0 / slow);
   }
   return total <= 0.0 ? 0.0 : 100.0 * violated / total;
 }
@@ -97,8 +127,9 @@ double FlowRecorder::violation_volume_pct() const {
 PercentileTracker FlowRecorder::slowdown_for_sizes(std::int64_t min_bytes,
                                                    std::int64_t max_bytes) const {
   PercentileTracker out;
-  for (const Done& d : done_) {
-    if (d.size >= min_bytes && d.size < max_bytes) out.add(d.slowdown);
+  for (const Flow& f : flows_) {
+    if (f.delivered.ns() < 0 || f.size < min_bytes || f.size >= max_bytes) continue;
+    out.add((f.delivered - f.started).sec() / std::max(f.expected_sec, 1e-9));
   }
   return out;
 }
@@ -132,7 +163,31 @@ PoissonFlowGenerator::PoissonFlowGenerator(harness::Fabric& fab, std::vector<VmP
   fab_.add_delivery_listener([this](const transport::Message& msg, TimeNs at) {
     recorder_.on_delivery(msg.user_tag, at);
   });
-  fab_.sim().at(cfg_.start, [this] { arrival(); });
+  if (cfg_.stop < TimeNs::max()) {
+    // Bounded horizon: pre-draw the whole arrival schedule up front, with the
+    // same per-arrival draw order as the lazy chain (pair, size, gap), homing
+    // each send on its source host's shard.  The schedule — and every flow
+    // record — is then a pure function of the seed, independent of how the
+    // engine executes.
+    TimeNs t = cfg_.start;
+    while (t < cfg_.stop) {
+      const VmPairId pair = pairs_[rng_.below(pairs_.size())];
+      const std::int64_t size = dist_.sample(rng_);
+      const std::uint64_t tag = next_tag_++;
+      const double guarantee_bps = fab_.vms().vm_guarantee(pair.src).bits_per_sec();
+      recorder_.on_start(tag, t, static_cast<double>(size) * 8.0 / guarantee_bps, size);
+      fab_.schedule_on_host(fab_.vms().host_of(pair.src), t,
+                            [this, pair, size, tag] { fab_.send(pair, size, tag); });
+      const double gap = rng_.exponential(mean_gap_sec_);
+      t += TimeNs{static_cast<std::int64_t>(gap * 1e9)};
+    }
+  } else {
+    // Unbounded: keep the lazy self-scheduling chain.  Each arrival draws
+    // from the shared RNG inside an event, so the draw order would depend on
+    // shard interleaving — pin the engine to one-shard-at-a-time execution.
+    if (fab_.sim().shard_count() > 1) fab_.sim().require_sequential();
+    fab_.sim().at(cfg_.start, [this] { arrival(); });
+  }
 }
 
 void PoissonFlowGenerator::arrival() {

@@ -40,21 +40,30 @@ class OnOffSource {
 };
 
 /// Records flow completion times against expected hose-model FCTs.
+///
+/// Storage is slot-per-flow: registration (setup time, or a sequential-only
+/// lazy generator) appends a slot; a delivery writes only its own flow's
+/// slot, so deliveries landing on different shard threads never touch shared
+/// state.  Aggregates are rebuilt on demand in registration order —
+/// independent of delivery order, hence identical for every shard count and
+/// execution mode.
 class FlowRecorder {
  public:
-  /// Registers a flow started now; `expected_sec` is size / min-guarantee.
+  /// Registers a flow started at `started`; `expected_sec` is
+  /// size / min-guarantee.  Not safe concurrently with deliveries.
   void on_start(std::uint64_t tag, TimeNs started, double expected_sec,
                 std::int64_t size_bytes);
-  /// Feed from a Fabric delivery listener.
+  /// Feed from a Fabric delivery listener.  Safe to call concurrently for
+  /// *different* flows (disjoint slots).
   void on_delivery(std::uint64_t tag, TimeNs delivered);
 
-  [[nodiscard]] const PercentileTracker& fct_us() const { return fct_us_; }
-  [[nodiscard]] const PercentileTracker& slowdown() const { return slowdown_; }
+  [[nodiscard]] const PercentileTracker& fct_us() const;
+  [[nodiscard]] const PercentileTracker& slowdown() const;
   /// Slowdown restricted to flows in [min_bytes, max_bytes).
   [[nodiscard]] PercentileTracker slowdown_for_sizes(std::int64_t min_bytes,
                                                      std::int64_t max_bytes) const;
-  [[nodiscard]] std::size_t started() const { return started_; }
-  [[nodiscard]] std::size_t completed() const { return records_done_; }
+  [[nodiscard]] std::size_t started() const { return flows_.size(); }
+  [[nodiscard]] std::size_t completed() const;
 
   /// Guarantee-violation volume percentage (Fig. 17a): per flow, the byte
   /// share that failed to arrive at the hose-guarantee rate is
@@ -62,21 +71,20 @@ class FlowRecorder {
   [[nodiscard]] double violation_volume_pct() const;
 
  private:
-  struct Pending {
+  struct Flow {
     TimeNs started;
     double expected_sec;
     std::int64_t size;
+    TimeNs delivered{-1};  ///< -1: still in flight.
   };
-  struct Done {
-    double slowdown;
-    std::int64_t size;
-  };
-  std::unordered_map<std::uint64_t, Pending> pending_;
-  std::vector<Done> done_;
-  PercentileTracker fct_us_;
-  PercentileTracker slowdown_;
-  std::size_t started_ = 0;
-  std::size_t records_done_ = 0;
+  void refresh() const;
+
+  std::vector<Flow> flows_;                             // registration order
+  std::unordered_map<std::uint64_t, std::size_t> slot_of_tag_;
+  mutable PercentileTracker fct_us_;
+  mutable PercentileTracker slowdown_;
+  mutable std::size_t cached_started_ = 0;
+  mutable std::size_t cached_done_ = 0;
 };
 
 /// Poisson flow arrivals over a set of VM pairs, sizes from an empirical

@@ -4,6 +4,7 @@
 // conservation, and uFAB's guarantee/queue bounds across random workloads.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <tuple>
 
 #include "src/harness/experiment.hpp"
@@ -61,18 +62,24 @@ TEST_P(ReliableDelivery, AllMessagesComplete) {
   }
 
   std::int64_t sent_msgs = 0;
-  std::int64_t delivered = 0;
-  std::int64_t delivered_bytes = 0;
+  // Deliveries land on the receiving host's shard, so under a sharded engine
+  // the listener can fire from several worker threads; the sums are
+  // order-independent, so atomics keep the assertion exact.
+  std::atomic<std::int64_t> delivered{0};
+  std::atomic<std::int64_t> delivered_bytes{0};
   std::int64_t sent_bytes = 0;
   fab.add_delivery_listener([&](const transport::Message& m, TimeNs) {
-    ++delivered;
-    delivered_bytes += m.size_bytes;
+    delivered.fetch_add(1, std::memory_order_relaxed);
+    delivered_bytes.fetch_add(m.size_bytes, std::memory_order_relaxed);
   });
   for (int burst = 0; burst < 40; ++burst) {
     const auto& p = pairs[rng.below(pairs.size())];
     const auto size = static_cast<std::int64_t>(1 + rng.below(200'000));
-    fab.sim().at(TimeNs{static_cast<std::int64_t>(rng.below(10'000'000))},
-                 [&fab, p, size] { fab.send(p, size); });
+    // Each burst is homed on its sender's shard: the closure mutates that
+    // host's transport state, so it must run on the owning event loop.
+    fab.schedule_on_host(vms.host_of(p.src),
+                         TimeNs{static_cast<std::int64_t>(rng.below(10'000'000))},
+                         [&fab, p, size] { fab.send(p, size); });
     ++sent_msgs;
     sent_bytes += size;
   }

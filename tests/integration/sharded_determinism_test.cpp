@@ -1,0 +1,143 @@
+// The sharded engine's equivalence guarantee, end to end: a fig17-style
+// workload run under UFAB_SHARDS=1, =2, and =4 must produce bit-identical
+// statistics and event counts, and a 4-shard run must not care whether its
+// epochs execute sequentially or on worker threads.  This is the regression
+// gate for the conservative-lookahead parallel engine (DESIGN.md §9).
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.hpp"
+#include "src/workload/sources.hpp"
+
+namespace ufab {
+namespace {
+
+using harness::Experiment;
+using harness::Scheme;
+
+constexpr TimeNs kRun{2'000'000};    // 2 ms of offered load
+constexpr TimeNs kDrain{1'000'000};  // +1 ms drain
+
+/// Everything observable a run produces.  Doubles are compared exactly: the
+/// schedule is deterministic, so even the bits must match.
+struct Snapshot {
+  std::vector<double> pair_rates_gbps;
+  std::vector<double> fct_us;
+  double dissatisfaction_pct = 0.0;
+  std::int64_t drops = 0;
+  std::uint64_t events = 0;
+
+  bool operator==(const Snapshot&) const = default;
+};
+
+/// Scoped setenv: restores the previous value (or unsets) on destruction, so
+/// a failing assertion cannot leak shard settings into later tests.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) saved_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~EnvGuard() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  EnvGuard(const EnvGuard&) = delete;
+  EnvGuard& operator=(const EnvGuard&) = delete;
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+Snapshot run_tiny_fig17(Scheme scheme, std::uint64_t seed) {
+  Experiment exp(
+      scheme,
+      [](sim::Simulator& s, const topo::FabricOptions& o) {
+        return topo::make_fat_tree(s, 4, 1, o);
+      },
+      {}, {}, seed);
+  auto& fab = exp.fab();
+  auto& vms = fab.vms();
+
+  std::vector<VmPairId> pairs;
+  Rng pair_rng = fab.rng().fork("pairs");
+  const int hosts = static_cast<int>(fab.net().host_count());
+  const TenantId tid = vms.add_tenant("T0", Bandwidth::gbps(1.0));
+  std::vector<VmId> tvms;
+  for (int h = 0; h < hosts; ++h) tvms.push_back(vms.add_vm(tid, HostId{h}));
+  for (int h = 0; h < hosts; ++h) {
+    int peer = static_cast<int>(pair_rng.below(static_cast<std::uint64_t>(hosts)));
+    if (peer == h) peer = (peer + 1) % hosts;
+    pairs.push_back(
+        VmPairId{tvms[static_cast<std::size_t>(h)], tvms[static_cast<std::size_t>(peer)]});
+  }
+
+  workload::PoissonFlowGenerator::Config gcfg;
+  gcfg.target_load = 0.5;
+  gcfg.stop = kRun;
+  workload::PoissonFlowGenerator gen(fab, pairs, workload::EmpiricalSizeDist::websearch(), gcfg,
+                                     fab.rng().fork("flows"));
+  fab.sim().run_until(kRun + kDrain);
+
+  Snapshot snap;
+  for (const VmPairId& p : pairs) {
+    snap.pair_rates_gbps.push_back(exp.pair_rate_gbps(p, TimeNs::zero(), kRun));
+  }
+  snap.fct_us = gen.recorder().fct_us().sorted();
+  snap.dissatisfaction_pct = gen.recorder().violation_volume_pct();
+  snap.drops = exp.total_drops();
+  snap.events = fab.sim().events_processed();
+  return snap;
+}
+
+Snapshot run_with_shards(const char* shards, const char* exec, Scheme scheme,
+                         std::uint64_t seed) {
+  EnvGuard g1("UFAB_SHARDS", shards);
+  EnvGuard g2("UFAB_SHARD_EXEC", exec);
+  return run_tiny_fig17(scheme, seed);
+}
+
+TEST(ShardedDeterminism, OneTwoFourShardsAreBitIdentical) {
+  const Snapshot one = run_with_shards("1", nullptr, Scheme::kUfab, 41);
+  ASSERT_FALSE(one.fct_us.empty()) << "workload produced no completed flows";
+  EXPECT_GT(one.events, 0u);
+  const Snapshot two = run_with_shards("2", nullptr, Scheme::kUfab, 41);
+  const Snapshot four = run_with_shards("4", nullptr, Scheme::kUfab, 41);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, four);
+}
+
+TEST(ShardedDeterminism, ThreadedExecutionMatchesSequential) {
+  const Snapshot seq = run_with_shards("4", "seq", Scheme::kUfab, 41);
+  const Snapshot thr = run_with_shards("4", "threads", Scheme::kUfab, 41);
+  ASSERT_FALSE(seq.fct_us.empty());
+  EXPECT_EQ(seq, thr);
+}
+
+TEST(ShardedDeterminism, HoldsAcrossSchemesAndSeeds) {
+  struct Variant {
+    Scheme scheme;
+    std::uint64_t seed;
+  };
+  for (const Variant v : {Variant{Scheme::kPwc, 41}, Variant{Scheme::kEsClove, 41},
+                          Variant{Scheme::kUfab, 42}}) {
+    const Snapshot one = run_with_shards("1", nullptr, v.scheme, v.seed);
+    const Snapshot four = run_with_shards("4", nullptr, v.scheme, v.seed);
+    EXPECT_EQ(one, four) << "scheme diverged under 4 shards (seed " << v.seed << ")";
+  }
+}
+
+}  // namespace
+}  // namespace ufab

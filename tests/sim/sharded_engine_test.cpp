@@ -1,0 +1,179 @@
+// Sharded-engine semantics: canonical ordering (single- and multi-shard),
+// cross-shard packet handoff timing, and the core equivalence claim — a
+// threaded epoch run fires the exact same schedule as a sequential one.
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/node.hpp"
+#include "src/sim/packet.hpp"
+#include "src/sim/shard_sync.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace ufab::sim {
+namespace {
+
+TEST(ShardedEngine, CanonicalSingleShardKeepsRootFifoOrder) {
+  Simulator sim;
+  sim.configure_shards(1, TimeNs::max());
+  ASSERT_TRUE(sim.canonical_order());
+  std::vector<int> fired;
+  for (int i = 0; i < 8; ++i) {
+    sim.at(TimeNs{100}, [i, &fired] { fired.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(sim.events_processed(), 8u);
+}
+
+TEST(ShardedEngine, CanonicalChildrenKeepCreationOrder) {
+  Simulator sim;
+  sim.configure_shards(1, TimeNs::max());
+  std::vector<int> fired;
+  sim.at(TimeNs{50}, [&sim, &fired] {
+    for (int i = 0; i < 6; ++i) {
+      sim.at(TimeNs{200}, [i, &fired] { fired.push_back(i); });
+    }
+  });
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+class RecordingNode final : public Node {
+ public:
+  RecordingNode(Simulator& sim, std::int32_t id) : Node(NodeId{id}, "rec"), sim_(sim) {}
+  void receive(PacketPtr pkt) override {
+    arrivals.emplace_back(sim_.now().ns(), pkt->size_bytes);
+  }
+  std::vector<std::pair<std::int64_t, std::int64_t>> arrivals;
+
+ private:
+  Simulator& sim_;
+};
+
+TEST(ShardedEngine, CrossShardHandoffDeliversAtPostedTime) {
+  Simulator sim;
+  sim.configure_shards(2, TimeNs{1000}, ShardExec::kSequential);
+  ASSERT_EQ(sim.shard_count(), 2);
+  RecordingNode dst(sim, 0);
+  {
+    const auto scope = sim.scoped(0);
+    sim.at(TimeNs{100}, [&sim, &dst] {
+      // Wire-exit at t=100, one propagation delay (== lookahead) later on
+      // the far shard: the earliest legal crossing.
+      auto pkt = make_packet(sim.packet_pool(), PacketKind::kData, VmPairId{VmId{1}, VmId{2}},
+                             TenantId{0}, HostId{0}, HostId{1}, 1500);
+      sim.post_cross(1, TimeNs{1100}, &dst, std::move(pkt));
+    });
+  }
+  sim.run_until(TimeNs{5000});
+  ASSERT_EQ(dst.arrivals.size(), 1u);
+  EXPECT_EQ(dst.arrivals[0].first, 1100);
+  EXPECT_EQ(dst.arrivals[0].second, 1500);
+  EXPECT_EQ(sim.shard_crossings_out(0), 1u);
+  EXPECT_EQ(sim.shard_crossings_out(1), 0u);
+  EXPECT_GE(sim.shard_events_processed(1), 1u);
+  EXPECT_EQ(sim.now(), TimeNs{5000});
+}
+
+/// A deterministic two-shard workload: per shard, a self-rescheduling chain
+/// that periodically fires a packet across to the other shard.  The trace —
+/// (time, payload) per shard — plus the engine counters must be identical
+/// however the epochs execute.
+struct TwoShardRun {
+  std::vector<std::pair<std::int64_t, std::int64_t>> arrivals[2];
+  std::vector<std::int64_t> chain_times[2];
+  std::uint64_t events = 0;
+  std::uint64_t crossings[2] = {0, 0};
+  std::int64_t final_now = 0;
+};
+
+TwoShardRun run_two_shard_workload(ShardExec exec) {
+  constexpr std::int64_t kLookahead = 1000;
+  constexpr TimeNs kEnd{40'000};
+  Simulator sim;
+  sim.configure_shards(2, TimeNs{kLookahead}, exec);
+  TwoShardRun out;
+  RecordingNode* nodes[2] = {new RecordingNode(sim, 0), new RecordingNode(sim, 1)};
+
+  // One chain per shard; steps deliberately misaligned with the epoch length
+  // so events straddle boundaries.  Every third step posts a crossing that
+  // lands exactly one lookahead later on the peer shard.
+  struct Chain {
+    Simulator* sim;
+    RecordingNode* peer;
+    int self;
+    std::vector<std::int64_t>* times;
+    int step = 0;
+    void fire() {
+      times->push_back(sim->now().ns());
+      ++step;
+      if (step % 3 == 0) {
+        auto pkt =
+            make_packet(sim->packet_pool(), PacketKind::kData, VmPairId{VmId{1}, VmId{2}},
+                        TenantId{0}, HostId{0}, HostId{1}, 64 * self + step);
+        sim->post_cross(1 - self, sim->now() + TimeNs{kLookahead}, peer, std::move(pkt));
+      }
+      if (sim->now() < TimeNs{30'000}) {
+        sim->after(TimeNs{self == 0 ? 331 : 457}, [this] { fire(); });
+      }
+    }
+  };
+  auto* chains = new Chain[2];
+  for (int s = 0; s < 2; ++s) {
+    chains[s] = Chain{&sim, nodes[1 - s], s, &out.chain_times[s]};
+    const auto scope = sim.scoped(s);
+    sim.at(TimeNs{10 + s}, [chain = &chains[s]] { chain->fire(); });
+  }
+  sim.run_until(kEnd);
+
+  for (int s = 0; s < 2; ++s) {
+    out.arrivals[s] = nodes[s]->arrivals;
+    out.crossings[s] = sim.shard_crossings_out(s);
+  }
+  out.events = sim.events_processed();
+  out.final_now = sim.now().ns();
+  delete[] chains;
+  delete nodes[0];
+  delete nodes[1];
+  return out;
+}
+
+TEST(ShardedEngine, ThreadedEpochsMatchSequentialExactly) {
+  const TwoShardRun seq = run_two_shard_workload(ShardExec::kSequential);
+  const TwoShardRun thr = run_two_shard_workload(ShardExec::kThreads);
+  // The workload actually exercised both shards and the mailboxes.
+  ASSERT_GT(seq.chain_times[0].size(), 10u);
+  ASSERT_GT(seq.chain_times[1].size(), 10u);
+  ASSERT_GT(seq.crossings[0], 0u);
+  ASSERT_GT(seq.crossings[1], 0u);
+  ASSERT_FALSE(seq.arrivals[0].empty());
+  ASSERT_FALSE(seq.arrivals[1].empty());
+  for (int s = 0; s < 2; ++s) {
+    EXPECT_EQ(seq.chain_times[s], thr.chain_times[s]) << "shard " << s;
+    EXPECT_EQ(seq.arrivals[s], thr.arrivals[s]) << "shard " << s;
+    EXPECT_EQ(seq.crossings[s], thr.crossings[s]) << "shard " << s;
+  }
+  EXPECT_EQ(seq.events, thr.events);
+  EXPECT_EQ(seq.final_now, thr.final_now);
+}
+
+TEST(ShardMailboxUnit, PostDrainKeepsOrderAndCounts) {
+  ShardMailbox<int> box;
+  for (int i = 0; i < 5; ++i) box.post(int{i});
+  EXPECT_EQ(box.posted_total(), 5u);
+  std::vector<int> got;
+  box.drain_into(got);
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+  box.drain_into(got);
+  EXPECT_TRUE(got.empty());
+  box.post(7);
+  box.drain_into(got);
+  EXPECT_EQ(got, std::vector<int>{7});
+  EXPECT_EQ(box.posted_total(), 6u);
+}
+
+}  // namespace
+}  // namespace ufab::sim
