@@ -1,0 +1,72 @@
+// Always-on soak harness: a long horizon of simulated production under
+// rotating fault/burst/hotspot episodes, SLO-guarded and memory-bounded.
+//
+// Defaults run one simulated hour; UFAB_SOAK_SMOKE=1 shrinks it to the CI
+// smoke shape (~seconds).  Configuration comes from the environment:
+//
+//   UFAB_SOAK_SEED        episode/workload seed (default 1)
+//   UFAB_SOAK_SMOKE=1     smoke horizon for CI
+//   UFAB_SOAK_DURATION_S  simulated traffic seconds
+//   UFAB_SOAK_WINDOW_MS   SLO window width
+//   UFAB_SOAK_CSV         per-window SLO row output path
+//   UFAB_SHARDS           engine shard count (fault plane pins epochs to
+//                         sequential execution; see sim.forced_sequential)
+//
+// Exit status is nonzero on any invariant violation or SLO breach, so a CI
+// lane can gate on it directly.
+#include <cstdio>
+
+#include "src/harness/experiment.hpp"
+#include "src/soak/runner.hpp"
+
+using namespace ufab;
+
+int main() {
+  soak::SoakOptions opts = soak::SoakOptions::from_env();
+  if (opts.csv_path.empty()) opts.csv_path = "soak_slo.csv";
+
+  harness::print_header("soak: long-horizon production under rotating episodes");
+  soak::SoakRunner runner(opts);
+  const soak::SoakReport r = runner.run();
+
+  std::printf("horizon              %.1f sim-s in %.1f wall-s (%.2fM events/s)\n",
+              r.sim_seconds, r.wall_seconds,
+              r.wall_seconds > 0 ? static_cast<double>(r.events) / r.wall_seconds / 1e6 : 0.0);
+  std::printf("windows              %d (%d clean)\n", r.windows, r.clean_windows);
+  std::printf("episodes             %d (%d reset recoveries measured)\n", r.episodes_total,
+              r.recoveries_measured);
+  std::printf("faults               downs=%lld loss_drops=%lld resets=%lld stale=%lld "
+              "corrupt=%lld bloom_junk=%lld\n",
+              static_cast<long long>(r.faults.link_downs),
+              static_cast<long long>(r.faults.loss_drops),
+              static_cast<long long>(r.faults.switch_resets),
+              static_cast<long long>(r.faults.stale_records),
+              static_cast<long long>(r.faults.corrupted_records),
+              static_cast<long long>(r.faults.bloom_junk_keys));
+  std::printf("slo                  violation_s=%.3f fct_p99=%.1fus wc_gap=%.4f "
+              "recovery_p99=%.1f RTTs (%llu fct samples)\n",
+              r.violation_seconds, r.fct_p99_us_clean, r.wc_gap_mean, r.recovery_p99_rtts,
+              static_cast<unsigned long long>(r.fct_samples));
+  std::printf("memory               peak_in_flight=%zu peak_pending=%zu "
+              "meter_buckets<=%zu rtt_exact=%llu rtt_stream=%llu\n",
+              r.peak_packets_in_flight, r.peak_pending_events, r.meter_buckets_retained_max,
+              static_cast<unsigned long long>(r.rtt_exact_samples),
+              static_cast<unsigned long long>(r.rtt_stream_samples));
+  for (const auto& reason : r.forced_sequential) {
+    std::printf("sequential           forced by %s\n", reason.c_str());
+  }
+
+  if (!r.slo_breaches.empty()) {
+    std::printf("\nSLO BREACHES (%zu):\n", r.slo_breaches.size());
+    for (const auto& b : r.slo_breaches) std::printf("  %s\n", b.c_str());
+  }
+  if (r.invariant_violations != 0) {
+    std::printf("\nINVARIANT VIOLATIONS (%zu recorded of %zu):\n", r.violations.size(),
+                r.invariant_violations);
+    for (const auto& v : r.violations) {
+      std::printf("  [%.3fs] %s: %s\n", v.at.sec(), v.invariant.c_str(), v.detail.c_str());
+    }
+  }
+  std::printf("\nresult               %s\n", r.ok() ? "PASS" : "FAIL");
+  return r.ok() ? 0 : 1;
+}

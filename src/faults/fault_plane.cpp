@@ -24,7 +24,7 @@ FaultPlane::FaultPlane(harness::Fabric& fab, std::uint64_t seed)
   // Fault events flip link/switch state anywhere in the fabric and draw from
   // one shared RNG; under a sharded engine that is only well-defined when
   // shards execute one at a time.
-  if (fab_.sim().shard_count() > 1) fab_.sim().require_sequential();
+  if (fab_.sim().shard_count() > 1) fab_.sim().require_sequential("fault-plane");
 }
 
 void FaultPlane::attach_obs(obs::Obs& obs) {

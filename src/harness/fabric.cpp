@@ -66,6 +66,14 @@ obs::Obs& Fabric::enable_observability(obs::ObsOptions opts) {
   m.gauge_fn("sim.events_processed", {},
              [this] { return static_cast<double>(sim_.events_processed()); });
   m.gauge_fn("sim.now_us", {}, [this] { return static_cast<double>(sim_.now().ns()) / 1e3; });
+  // One row per reason the engine was pinned to sequential epochs — reasons
+  // can arrive after enable_observability (the fault plane, late workload
+  // setup), so the rows materialize at snapshot time via a collector.
+  m.add_collector([this](obs::MetricRegistry& reg) {
+    for (const std::string& r : sim_.sequential_reasons()) {
+      reg.gauge("sim.forced_sequential", {{"reason", r}})->set(1.0);
+    }
+  });
   m.gauge_fn("fabric.total_drops", {}, [this] {
     std::int64_t drops = 0;
     for (const sim::Link* l : net_->links()) drops += l->drops() + l->fault_drops();
@@ -160,14 +168,14 @@ void Fabric::write_trace_json(const std::string& path) {
   obs_->write_chrome_trace_file(path);
 }
 
-void Fabric::install_pair_metering(TimeNs bucket) {
+void Fabric::install_pair_metering(TimeNs bucket, std::size_t retain_buckets) {
   pair_meters_by_host_.resize(net_->host_count());
   for (std::size_t h = 0; h < stacks_.size(); ++h) {
     if (stacks_[h] == nullptr) continue;
-    stacks_[h]->add_rx_tap([this, bucket, h](const sim::Packet& pkt) {
+    stacks_[h]->add_rx_tap([this, bucket, retain_buckets, h](const sim::Packet& pkt) {
       auto& per_host = pair_meters_by_host_[h];
       auto [it, inserted] = per_host.try_emplace(pkt.pair.key(), nullptr);
-      if (inserted) it->second = std::make_unique<RateMeter>(bucket);
+      if (inserted) it->second = std::make_unique<RateMeter>(bucket, retain_buckets);
       it->second->add(sim_.now(), pkt.payload);
     });
   }
@@ -183,14 +191,14 @@ RateMeter* Fabric::pair_meter(VmPairId pair) {
   return it == per_host.end() ? nullptr : it->second.get();
 }
 
-void Fabric::install_tenant_metering(TimeNs bucket) {
+void Fabric::install_tenant_metering(TimeNs bucket, std::size_t retain_buckets) {
   tenant_meters_by_host_.resize(net_->host_count());
   for (std::size_t h = 0; h < stacks_.size(); ++h) {
     if (stacks_[h] == nullptr) continue;
-    stacks_[h]->add_rx_tap([this, bucket, h](const sim::Packet& pkt) {
+    stacks_[h]->add_rx_tap([this, bucket, retain_buckets, h](const sim::Packet& pkt) {
       auto& per_host = tenant_meters_by_host_[h];
       auto [it, inserted] = per_host.try_emplace(pkt.tenant.value(), nullptr);
-      if (inserted) it->second = std::make_unique<RateMeter>(bucket);
+      if (inserted) it->second = std::make_unique<RateMeter>(bucket, retain_buckets);
       it->second->add(sim_.now(), pkt.payload);
     });
   }
@@ -253,7 +261,7 @@ void Fabric::top_up_tick(VmPairId pair, TimeNs stop, std::int64_t chunk_bytes) {
 void Fabric::sample_queues(TimeNs period, TimeNs until, PercentileTracker& out) {
   // The sampler reads every link's queue depth across all shards mid-run;
   // that is only race-free when shards execute one at a time.
-  if (sim_.shard_count() > 1) sim_.require_sequential();
+  if (sim_.shard_count() > 1) sim_.require_sequential("queue-sampling");
   sim_.after(period, [this, period, until, &out] { sample_queues_tick(period, until, &out); });
 }
 

@@ -104,10 +104,12 @@ class Fabric {
   }
 
   /// Per-VM-pair delivered-byte meters (install before traffic starts).
-  void install_pair_metering(TimeNs bucket);
+  /// `retain_buckets` > 0 caps each meter to that many trailing buckets
+  /// (bounded-memory mode for long soaks); 0 keeps the full series.
+  void install_pair_metering(TimeNs bucket, std::size_t retain_buckets = 0);
   [[nodiscard]] RateMeter* pair_meter(VmPairId pair);
-  /// Per-tenant delivered-byte meters.
-  void install_tenant_metering(TimeNs bucket);
+  /// Per-tenant delivered-byte meters; `retain_buckets` as above.
+  void install_tenant_metering(TimeNs bucket, std::size_t retain_buckets = 0);
   [[nodiscard]] RateMeter* tenant_meter(TenantId tenant);
 
   /// Sends a message from a VM pair through the source host's stack.
@@ -128,7 +130,7 @@ class Fabric {
   /// no single shard may safely reach across the partition mid-epoch.
   template <typename F>
   void schedule_global(TimeNs t, F&& fn) {
-    if (sim_.shard_count() > 1) sim_.require_sequential();
+    if (sim_.shard_count() > 1) sim_.require_sequential("global-callback");
     sim_.at(t, std::forward<F>(fn));
   }
 

@@ -83,6 +83,7 @@ class Link {
     return cfg_.capacity * cfg_.target_utilization;
   }
   [[nodiscard]] TimeNs prop_delay() const { return cfg_.prop_delay; }
+  [[nodiscard]] std::int64_t queue_limit_bytes() const { return cfg_.queue_limit_bytes; }
   [[nodiscard]] std::int64_t queue_bytes() const { return queue_bytes_; }
   [[nodiscard]] std::int64_t max_queue_bytes() const { return max_queue_bytes_; }
   [[nodiscard]] std::int64_t tx_bytes_cum() const { return tx_bytes_cum_; }

@@ -13,8 +13,11 @@
 // remote event — the conservative-PDES safety argument (see DESIGN.md §9).
 #include "src/sim/simulator.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <string>
 
+#include "src/core/log.hpp"
 #include "src/sim/node.hpp"
 
 namespace ufab::sim {
@@ -47,10 +50,23 @@ void Simulator::configure_shards(int shards, TimeNs lookahead, ShardExec exec) {
   for (int i = 1; i < shards; ++i) shards_.push_back(std::make_unique<Shard>(i));
 }
 
-void Simulator::require_sequential() {
+void Simulator::require_sequential(const char* reason) {
   UFAB_CHECK_MSG(!(exec_started_ && exec_threads_),
                  "require_sequential() after threaded execution began");
   sequential_only_ = true;
+  const std::string label = reason == nullptr ? "unspecified" : reason;
+  if (std::find(sequential_reasons_.begin(), sequential_reasons_.end(), label) !=
+      sequential_reasons_.end()) {
+    return;
+  }
+  sequential_reasons_.push_back(label);
+  // A 1-shard run was never going to use threads; only warn when a requested
+  // multi-shard run is actually being downgraded.
+  if (shards_.size() > 1) {
+    UFAB_LOG_WARN("sim: forcing sequential epoch execution (reason: %s); %d shards will run "
+                  "single-threaded",
+                  label.c_str(), static_cast<int>(shards_.size()));
+  }
 }
 
 void Simulator::ensure_exec_started() {

@@ -53,6 +53,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -172,8 +173,16 @@ class Simulator {
   /// fire the exact same schedule as threaded ones, so this is a safety
   /// valve, not a semantic switch: callbacks that touch cross-shard state
   /// (queue sampling across all links, the fault plane) call it during
-  /// setup.  Must happen before the first run.
-  void require_sequential();
+  /// setup.  Must happen before the first run.  `reason` labels who demanded
+  /// it — recorded (deduplicated) for the `sim.forced_sequential` gauge and
+  /// logged once per reason when a multi-shard run is being downgraded, so a
+  /// silently single-threaded soak is visible instead of mysterious.
+  void require_sequential(const char* reason = "unspecified");
+
+  /// Distinct reasons passed to require_sequential(), in first-call order.
+  [[nodiscard]] const std::vector<std::string>& sequential_reasons() const {
+    return sequential_reasons_;
+  }
 
   /// True once a multi-shard run has started with worker threads.
   [[nodiscard]] bool threaded() const { return exec_started_ && exec_threads_; }
@@ -484,6 +493,7 @@ class Simulator {
 
   ShardExec exec_request_ = ShardExec::kAuto;
   bool sequential_only_ = false;
+  std::vector<std::string> sequential_reasons_;  ///< Deduplicated, first-call order.
   bool exec_started_ = false;
   bool exec_threads_ = false;
   std::unique_ptr<EpochBarrier> barrier_;

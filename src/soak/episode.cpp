@@ -1,0 +1,191 @@
+#include "src/soak/episode.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/core/assert.hpp"
+#include "src/faults/fault_plane.hpp"
+
+namespace ufab::soak {
+
+const char* to_string(EpisodeKind k) {
+  switch (k) {
+    case EpisodeKind::kLinkFlap:
+      return "link-flap";
+    case EpisodeKind::kWireLoss:
+      return "wire-loss";
+    case EpisodeKind::kSwitchReset:
+      return "switch-reset";
+    case EpisodeKind::kStaleTelemetry:
+      return "stale-telemetry";
+    case EpisodeKind::kCorruptTelemetry:
+      return "corrupt-telemetry";
+    case EpisodeKind::kBloomSaturation:
+      return "bloom-saturation";
+    case EpisodeKind::kTrafficBurst:
+      return "traffic-burst";
+    case EpisodeKind::kHotspot:
+      return "hotspot";
+  }
+  return "?";
+}
+
+std::string Episode::describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s target=%d [%.3fs, %.3fs) intensity=%.4f aux=%d",
+                to_string(kind), target, start.sec(), end.sec(), intensity, aux);
+  return buf;
+}
+
+EpisodeScheduler::EpisodeScheduler(std::uint64_t seed, EpisodeOptions opts)
+    : rng_(Rng{seed}.fork("soak-episodes")), opts_(opts) {}
+
+const std::vector<Episode>& EpisodeScheduler::generate(TimeNs horizon, int n_trunk_links,
+                                                       int n_switches, int n_hosts) {
+  UFAB_CHECK_MSG(episodes_.empty(), "EpisodeScheduler::generate called twice");
+  UFAB_CHECK(n_trunk_links > 0 && n_switches > 0 && n_hosts > 0);
+
+  TimeNs t = opts_.warmup;
+  TimeNs prev_end = TimeNs::zero();
+  int idx = 0;
+  while (t < horizon) {
+    Episode ep;
+    // Rotate through the kinds so every adversity recurs, with the draw order
+    // still seed-stable; the rotation is perturbed so targets/durations vary.
+    ep.kind = static_cast<EpisodeKind>(idx % kEpisodeKindCount);
+    ++idx;
+
+    const double dur_draw = rng_.exponential(static_cast<double>(opts_.mean_duration.ns()));
+    const TimeNs dur{std::clamp(static_cast<std::int64_t>(dur_draw),
+                                std::int64_t{100'000'000}, opts_.max_duration.ns())};
+    ep.start = t;
+    ep.end = t + dur;
+
+    switch (ep.kind) {
+      case EpisodeKind::kLinkFlap:
+        ep.target = static_cast<int>(rng_.below(static_cast<std::uint64_t>(n_trunk_links)));
+        ep.aux = 1 + static_cast<int>(rng_.below(3));  // 1-3 down/up cycles
+        break;
+      case EpisodeKind::kWireLoss:
+        ep.target = static_cast<int>(rng_.below(static_cast<std::uint64_t>(n_trunk_links)));
+        ep.intensity = rng_.uniform(0.005, opts_.max_loss_rate);
+        break;
+      case EpisodeKind::kSwitchReset:
+        ep.target = static_cast<int>(rng_.below(static_cast<std::uint64_t>(n_switches)));
+        ep.end = ep.start;  // instantaneous; recovery happens after.
+        break;
+      case EpisodeKind::kStaleTelemetry:
+        ep.target = static_cast<int>(rng_.below(static_cast<std::uint64_t>(n_switches)));
+        break;
+      case EpisodeKind::kCorruptTelemetry:
+        ep.target = static_cast<int>(rng_.below(static_cast<std::uint64_t>(n_switches)));
+        // Scale Φ/W registers by x0.25 .. x4 — both directions of corruption.
+        ep.intensity = rng_.uniform() < 0.5 ? rng_.uniform(0.25, 0.9) : rng_.uniform(1.2, 4.0);
+        break;
+      case EpisodeKind::kBloomSaturation:
+        ep.target = static_cast<int>(rng_.below(static_cast<std::uint64_t>(n_switches)));
+        ep.aux = 500 + static_cast<int>(rng_.below(4500));
+        ep.end = ep.start;  // the junk keys land at once
+        break;
+      case EpisodeKind::kTrafficBurst:
+        ep.intensity = rng_.uniform(2.0, 6.0);  // x background flow rate
+        ep.aux = 8 + static_cast<int>(rng_.below(24));
+        break;
+      case EpisodeKind::kHotspot:
+        ep.target = static_cast<int>(rng_.below(static_cast<std::uint64_t>(n_hosts)));
+        ep.intensity = rng_.uniform(3.0, 8.0);
+        ep.aux = 12 + static_cast<int>(rng_.below(24));
+        break;
+    }
+    episodes_.push_back(ep);
+    prev_end = std::max(prev_end, ep.end);
+
+    // Next start: usually after cooldown plus an exponential clean gap, but a
+    // configurable fraction starts while the current episode still runs.
+    if (rng_.uniform() < opts_.overlap_fraction && ep.end > ep.start) {
+      const double frac = rng_.uniform(0.2, 0.8);
+      t = ep.start + TimeNs{static_cast<std::int64_t>(static_cast<double>(dur.ns()) * frac)};
+    } else {
+      const double gap = rng_.exponential(static_cast<double>(opts_.mean_gap.ns()));
+      t = prev_end + opts_.min_cooldown + TimeNs{static_cast<std::int64_t>(gap)};
+    }
+  }
+  // Episodes that would straddle the horizon are clipped so the run ends in a
+  // recoverable state rather than mid-outage.
+  for (Episode& ep : episodes_) ep.end = std::min(ep.end, horizon);
+  std::stable_sort(episodes_.begin(), episodes_.end(),
+                   [](const Episode& a, const Episode& b) { return a.start < b.start; });
+  return episodes_;
+}
+
+void EpisodeScheduler::compile(faults::FaultPlane& plane, const std::vector<LinkId>& trunk_links,
+                               const std::vector<NodeId>& switches) const {
+  UFAB_CHECK_MSG(!plane.armed(), "compile() must precede FaultPlane::arm()");
+  for (const Episode& ep : episodes_) {
+    switch (ep.kind) {
+      case EpisodeKind::kLinkFlap: {
+        const LinkId link = trunk_links.at(static_cast<std::size_t>(ep.target));
+        const int repeats = std::max(1, ep.aux);
+        const TimeNs period{(ep.end - ep.start).ns() / repeats};
+        if (period.ns() <= 0) break;
+        // Down for the first third of each cycle, up for the rest.
+        plane.flap(link, ep.start, ep.start + TimeNs{period.ns() / 3}, repeats, period);
+        break;
+      }
+      case EpisodeKind::kWireLoss: {
+        const LinkId link = trunk_links.at(static_cast<std::size_t>(ep.target));
+        // Intensity ramp: a third at half rate, peak in the middle, then back
+        // down — soak loss arrives and leaves gradually, like real brownouts.
+        const std::int64_t third = (ep.end - ep.start).ns() / 3;
+        if (third <= 0) break;
+        const TimeNs a = ep.start + TimeNs{third};
+        const TimeNs b = ep.start + TimeNs{2 * third};
+        plane.loss(link, ep.intensity / 2.0, faults::LossClass::kAll, ep.start, a);
+        plane.loss(link, ep.intensity, faults::LossClass::kAll, a, b);
+        plane.loss(link, ep.intensity / 2.0, faults::LossClass::kAll, b, ep.end);
+        break;
+      }
+      case EpisodeKind::kSwitchReset:
+        plane.reset_switch_state(switches.at(static_cast<std::size_t>(ep.target)), ep.start);
+        break;
+      case EpisodeKind::kStaleTelemetry:
+        if (ep.end > ep.start) {
+          plane.stale_telemetry(switches.at(static_cast<std::size_t>(ep.target)), ep.start,
+                                ep.end);
+        }
+        break;
+      case EpisodeKind::kCorruptTelemetry:
+        if (ep.end > ep.start) {
+          plane.corrupt_telemetry(switches.at(static_cast<std::size_t>(ep.target)), ep.intensity,
+                                  ep.start, ep.end);
+        }
+        break;
+      case EpisodeKind::kBloomSaturation:
+        plane.saturate_bloom(switches.at(static_cast<std::size_t>(ep.target)),
+                             static_cast<std::size_t>(ep.aux), ep.start);
+        break;
+      case EpisodeKind::kTrafficBurst:
+      case EpisodeKind::kHotspot:
+        break;  // workload-side; the runner schedules these
+    }
+  }
+}
+
+std::vector<std::pair<TimeNs, TimeNs>> EpisodeScheduler::dirty_intervals(
+    TimeNs recovery_allowance) const {
+  std::vector<std::pair<TimeNs, TimeNs>> raw;
+  raw.reserve(episodes_.size());
+  for (const Episode& ep : episodes_) raw.emplace_back(ep.start, ep.end + recovery_allowance);
+  std::sort(raw.begin(), raw.end());
+  std::vector<std::pair<TimeNs, TimeNs>> out;
+  for (const auto& iv : raw) {
+    if (!out.empty() && iv.first <= out.back().second) {
+      out.back().second = std::max(out.back().second, iv.second);
+    } else {
+      out.push_back(iv);
+    }
+  }
+  return out;
+}
+
+}  // namespace ufab::soak

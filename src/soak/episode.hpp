@@ -1,0 +1,102 @@
+// Seeded episode scheduler for the soak harness.
+//
+// A soak run is structured as a rotating sequence of *episodes*: bounded
+// windows in which one kind of adversity is active — a trunk link flapping,
+// wire loss ramping up and back down, a core switch losing its state, INT
+// records going stale or corrupt, a Bloom filter being saturated, or the
+// workload itself bursting toward a hotspot host.  The scheduler draws the
+// entire sequence up front from one seed (UFAB_SOAK_SEED), so a week-long
+// schedule is reproducible fault-for-fault and can be compiled into a
+// FaultPlane scenario in one arm() call — the plane's declare-then-arm
+// contract is exactly the pre-generated shape this produces.
+//
+// Episodes are separated by cooldowns so the fabric sees clean recovery
+// windows (where SLOs are enforced), and a configurable fraction of episodes
+// deliberately overlaps the previous one, because real incidents do.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/ids.hpp"
+#include "src/core/rng.hpp"
+#include "src/core/time.hpp"
+
+namespace ufab::faults {
+class FaultPlane;
+}  // namespace ufab::faults
+
+namespace ufab::soak {
+
+enum class EpisodeKind {
+  kLinkFlap,          ///< A trunk link goes administratively down/up, repeating.
+  kWireLoss,          ///< Bernoulli loss on a trunk link, intensity ramped.
+  kSwitchReset,       ///< One switch's uFAB-C registers + Bloom wiped.
+  kStaleTelemetry,    ///< One switch's INT stamps frozen for the window.
+  kCorruptTelemetry,  ///< One switch's INT registers scaled for the window.
+  kBloomSaturation,   ///< Junk keys pushed into one switch's Blooms.
+  kTrafficBurst,      ///< Extra short flows across random pairs.
+  kHotspot,           ///< Extra short flows all aimed at one victim host.
+};
+inline constexpr int kEpisodeKindCount = 8;
+
+[[nodiscard]] const char* to_string(EpisodeKind k);
+
+/// One scheduled episode.  `target` indexes the eligible set for the kind
+/// (trunk links for flap/loss, switches for reset/telemetry/bloom, hosts for
+/// hotspot); `intensity` and `aux` are kind-specific knobs.
+struct Episode {
+  EpisodeKind kind;
+  TimeNs start;
+  TimeNs end;
+  double intensity = 0.0;  ///< Loss rate / register scale / burst flow rate multiplier.
+  int target = 0;
+  int aux = 0;  ///< Flap repeats / Bloom junk keys / burst flow count.
+
+  [[nodiscard]] std::string describe() const;
+};
+
+struct EpisodeOptions {
+  TimeNs warmup = TimeNs{2'000'000'000};         ///< No episodes before this.
+  TimeNs mean_gap = TimeNs{6'000'000'000};       ///< Mean clean gap between episodes.
+  TimeNs min_cooldown = TimeNs{2'000'000'000};   ///< Quiet floor after each episode.
+  TimeNs mean_duration = TimeNs{2'000'000'000};  ///< Mean active window.
+  TimeNs max_duration = TimeNs{8'000'000'000};   ///< Clamp on the active window.
+  double overlap_fraction = 0.2;  ///< Episodes that start while the previous still runs.
+  double max_loss_rate = 0.05;    ///< Peak Bernoulli loss for kWireLoss.
+};
+
+/// Draws and holds the full episode sequence for one soak run.
+class EpisodeScheduler {
+ public:
+  /// All randomness comes from `seed`; same seed + same options + same
+  /// eligible-set sizes => the identical schedule.
+  EpisodeScheduler(std::uint64_t seed, EpisodeOptions opts);
+
+  /// Generates episodes covering [warmup, horizon).  `n_trunk_links`,
+  /// `n_switches` and `n_hosts` size the target sets.  Call once.
+  const std::vector<Episode>& generate(TimeNs horizon, int n_trunk_links, int n_switches,
+                                       int n_hosts);
+
+  [[nodiscard]] const std::vector<Episode>& episodes() const { return episodes_; }
+
+  /// Compiles every fault-kind episode onto `plane` (which must not be armed
+  /// yet).  Traffic-kind episodes (burst/hotspot) are the runner's job — the
+  /// plane only speaks faults.
+  void compile(faults::FaultPlane& plane, const std::vector<LinkId>& trunk_links,
+               const std::vector<NodeId>& switches) const;
+
+  /// Intervals in which some episode is active or the fabric is still within
+  /// `recovery_allowance` of one ending — the complement is the clean time
+  /// where SLOs are enforced.  Sorted and coalesced.
+  [[nodiscard]] std::vector<std::pair<TimeNs, TimeNs>> dirty_intervals(
+      TimeNs recovery_allowance) const;
+
+ private:
+  Rng rng_;
+  EpisodeOptions opts_;
+  std::vector<Episode> episodes_;
+};
+
+}  // namespace ufab::soak

@@ -1,0 +1,112 @@
+#include "src/soak/slo.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/core/assert.hpp"
+
+namespace ufab::soak {
+
+SloTracker::SloTracker(TimeNs window, double guarantee_bps, double wc_reference_bps,
+                       const std::string& csv_path)
+    : window_(window), guarantee_bps_(guarantee_bps), wc_reference_bps_(wc_reference_bps) {
+  UFAB_CHECK(window_.ns() > 0);
+  if (!csv_path.empty()) {
+    csv_.open(csv_path, std::ios::out | std::ios::trunc);
+    UFAB_CHECK_MSG(csv_.is_open(), "SloTracker could not open its CSV path");
+    csv_open_ = true;
+    csv_ << "window,start_s,clean,active_episodes,fct_count,fct_p50_us,fct_p99_us,"
+            "fct_p999_us,delivered_gbps,wc_gap,pairs_below,violation_s_cum,drops,"
+            "fault_drops,retransmits\n";
+  }
+}
+
+void SloTracker::record_fct_us(double fct_us) {
+  win_fct_us_.add(fct_us);
+  all_fct_us_.add(fct_us);
+  if (win_clean_) clean_fct_us_.add(fct_us);
+}
+
+void SloTracker::record_recovery_rtts(double rtts) { recovery_rtts_.add(rtts); }
+
+void SloTracker::begin_window(TimeNs start, bool clean, int active_episodes) {
+  UFAB_CHECK_MSG(!win_open_, "begin_window while a window is open");
+  win_open_ = true;
+  win_start_ = start;
+  win_clean_ = clean;
+  win_active_episodes_ = active_episodes;
+  win_fct_us_.clear();
+}
+
+void SloTracker::close_window(double delivered_bps, int pairs_below, std::int64_t drops,
+                              std::int64_t fault_drops, std::int64_t retransmits) {
+  UFAB_CHECK_MSG(win_open_, "close_window without begin_window");
+  win_open_ = false;
+
+  const double win_sec = window_.sec();
+  double wc_gap = 0.0;
+  if (win_clean_) {
+    ++clean_windows_;
+    violation_seconds_ += static_cast<double>(pairs_below) * win_sec;
+    wc_gap = wc_reference_bps_ > 0.0
+                 ? std::max(0.0, 1.0 - delivered_bps / wc_reference_bps_)
+                 : 0.0;
+    clean_wc_gap_.add(wc_gap);
+  }
+
+  if (csv_open_) {
+    char row[320];
+    std::snprintf(row, sizeof(row),
+                  "%d,%.3f,%d,%d,%llu,%.3f,%.3f,%.3f,%.6f,%.6f,%d,%.3f,%lld,%lld,%lld\n",
+                  windows_, win_start_.sec(), win_clean_ ? 1 : 0, win_active_episodes_,
+                  static_cast<unsigned long long>(win_fct_us_.count()),
+                  win_fct_us_.quantile(0.5), win_fct_us_.quantile(0.99),
+                  win_fct_us_.quantile(0.999), delivered_bps / 1e9, wc_gap, pairs_below,
+                  violation_seconds_, static_cast<long long>(drops),
+                  static_cast<long long>(fault_drops), static_cast<long long>(retransmits));
+    csv_ << row;
+  }
+  ++windows_;
+}
+
+void SloTracker::finish() {
+  if (csv_open_) {
+    csv_.flush();
+    csv_.close();
+    csv_open_ = false;
+  }
+}
+
+double SloTracker::sim_hours() const {
+  return static_cast<double>(windows_) * window_.sec() / 3600.0;
+}
+
+bool SloTracker::check(const SloThresholds& t, std::vector<std::string>* out) const {
+  bool ok = true;
+  char buf[256];
+  const auto fail = [&](const char* fmt, double got, double cap) {
+    std::snprintf(buf, sizeof(buf), fmt, got, cap);
+    if (out != nullptr) out->emplace_back(buf);
+    ok = false;
+  };
+
+  const double hours = std::max(sim_hours(), 1e-9);
+  if (violation_seconds_ / hours > t.violation_seconds_per_hour) {
+    fail("guarantee-violation-seconds %.3f/h exceeds %.3f/h", violation_seconds_ / hours,
+         t.violation_seconds_per_hour);
+  }
+  if (!clean_fct_us_.empty() && clean_fct_us_.quantile(0.99) / 1e3 > t.fct_p99_ms) {
+    fail("clean-window FCT p99 %.3f ms exceeds %.3f ms", clean_fct_us_.quantile(0.99) / 1e3,
+         t.fct_p99_ms);
+  }
+  if (!clean_wc_gap_.empty() && clean_wc_gap_.mean() > t.wc_gap_mean) {
+    fail("mean work-conservation gap %.4f exceeds %.4f", clean_wc_gap_.mean(), t.wc_gap_mean);
+  }
+  if (!recovery_rtts_.empty() && recovery_rtts_.quantile(0.99) > t.recovery_p99_rtts) {
+    fail("recovery p99 %.1f RTTs exceeds %.1f RTTs", recovery_rtts_.quantile(0.99),
+         t.recovery_p99_rtts);
+  }
+  return ok;
+}
+
+}  // namespace ufab::soak

@@ -1,0 +1,104 @@
+// Windowed SLO tracking for the soak harness.
+//
+// The tracker consumes the run as a stream of fixed-width windows.  Within a
+// window it absorbs FCT and recovery samples into P² estimators; at the
+// window edge the runner hands it the window's delivered volume and error
+// counters and the tracker appends one CSV row to disk and folds the window
+// into cumulative O(1)-memory summaries.  Nothing here grows with simulated
+// time: per-window state resets at each edge, cumulative state is Welford
+// moments plus five-marker quantile estimators, and rows go to the stream
+// instead of RAM.
+//
+// SLOs are enforced on *clean* windows only — windows with no active episode
+// and past the recovery allowance of the last one.  Guarantee shortfalls and
+// work-conservation gaps during a fault window are the fault's fault; what
+// the soak guards is that the fabric recovers and that clean operation meets
+// its targets for a week at a stretch.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/core/time.hpp"
+#include "src/stats/p2.hpp"
+
+namespace ufab::soak {
+
+/// Pass/fail gates checked at the end of a run.
+struct SloThresholds {
+  /// Max accumulated guarantee-violation-seconds over clean windows
+  /// (pair-seconds delivering below guarantee), per simulated hour.
+  double violation_seconds_per_hour = 5.0;
+  /// Max p99 FCT over clean-window short flows, in milliseconds.
+  double fct_p99_ms = 400.0;
+  /// Max mean work-conservation gap over clean windows (fraction of the
+  /// reference aggregate not delivered).
+  double wc_gap_mean = 0.25;
+  /// Max p99 recovery time after a switch reset, in base RTTs.
+  double recovery_p99_rtts = 64.0;
+};
+
+class SloTracker {
+ public:
+  /// `window` is the accounting width; `guarantee_bps` the per-pair floor
+  /// enforced in clean windows; `wc_reference_bps` the aggregate delivered
+  /// rate a work-conserving fabric should sustain.  `csv_path` empty means
+  /// summaries only, no file.
+  SloTracker(TimeNs window, double guarantee_bps, double wc_reference_bps,
+             const std::string& csv_path);
+
+  // --- streaming inputs (any time within the current window) ---
+  void record_fct_us(double fct_us);
+  void record_recovery_rtts(double rtts);
+
+  // --- window lifecycle (driven by the runner) ---
+  void begin_window(TimeNs start, bool clean, int active_episodes);
+  /// Closes the current window: `delivered_bps` aggregate goodput of the
+  /// tracked pairs, `pairs_below` how many delivered under guarantee,
+  /// deltas of drop/retransmit counters over the window.
+  void close_window(double delivered_bps, int pairs_below, std::int64_t drops,
+                    std::int64_t fault_drops, std::int64_t retransmits);
+  /// Flushes and closes the CSV stream.
+  void finish();
+
+  // --- cumulative summaries ---
+  [[nodiscard]] int windows() const { return windows_; }
+  [[nodiscard]] int clean_windows() const { return clean_windows_; }
+  [[nodiscard]] double violation_seconds() const { return violation_seconds_; }
+  [[nodiscard]] const StreamingStats& clean_fct_us() const { return clean_fct_us_; }
+  [[nodiscard]] const StreamingStats& all_fct_us() const { return all_fct_us_; }
+  [[nodiscard]] const StreamingStats& recovery_rtts() const { return recovery_rtts_; }
+  [[nodiscard]] const StreamingStats& clean_wc_gap() const { return clean_wc_gap_; }
+  [[nodiscard]] double sim_hours() const;
+
+  /// Evaluates `t` against the run; appends one line per breach to `out`.
+  /// Returns true when every gate passes.
+  bool check(const SloThresholds& t, std::vector<std::string>* out) const;
+
+ private:
+  TimeNs window_;
+  double guarantee_bps_;
+  double wc_reference_bps_;
+  std::ofstream csv_;
+  bool csv_open_ = false;
+
+  // Current window.
+  TimeNs win_start_ = TimeNs::zero();
+  bool win_clean_ = false;
+  bool win_open_ = false;
+  int win_active_episodes_ = 0;
+  StreamingStats win_fct_us_;
+
+  // Cumulative (all O(1) memory).
+  int windows_ = 0;
+  int clean_windows_ = 0;
+  double violation_seconds_ = 0.0;
+  StreamingStats clean_fct_us_;
+  StreamingStats all_fct_us_;
+  StreamingStats recovery_rtts_;
+  StreamingStats clean_wc_gap_;
+};
+
+}  // namespace ufab::soak

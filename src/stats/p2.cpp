@@ -1,0 +1,127 @@
+#include "src/stats/p2.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "src/core/assert.hpp"
+
+namespace ufab {
+
+P2Quantile::P2Quantile(double p) : p_(p) {
+  UFAB_CHECK_MSG(p > 0.0 && p < 1.0, "P2Quantile wants p in (0, 1)");
+  clear();
+}
+
+void P2Quantile::clear() {
+  count_ = 0;
+  q_.fill(0.0);
+  n_ = {1, 2, 3, 4, 5};
+  np_ = {1.0, 1.0 + 2.0 * p_, 1.0 + 4.0 * p_, 3.0 + 2.0 * p_, 5.0};
+  dn_ = {0.0, p_ / 2.0, p_, (1.0 + p_) / 2.0, 1.0};
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    q_[count_++] = x;
+    if (count_ == 5) std::sort(q_.begin(), q_.end());
+    return;
+  }
+  ++count_;
+
+  // Locate the cell and update the extremes.
+  std::size_t k;
+  if (x < q_[0]) {
+    q_[0] = x;
+    k = 0;
+  } else if (x >= q_[4]) {
+    q_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= q_[k + 1]) ++k;
+  }
+
+  for (std::size_t i = k + 1; i < 5; ++i) n_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) np_[i] += dn_[i];
+
+  // Adjust the interior markers toward their desired positions.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = np_[i] - n_[i];
+    if ((d >= 1.0 && n_[i + 1] - n_[i] > 1.0) || (d <= -1.0 && n_[i - 1] - n_[i] < -1.0)) {
+      const double s = d >= 0.0 ? 1.0 : -1.0;
+      // Piecewise-parabolic prediction; fall back to linear when it would
+      // break marker monotonicity.
+      const double parabolic =
+          q_[i] + s / (n_[i + 1] - n_[i - 1]) *
+                      ((n_[i] - n_[i - 1] + s) * (q_[i + 1] - q_[i]) / (n_[i + 1] - n_[i]) +
+                       (n_[i + 1] - n_[i] - s) * (q_[i] - q_[i - 1]) / (n_[i] - n_[i - 1]));
+      if (q_[i - 1] < parabolic && parabolic < q_[i + 1]) {
+        q_[i] = parabolic;
+      } else {
+        const std::size_t j = s > 0.0 ? i + 1 : i - 1;
+        q_[i] = q_[i] + s * (q_[j] - q_[i]) / (n_[j] - n_[i]);
+      }
+      n_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ >= 5) return q_[2];
+  // Exact closest-rank interpolation over the stored prefix.
+  std::array<double, 5> s = q_;
+  std::sort(s.begin(), s.begin() + static_cast<std::ptrdiff_t>(count_));
+  const double rank = p_ * static_cast<double>(count_ - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, static_cast<std::size_t>(count_ - 1));
+  const double frac = rank - static_cast<double>(lo);
+  return s[lo] + (s[hi] - s[lo]) * frac;
+}
+
+StreamingStats::StreamingStats() : StreamingStats(std::vector<double>{0.5, 0.9, 0.99, 0.999}) {}
+
+StreamingStats::StreamingStats(const std::vector<double>& quantiles) {
+  quantiles_.reserve(quantiles.size());
+  for (const double p : quantiles) quantiles_.emplace_back(p);
+}
+
+void StreamingStats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  for (P2Quantile& q : quantiles_) q.add(x);
+}
+
+double StreamingStats::stddev() const {
+  if (count_ < 2) return 0.0;
+  return std::sqrt(std::max(0.0, m2_ / static_cast<double>(count_)));
+}
+
+double StreamingStats::quantile(double p) const {
+  for (const P2Quantile& q : quantiles_) {
+    if (q.quantile() == p) return q.value();
+  }
+  UFAB_CHECK_MSG(false, "StreamingStats::quantile(p) for an unregistered p");
+  return 0.0;
+}
+
+void StreamingStats::clear() {
+  count_ = 0;
+  mean_ = 0.0;
+  m2_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+  for (P2Quantile& q : quantiles_) q.clear();
+}
+
+}  // namespace ufab

@@ -1,0 +1,84 @@
+// Streaming percentile estimation in O(1) memory (P², Jain & Chlamtac 1985).
+//
+// PercentileTracker stores every sample, which is the right trade for figure
+// runs (a few million samples, exact tails) and the wrong one for the soak
+// harness, where a week of simulated production would accumulate billions of
+// FCT/RTT samples.  P2Quantile keeps five markers per tracked quantile and
+// adjusts them with a piecewise-parabolic fit as samples stream through: the
+// estimate converges to the true quantile for stationary inputs and the
+// memory footprint never grows, no matter how long the run is.
+//
+// StreamingStats bundles the moments every SLO window wants (count / mean /
+// min / max / stddev via Welford) with a fixed set of P² quantiles, so a
+// consumer that used to hold a PercentileTracker can switch to O(1) memory by
+// swapping the type.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ufab {
+
+/// One streaming quantile estimate (p in (0, 1)), five markers, no heap.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double p);
+
+  void add(double sample);
+
+  /// Current estimate: exact while fewer than 5 samples were seen, the P²
+  /// middle-marker height afterwards.  0 when empty.
+  [[nodiscard]] double value() const;
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double quantile() const { return p_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  void clear();
+
+ private:
+  double p_;
+  std::uint64_t count_ = 0;
+  std::array<double, 5> q_{};   ///< Marker heights.
+  std::array<double, 5> n_{};   ///< Marker positions (1-based).
+  std::array<double, 5> np_{};  ///< Desired positions.
+  std::array<double, 5> dn_{};  ///< Desired-position increments per sample.
+};
+
+/// Welford moments plus a fixed quantile set, all O(1) memory.
+class StreamingStats {
+ public:
+  /// Default quantiles are the SLO set: p50 / p90 / p99 / p99.9.
+  StreamingStats();
+  explicit StreamingStats(const std::vector<double>& quantiles);
+
+  void add(double sample);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+  [[nodiscard]] double stddev() const;
+
+  /// Estimate for a quantile registered at construction (p in (0,1));
+  /// asking for an unregistered quantile is a programming error.
+  [[nodiscard]] double quantile(double p) const;
+
+  /// Number of tracked quantiles (memory audit: fixed after construction).
+  [[nodiscard]] std::size_t quantile_count() const { return quantiles_.size(); }
+
+  void clear();
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::vector<P2Quantile> quantiles_;  ///< Sized at construction, never grows.
+};
+
+}  // namespace ufab

@@ -1,26 +1,55 @@
 #include "src/stats/rate_meter.hpp"
 
+#include <algorithm>
+
 #include "src/core/assert.hpp"
 
 namespace ufab {
 
-RateMeter::RateMeter(TimeNs bucket_width) : width_(bucket_width) {
+RateMeter::RateMeter(TimeNs bucket_width, std::size_t retain_buckets)
+    : width_(bucket_width), retain_(retain_buckets) {
   UFAB_CHECK_MSG(width_.ns() > 0, "RateMeter bucket width must be positive");
+}
+
+void RateMeter::add_bucket(std::int64_t idx, std::int64_t bytes) {
+  if (idx < base_) {
+    // The bucket was already evicted (late-arriving sample in bounded mode):
+    // the bytes still count toward the totals, just not toward any window.
+    evicted_bytes_ += bytes;
+    return;
+  }
+  if (retain_ > 0 && idx >= base_ + static_cast<std::int64_t>(retain_)) {
+    // Slide the retained window forward so it ends at `idx`.  Sliding before
+    // the zero-fill below keeps the work per add bounded by the cap even
+    // when the new sample lands far past the held range (an idle meter that
+    // wakes up hours of simulated time later).
+    const std::int64_t new_base = idx - static_cast<std::int64_t>(retain_) + 1;
+    while (!buckets_.empty() && base_ < new_base) {
+      evicted_bytes_ += buckets_.front();
+      buckets_.pop_front();
+      ++base_;
+    }
+    base_ = new_base;  // the window may have been skipped over entirely
+  }
+  while (base_ + static_cast<std::int64_t>(buckets_.size()) <= idx) buckets_.push_back(0);
+  buckets_[static_cast<std::size_t>(idx - base_)] += bytes;
 }
 
 void RateMeter::add(TimeNs now, std::int64_t bytes) {
   UFAB_CHECK(bytes >= 0);
   UFAB_CHECK_MSG(now.ns() >= 0, "RateMeter fed a negative timestamp");
-  const auto idx = static_cast<std::size_t>(bucket_index(now));
-  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
-  buckets_[idx] += bytes;
+  add_bucket(bucket_index(now), bytes);
   total_ += bytes;
 }
 
 void RateMeter::merge_from(const RateMeter& other) {
   UFAB_CHECK_MSG(width_ == other.width_, "merge_from requires equal bucket widths");
-  if (other.buckets_.size() > buckets_.size()) buckets_.resize(other.buckets_.size(), 0);
-  for (std::size_t i = 0; i < other.buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    if (other.buckets_[i] != 0) {
+      add_bucket(other.base_ + static_cast<std::int64_t>(i), other.buckets_[i]);
+    }
+  }
+  evicted_bytes_ += other.evicted_bytes_;
   total_ += other.total_;
 }
 
@@ -33,13 +62,14 @@ Bandwidth RateMeter::trailing_rate(TimeNs now, int n) const {
   // no complete window yet, so the measured rate is zero by definition.
   const std::int64_t current = bucket_index(now);
   if (current <= 0) return Bandwidth::zero();
-  // Clamp the window to the closed history: asking for more buckets than have
-  // closed averages over everything available rather than dividing by a span
-  // that was never observed.
-  const std::int64_t first = std::max<std::int64_t>(0, current - n);
+  // Clamp the window to the closed, retained history: asking for more buckets
+  // than exist averages over everything available rather than dividing by a
+  // span that was never observed (or is no longer held).
+  const std::int64_t first = std::max({std::int64_t{0}, current - n, base_});
   std::int64_t bytes = 0;
+  const std::int64_t held_end = base_ + static_cast<std::int64_t>(buckets_.size());
   for (std::int64_t i = first; i < current; ++i) {
-    if (i < static_cast<std::int64_t>(buckets_.size())) bytes += buckets_[static_cast<std::size_t>(i)];
+    if (i < held_end) bytes += buckets_[static_cast<std::size_t>(i - base_)];
   }
   const TimeNs span = width_ * (current - first);
   if (span.ns() <= 0) return Bandwidth::zero();
@@ -50,9 +80,10 @@ std::vector<RateMeter::Sample> RateMeter::series(TimeNs now) const {
   std::vector<Sample> out;
   if (now.ns() < 0) return out;
   const std::int64_t current = bucket_index(now);
-  for (std::int64_t i = 0; i < current && i < static_cast<std::int64_t>(buckets_.size()); ++i) {
-    const double bps =
-        static_cast<double>(buckets_[static_cast<std::size_t>(i)]) * 8e9 / static_cast<double>(width_.ns());
+  const std::int64_t held_end = base_ + static_cast<std::int64_t>(buckets_.size());
+  for (std::int64_t i = base_; i < current && i < held_end; ++i) {
+    const double bps = static_cast<double>(buckets_[static_cast<std::size_t>(i - base_)]) * 8e9 /
+                       static_cast<double>(width_.ns());
     out.push_back({TimeNs{i * width_.ns()}, Bandwidth::bps(bps)});
   }
   return out;

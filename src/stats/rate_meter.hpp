@@ -3,11 +3,21 @@
 // RateMeter counts bytes against wall (simulation) time and reports the rate
 // over the most recent closed window — the same measurement an experiment
 // operator would make when plotting "rate vs time" curves like Fig. 11/12/16.
+//
+// Storage is a ring of per-bucket byte counts.  By default every bucket since
+// t=0 is retained (figure benches read the whole series after the run); with
+// a retention cap the ring holds only the trailing `retain_buckets` buckets
+// and evicts the oldest as time advances, so a meter fed for a week of
+// simulated time occupies the same memory as one fed for a millisecond — the
+// mode the soak harness runs in.  Evicted bytes stay in `total_bytes()` and
+// are tallied in `evicted_bytes()`; windowed queries see the retained
+// history only.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "src/core/ring_deque.hpp"
 #include "src/core/time.hpp"
 #include "src/core/units.hpp"
 
@@ -18,8 +28,10 @@ namespace ufab {
 class RateMeter {
  public:
   /// `bucket_width` must be positive (a zero-width meter cannot close a
-  /// bucket and would divide by zero on every query).
-  explicit RateMeter(TimeNs bucket_width);
+  /// bucket and would divide by zero on every query).  `retain_buckets` = 0
+  /// keeps the full history; a positive cap bounds memory to that many
+  /// trailing buckets.
+  explicit RateMeter(TimeNs bucket_width, std::size_t retain_buckets = 0);
 
   void add(TimeNs now, std::int64_t bytes);
 
@@ -28,11 +40,13 @@ class RateMeter {
 
   /// Rate averaged over the trailing `n` closed buckets before `now`.
   /// `n` is clamped to the number of closed buckets, so asking for a longer
-  /// window than exists averages over all available history; while `now` is
-  /// still inside bucket 0 there is no closed bucket and the rate is zero.
+  /// window than exists averages over all available (retained) history;
+  /// while `now` is still inside bucket 0 there is no closed bucket and the
+  /// rate is zero.
   [[nodiscard]] Bandwidth trailing_rate(TimeNs now, int n) const;
 
-  /// Per-bucket series: (bucket start time, rate) for every closed bucket.
+  /// Per-bucket series: (bucket start time, rate) for every closed bucket
+  /// still retained.
   struct Sample {
     TimeNs at;
     Bandwidth rate;
@@ -42,18 +56,30 @@ class RateMeter {
   [[nodiscard]] std::int64_t total_bytes() const { return total_; }
   [[nodiscard]] TimeNs bucket_width() const { return width_; }
 
+  // --- retention introspection (memory-bound assertions) ---
+  /// Buckets currently held; never exceeds the cap when one is set.
+  [[nodiscard]] std::size_t retained_buckets() const { return buckets_.size(); }
+  [[nodiscard]] std::size_t retention_cap() const { return retain_; }
+  /// Bytes whose buckets have been evicted (bounded mode only).
+  [[nodiscard]] std::int64_t evicted_bytes() const { return evicted_bytes_; }
+
   /// Adds another meter's per-bucket bytes into this one.  Both meters must
   /// share the same bucket width.  Bucket sums are order-independent, so a
   /// merged meter reads the same regardless of which host (or shard) each
-  /// byte was counted on.
+  /// byte was counted on.  Buckets older than this meter's retained window
+  /// fold into `evicted_bytes()`.
   void merge_from(const RateMeter& other);
 
  private:
   [[nodiscard]] std::int64_t bucket_index(TimeNs t) const { return t.ns() / width_.ns(); }
+  void add_bucket(std::int64_t idx, std::int64_t bytes);
 
   TimeNs width_;
-  std::vector<std::int64_t> buckets_;  // bytes per bucket, index = bucket number
+  std::size_t retain_;                  ///< 0 = unbounded.
+  RingDeque<std::int64_t> buckets_;     ///< Bytes per bucket, front = `base_`.
+  std::int64_t base_ = 0;               ///< Absolute bucket index of the front.
   std::int64_t total_ = 0;
+  std::int64_t evicted_bytes_ = 0;
 };
 
 }  // namespace ufab

@@ -4,6 +4,15 @@
 
 namespace ufab {
 
+void TimeSeries::compact() {
+  // Amortized front-trim: runs when size reaches 2x the cap, drops the oldest
+  // points down to exactly the cap.  Each retained point is moved at most once
+  // per `retain_` appends, so adds stay amortized O(1).
+  const std::size_t excess = points_.size() - retain_;
+  dropped_ += excess;
+  points_.erase(points_.begin(), points_.begin() + static_cast<std::ptrdiff_t>(excess));
+}
+
 double TimeSeries::mean_in(TimeNs from, TimeNs to) const {
   double sum = 0.0;
   std::size_t n = 0;

@@ -9,6 +9,13 @@
 namespace ufab {
 
 /// An append-only (time, value) series.
+///
+/// By default every point is retained (figure benches replay the whole run).
+/// Constructed with a retention cap, the series keeps only the newest
+/// `retain_points` entries: old points are dropped from the front in
+/// amortized O(1) with at most 2x the cap resident, so a series fed for
+/// unbounded simulated time stays bounded — the soak-harness mode.  Queries
+/// then answer over the retained suffix only.
 class TimeSeries {
  public:
   struct Point {
@@ -16,11 +23,22 @@ class TimeSeries {
     double value;
   };
 
-  void add(TimeNs at, double value) { points_.push_back({at, value}); }
+  TimeSeries() = default;
+  explicit TimeSeries(std::size_t retain_points) : retain_(retain_points) {}
+
+  void add(TimeNs at, double value) {
+    points_.push_back({at, value});
+    if (retain_ > 0 && points_.size() >= 2 * retain_) compact();
+  }
 
   [[nodiscard]] const std::vector<Point>& points() const { return points_; }
   [[nodiscard]] bool empty() const { return points_.empty(); }
   [[nodiscard]] std::size_t size() const { return points_.size(); }
+
+  // --- retention introspection (memory-bound assertions) ---
+  [[nodiscard]] std::size_t retention_cap() const { return retain_; }
+  /// Points dropped from the front to honor the cap.
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
 
   /// Mean of values with timestamps in [from, to).
   [[nodiscard]] double mean_in(TimeNs from, TimeNs to) const;
@@ -36,6 +54,10 @@ class TimeSeries {
   [[nodiscard]] TimeNs settle_time(TimeNs from, double lo, double hi, TimeNs hold) const;
 
  private:
+  void compact();
+
+  std::size_t retain_ = 0;  ///< 0 = unbounded.
+  std::size_t dropped_ = 0;
   std::vector<Point> points_;
 };
 

@@ -33,9 +33,14 @@ void TransportStack::attach_obs(obs::Obs& obs) {
   obs.metrics().gauge_fn("transport.connections", labels, [this] {
     return static_cast<double>(conn_order_.size());
   });
-  obs.metrics().gauge_fn("transport.rtt_p99_us", labels, [this] {
-    return rtt_us_.count() > 0 ? rtt_us_.percentile(99.0) : 0.0;
-  });
+  obs.metrics().gauge_fn("transport.rtt_p99_us", labels, [this] { return rtt_p99_us(); });
+}
+
+double TransportStack::rtt_p99_us() const {
+  if (opts_.bounded_rtt_stats) {
+    return rtt_stream_us_.empty() ? 0.0 : rtt_stream_us_.quantile(0.99);
+  }
+  return rtt_us_.count() > 0 ? rtt_us_.percentile(99.0) : 0.0;
 }
 
 Connection* TransportStack::find_connection(VmPairId pair) {
@@ -369,7 +374,11 @@ void TransportStack::handle_ack(PacketPtr pkt) {
   std::optional<TimeNs> rtt;
   if (!o.retransmitted) {
     rtt = sim_.now() - o.sent_at;
-    rtt_us_.add(rtt->us());
+    if (opts_.bounded_rtt_stats) {
+      rtt_stream_us_.add(rtt->us());
+    } else {
+      rtt_us_.add(rtt->us());
+    }
     conn.last_rtt = *rtt;
   }
 

@@ -28,6 +28,7 @@
 #include "src/harness/vm_map.hpp"
 #include "src/sim/host.hpp"
 #include "src/sim/packet.hpp"
+#include "src/stats/p2.hpp"
 #include "src/stats/percentile.hpp"
 #include "src/topo/network.hpp"
 #include "src/transport/message.hpp"
@@ -47,6 +48,10 @@ struct TransportOptions {
   std::size_t candidate_paths = 8;
   /// If false, data carries no source route (plain ECMP forwarding).
   bool source_routing = true;
+  /// Route RTT samples into an O(1)-memory streaming estimator instead of
+  /// the exact store-everything tracker.  Figure runs keep the exact default;
+  /// the soak harness flips this so a week of ACKs cannot grow the stack.
+  bool bounded_rtt_stats = false;
 };
 
 class TransportStack;
@@ -146,6 +151,14 @@ class TransportStack : public sim::HostStack {
   /// override to add scheme-specific metrics (and must call the base).
   virtual void attach_obs(obs::Obs& obs);
   [[nodiscard]] const PercentileTracker& rtt_samples_us() const { return rtt_us_; }
+  /// Streaming RTT stats (µs); the live store under `bounded_rtt_stats`.
+  [[nodiscard]] const StreamingStats& rtt_stream_us() const { return rtt_stream_us_; }
+  /// RTT samples observed, whichever store is active.
+  [[nodiscard]] std::uint64_t rtt_sample_count() const {
+    return opts_.bounded_rtt_stats ? rtt_stream_us_.count() : rtt_us_.count();
+  }
+  /// p99 RTT in µs from the active store (0 when no samples yet).
+  [[nodiscard]] double rtt_p99_us() const;
   [[nodiscard]] std::int64_t retransmits() const { return retransmits_; }
   [[nodiscard]] Connection* find_connection(VmPairId pair);
   [[nodiscard]] const std::vector<Connection*>& connections() const { return conn_order_; }
@@ -249,7 +262,8 @@ class TransportStack : public sim::HostStack {
   };
   std::unordered_map<std::uint64_t, std::unordered_map<std::uint64_t, Reassembly>> rx_;
 
-  PercentileTracker rtt_us_;
+  PercentileTracker rtt_us_;       ///< Exact store (default mode only).
+  StreamingStats rtt_stream_us_;   ///< O(1) store (`bounded_rtt_stats`).
   std::int64_t retransmits_ = 0;
   std::uint64_t next_msg_id_ = 1;
   bool kick_pending_ = false;

@@ -185,7 +185,7 @@ PoissonFlowGenerator::PoissonFlowGenerator(harness::Fabric& fab, std::vector<VmP
     // Unbounded: keep the lazy self-scheduling chain.  Each arrival draws
     // from the shared RNG inside an event, so the draw order would depend on
     // shard interleaving — pin the engine to one-shard-at-a-time execution.
-    if (fab_.sim().shard_count() > 1) fab_.sim().require_sequential();
+    if (fab_.sim().shard_count() > 1) fab_.sim().require_sequential("unbounded-poisson");
     fab_.sim().at(cfg_.start, [this] { arrival(); });
   }
 }

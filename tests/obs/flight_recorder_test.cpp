@@ -112,6 +112,100 @@ TEST(FlightRecorder, ChromeTraceExportIsWellFormed) {
   std::remove(path.c_str());
 }
 
+TEST(FlightRecorderSustained, MultiWrapEvictsOldestKeepsNewestInOrder) {
+  // A soak-length stream pushes the ring through many full revolutions; the
+  // retained window must always be exactly the newest `capacity` events.
+  constexpr std::size_t kCap = 32;
+  constexpr std::uint64_t kTotal = 5 * kCap + 7;  // > 5 full wraps, misaligned
+  FlightRecorder rec(kCap);
+  for (std::uint64_t i = 0; i < kTotal; ++i) rec.record(probe_event(i));
+  EXPECT_EQ(rec.size(), kCap);
+  EXPECT_EQ(rec.recorded_total(), kTotal);
+  const auto evs = rec.events();
+  ASSERT_EQ(evs.size(), kCap);
+  for (std::size_t i = 0; i < kCap; ++i) {
+    EXPECT_EQ(evs[i].seq, kTotal - kCap + i);
+    if (i > 0) {
+      EXPECT_GE(evs[i].at, evs[i - 1].at);
+    }
+  }
+}
+
+TEST(FlightRecorderSustained, CausalSliceStaysCorrectAcrossWraps) {
+  // Interleave two pairs while wrapping four times: the per-pair slice must
+  // contain only the surviving events of that pair, still in causal order.
+  constexpr std::size_t kCap = 16;
+  constexpr std::uint64_t kTotal = 4 * kCap;
+  const VmPairId mine{VmId{1}, VmId{2}};
+  const VmPairId other{VmId{3}, VmId{4}};
+  FlightRecorder rec(kCap);
+  for (std::uint64_t i = 0; i < kTotal; ++i) {
+    TraceEvent ev = probe_event(i);
+    ev.pair = (i % 3 == 0) ? mine : other;
+    rec.record(ev);
+  }
+  const auto slice = rec.events_for_pair(mine);
+  // The retained ring is seqs [kTotal-kCap, kTotal); mine are the multiples
+  // of 3 within it.
+  std::size_t expect = 0;
+  for (std::uint64_t s = kTotal - kCap; s < kTotal; ++s) {
+    if (s % 3 == 0) ++expect;
+  }
+  ASSERT_EQ(slice.size(), expect);
+  for (std::size_t i = 0; i < slice.size(); ++i) {
+    EXPECT_EQ(slice[i].pair.key(), mine.key());
+    EXPECT_EQ(slice[i].seq % 3, 0u);
+    EXPECT_GE(slice[i].seq, kTotal - kCap);
+    if (i > 0) {
+      EXPECT_GT(slice[i].at, slice[i - 1].at);
+    }
+  }
+}
+
+TEST(FlightRecorderSustained, ChromeTraceStaysValidAfterThreeWraps) {
+  // Export validity must not depend on the ring being in its first
+  // revolution: drive >= 3 full wraps of mixed event kinds (complete probe
+  // chains, drops on a link track, window updates with a tenant) and check
+  // the export still renders.
+  constexpr std::size_t kCap = 16;
+  FlightRecorder rec(kCap);
+  std::uint64_t seq = 0;
+  for (int round = 0; round < 16; ++round) {  // 16 * 4 events = 4 wraps of 16
+    for (const EventKind k : {EventKind::kProbeSent, EventKind::kProbeIntStamp,
+                              EventKind::kProbeEchoed, EventKind::kWindowUpdate}) {
+      TraceEvent ev = probe_event(seq++, k);
+      ev.tenant = TenantId{0};
+      if (k == EventKind::kWindowUpdate) ev.track = Track::link(LinkId{1});
+      rec.record(ev);
+    }
+  }
+  ASSERT_GE(rec.recorded_total(), 3 * kCap);
+  EXPECT_EQ(rec.size(), kCap);
+
+  std::ostringstream os;
+  rec.write_chrome_trace(os);
+  const std::string trace = os.str();
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\": \"X\""), std::string::npos);
+  // Evicted events must not leak into the export: the oldest surviving seq
+  // is recorded_total - capacity.
+  const std::uint64_t oldest = rec.recorded_total() - kCap;
+  for (const auto& ev : rec.events()) EXPECT_GE(ev.seq, oldest);
+
+  if (std::system("python3 -c '' >/dev/null 2>&1") != 0) {
+    GTEST_SKIP() << "python3 not available";
+  }
+  const std::string path = ::testing::TempDir() + "/flight_recorder_wrap.trace.json";
+  {
+    std::ofstream f(path, std::ios::trunc);
+    f << trace;
+  }
+  const std::string cmd =
+      "python3 " SOURCE_DIR "/scripts/render_trace.py --quiet " + path + " >/dev/null";
+  EXPECT_EQ(std::system(cmd.c_str()), 0) << "render_trace.py rejected the post-wrap export";
+  std::remove(path.c_str());
+}
+
 TEST(FlightRecorder, RawJsonExportListsEveryEvent) {
   FlightRecorder rec(8);
   rec.record(probe_event(1));

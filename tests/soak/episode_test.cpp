@@ -1,0 +1,113 @@
+// EpisodeScheduler: seeded reproducibility, horizon/warmup discipline, and
+// dirty-interval coalescing — the properties the soak's determinism and
+// clean-window SLO accounting stand on.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/soak/episode.hpp"
+
+namespace ufab::soak {
+namespace {
+
+using namespace ufab::time_literals;
+
+EpisodeOptions dense_opts() {
+  EpisodeOptions o;
+  o.warmup = 500_ms;
+  o.mean_gap = 700_ms;
+  o.min_cooldown = 300_ms;
+  o.mean_duration = 500_ms;
+  o.max_duration = 1'500_ms;
+  return o;
+}
+
+TEST(EpisodeScheduler, SameSeedReproducesScheduleExactly) {
+  EpisodeScheduler a(99, dense_opts());
+  EpisodeScheduler b(99, dense_opts());
+  const auto& ea = a.generate(60_s, /*trunks=*/8, /*switches=*/4, /*hosts=*/8);
+  const auto& eb = b.generate(60_s, 8, 4, 8);
+  ASSERT_FALSE(ea.empty());
+  ASSERT_EQ(ea.size(), eb.size());
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].kind, eb[i].kind) << i;
+    EXPECT_EQ(ea[i].start, eb[i].start) << i;
+    EXPECT_EQ(ea[i].end, eb[i].end) << i;
+    EXPECT_DOUBLE_EQ(ea[i].intensity, eb[i].intensity) << i;
+    EXPECT_EQ(ea[i].target, eb[i].target) << i;
+    EXPECT_EQ(ea[i].aux, eb[i].aux) << i;
+  }
+}
+
+TEST(EpisodeScheduler, DifferentSeedDiffers) {
+  EpisodeScheduler a(1, dense_opts());
+  EpisodeScheduler b(2, dense_opts());
+  const auto& ea = a.generate(60_s, 8, 4, 8);
+  const auto& eb = b.generate(60_s, 8, 4, 8);
+  bool differs = ea.size() != eb.size();
+  for (std::size_t i = 0; !differs && i < ea.size(); ++i) {
+    differs = ea[i].kind != eb[i].kind || ea[i].start != eb[i].start ||
+              ea[i].target != eb[i].target;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(EpisodeScheduler, RespectsWarmupHorizonAndOrdering) {
+  EpisodeScheduler s(7, dense_opts());
+  const auto& eps = s.generate(30_s, 8, 4, 8);
+  ASSERT_FALSE(eps.empty());
+  for (std::size_t i = 0; i < eps.size(); ++i) {
+    EXPECT_GE(eps[i].start, dense_opts().warmup);
+    EXPECT_LT(eps[i].start, 30_s);
+    EXPECT_LE(eps[i].end, 30_s);       // clipped to the horizon
+    EXPECT_LE(eps[i].start, eps[i].end);
+    if (i > 0) {
+      EXPECT_GE(eps[i].start, eps[i - 1].start);  // sorted
+    }
+  }
+}
+
+TEST(EpisodeScheduler, RotatesThroughEveryKind) {
+  EpisodeScheduler s(3, dense_opts());
+  const auto& eps = s.generate(120_s, 8, 4, 8);
+  std::set<EpisodeKind> seen;
+  for (const auto& e : eps) seen.insert(e.kind);
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kEpisodeKindCount));
+}
+
+TEST(EpisodeScheduler, DirtyIntervalsSortedCoalescedAndCovering) {
+  EpisodeScheduler s(11, dense_opts());
+  const auto& eps = s.generate(60_s, 8, 4, 8);
+  const TimeNs allowance = 400_ms;
+  const auto dirty = s.dirty_intervals(allowance);
+  ASSERT_FALSE(dirty.empty());
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
+    EXPECT_LT(dirty[i].first, dirty[i].second);
+    // Strictly disjoint after coalescing: next starts after this one ends.
+    if (i > 0) {
+      EXPECT_GT(dirty[i].first, dirty[i - 1].second);
+    }
+  }
+  // Every episode span plus its recovery tail lies inside some interval.
+  for (const auto& e : eps) {
+    bool covered = false;
+    for (const auto& [lo, hi] : dirty) {
+      if (lo <= e.start && e.end + allowance <= hi) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << e.describe();
+  }
+}
+
+TEST(EpisodeScheduler, DescribeNamesEveryKind) {
+  EpisodeScheduler s(5, dense_opts());
+  for (const auto& e : s.generate(60_s, 8, 4, 8)) {
+    EXPECT_FALSE(e.describe().empty());
+    EXPECT_NE(to_string(e.kind), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace ufab::soak

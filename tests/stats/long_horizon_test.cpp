@@ -1,0 +1,149 @@
+// Long-horizon behavior of RateMeter and TimeSeries: multi-hour simulated
+// feeds must keep bounded memory in retention mode, roll windows over
+// correctly, and keep totals exact regardless of eviction.
+#include <gtest/gtest.h>
+
+#include "src/stats/rate_meter.hpp"
+#include "src/stats/timeseries.hpp"
+
+namespace ufab {
+namespace {
+
+using namespace ufab::time_literals;
+
+TEST(RateMeterLongHorizon, UnboundedDefaultKeepsFullSeries) {
+  RateMeter m(1_ms);
+  for (std::int64_t i = 0; i < 10'000; ++i) m.add(TimeNs{i * 1'000'000}, 100);
+  EXPECT_EQ(m.retention_cap(), 0u);
+  EXPECT_EQ(m.retained_buckets(), 10'000u);
+  EXPECT_EQ(m.evicted_bytes(), 0);
+  EXPECT_EQ(m.series(TimeNs{10'000LL * 1'000'000}).size(), 10'000u);
+}
+
+TEST(RateMeterLongHorizon, BoundedModeCapsMemoryOverHours) {
+  // Three simulated hours of 1 ms buckets would be 10.8M buckets unbounded;
+  // the cap must hold the footprint to 64 while totals stay exact.
+  RateMeter m(1_ms, /*retain_buckets=*/64);
+  const std::int64_t hours3 = 3LL * 3600 * 1'000'000'000;
+  std::int64_t fed = 0;
+  for (std::int64_t t = 0; t < hours3; t += 500'000'000) {  // every 0.5 s
+    m.add(TimeNs{t}, 1'000);
+    fed += 1'000;
+    ASSERT_LE(m.retained_buckets(), 64u);
+  }
+  EXPECT_EQ(m.total_bytes(), fed);
+  // The retained window plus the evicted tally must account for every byte.
+  std::int64_t retained = 0;
+  for (const auto& s : m.series(TimeNs{hours3})) {
+    retained += static_cast<std::int64_t>(s.rate.bits_per_sec() / 8e9 * 1e6);
+  }
+  EXPECT_EQ(retained + m.evicted_bytes(), m.total_bytes());
+}
+
+TEST(RateMeterLongHorizon, WindowRolloverSlidesNotGrows) {
+  RateMeter m(10_us, /*retain_buckets=*/8);
+  // Fill 20 consecutive buckets; only the trailing 8 survive.
+  for (int i = 0; i < 20; ++i) m.add(TimeNs{i * 10'000 + 1}, 10 + i);
+  EXPECT_EQ(m.retained_buckets(), 8u);
+  const auto series = m.series(TimeNs{20 * 10'000});
+  ASSERT_EQ(series.size(), 8u);
+  // Oldest retained bucket is index 12 (value 22 bytes).
+  EXPECT_EQ(series.front().at.ns(), 12 * 10'000);
+  EXPECT_DOUBLE_EQ(series.front().rate.bits_per_sec(), 22.0 * 8e9 / 10'000.0);
+  // Evicted = buckets 0..11 = sum(10..21).
+  std::int64_t expect_evicted = 0;
+  for (int i = 0; i < 12; ++i) expect_evicted += 10 + i;
+  EXPECT_EQ(m.evicted_bytes(), expect_evicted);
+}
+
+TEST(RateMeterLongHorizon, SparseFarFutureAddIsBoundedWork) {
+  RateMeter m(50_us, /*retain_buckets=*/16);
+  m.add(TimeNs{0}, 500);
+  // An idle meter waking up two simulated hours later must not materialize
+  // 144M intermediate buckets — the window slides directly.
+  const std::int64_t t2h = 2LL * 3600 * 1'000'000'000;
+  m.add(TimeNs{t2h}, 700);
+  EXPECT_LE(m.retained_buckets(), 16u);
+  EXPECT_EQ(m.evicted_bytes(), 500);
+  EXPECT_EQ(m.total_bytes(), 1200);
+  EXPECT_GT(m.rate(TimeNs{t2h + 50'000}).bits_per_sec(), 0.0);
+}
+
+TEST(RateMeterLongHorizon, LateSampleFoldsIntoEvicted) {
+  RateMeter m(10_us, /*retain_buckets=*/4);
+  for (int i = 0; i < 10; ++i) m.add(TimeNs{i * 10'000 + 1}, 100);
+  const std::int64_t evicted_before = m.evicted_bytes();
+  // A sample for a long-evicted bucket still counts toward the totals.
+  m.add(TimeNs{1'001}, 50);
+  EXPECT_EQ(m.evicted_bytes(), evicted_before + 50);
+  EXPECT_EQ(m.total_bytes(), 10 * 100 + 50);
+}
+
+TEST(RateMeterLongHorizon, MergeBoundedMeters) {
+  RateMeter a(10_us, 4);
+  RateMeter b(10_us, 4);
+  for (int i = 0; i < 8; ++i) {
+    a.add(TimeNs{i * 10'000 + 1}, 100);
+    b.add(TimeNs{i * 10'000 + 1}, 10);
+  }
+  a.merge_from(b);
+  EXPECT_EQ(a.total_bytes(), 8 * 110);
+  EXPECT_LE(a.retained_buckets(), 4u);
+  // Retained + evicted still conserves all bytes from both meters.
+  std::int64_t retained = 0;
+  for (const auto& s : a.series(TimeNs{8 * 10'000})) {
+    retained += static_cast<std::int64_t>(s.rate.bits_per_sec() * 10'000.0 / 8e9);
+  }
+  EXPECT_EQ(retained + a.evicted_bytes(), a.total_bytes());
+}
+
+TEST(RateMeterLongHorizon, MergeUnboundedIntoBoundedAndBack) {
+  RateMeter bounded(10_us, 4);
+  RateMeter full(10_us);
+  for (int i = 0; i < 12; ++i) full.add(TimeNs{i * 10'000 + 1}, 7);
+  bounded.merge_from(full);
+  EXPECT_EQ(bounded.total_bytes(), 12 * 7);
+  EXPECT_LE(bounded.retained_buckets(), 4u);
+
+  RateMeter wide(10_us);
+  wide.merge_from(bounded);
+  // Evicted bytes survive the round trip in the totals.
+  EXPECT_EQ(wide.total_bytes(), 12 * 7);
+}
+
+TEST(TimeSeriesLongHorizon, UnboundedDefaultUnchanged) {
+  TimeSeries ts;
+  for (std::int64_t i = 0; i < 5'000; ++i) {
+    ts.add(TimeNs{i * 1'000'000}, static_cast<double>(i));
+  }
+  EXPECT_EQ(ts.size(), 5'000u);
+  EXPECT_EQ(ts.dropped(), 0u);
+  EXPECT_EQ(ts.retention_cap(), 0u);
+}
+
+TEST(TimeSeriesLongHorizon, BoundedRetentionCompactsFromFront) {
+  TimeSeries ts(/*retain_points=*/100);
+  const int n = 100'000;  // hours of 100 ms samples
+  for (int i = 0; i < n; ++i) ts.add(TimeNs{i * 100'000'000LL}, static_cast<double>(i));
+  EXPECT_LT(ts.size(), 200u);  // never more than 2x the cap resident
+  EXPECT_GE(ts.size(), 100u);
+  EXPECT_EQ(ts.size() + ts.dropped(), static_cast<std::size_t>(n));
+  // The retained suffix is the newest points, in order.
+  const auto& pts = ts.points();
+  EXPECT_DOUBLE_EQ(pts.back().value, static_cast<double>(n - 1));
+  for (std::size_t i = 1; i < pts.size(); ++i) EXPECT_LT(pts[i - 1].at, pts[i].at);
+}
+
+TEST(TimeSeriesLongHorizon, QueriesAnswerOverRetainedSuffix) {
+  TimeSeries ts(10);
+  for (int i = 0; i < 40; ++i) ts.add(TimeNs{i * 1'000}, static_cast<double>(i));
+  // value_at beyond the retained range falls back; inside it reads the point.
+  const TimeNs newest{39 * 1'000};
+  EXPECT_DOUBLE_EQ(ts.value_at(newest), 39.0);
+  EXPECT_DOUBLE_EQ(ts.mean_in(newest, newest + TimeNs{1}), 39.0);
+  EXPECT_DOUBLE_EQ(ts.max_in(TimeNs::zero(), newest + TimeNs{1}),
+                   ts.points().back().value);
+}
+
+}  // namespace
+}  // namespace ufab

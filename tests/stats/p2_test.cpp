@@ -1,0 +1,124 @@
+// P² streaming quantile estimator: exactness below five samples, accuracy
+// against the exact tracker on long streams, and O(1)-memory bookkeeping.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/core/rng.hpp"
+#include "src/stats/p2.hpp"
+#include "src/stats/percentile.hpp"
+
+namespace ufab {
+namespace {
+
+TEST(P2Quantile, EmptyReadsZero) {
+  P2Quantile q(0.99);
+  EXPECT_TRUE(q.empty());
+  EXPECT_DOUBLE_EQ(q.value(), 0.0);
+}
+
+TEST(P2Quantile, ExactBelowFiveSamples) {
+  P2Quantile med(0.5);
+  med.add(30.0);
+  EXPECT_DOUBLE_EQ(med.value(), 30.0);
+  med.add(10.0);
+  EXPECT_DOUBLE_EQ(med.value(), 20.0);  // interpolated median of {10, 30}
+  med.add(20.0);
+  EXPECT_DOUBLE_EQ(med.value(), 20.0);  // middle of {10, 20, 30}
+}
+
+TEST(P2Quantile, ConvergesOnUniform) {
+  Rng rng(42);
+  P2Quantile p50(0.5), p99(0.99);
+  for (int i = 0; i < 200'000; ++i) {
+    const double x = rng.uniform();
+    p50.add(x);
+    p99.add(x);
+  }
+  EXPECT_NEAR(p50.value(), 0.5, 0.01);
+  EXPECT_NEAR(p99.value(), 0.99, 0.01);
+}
+
+TEST(P2Quantile, TracksExactTrackerOnExponential) {
+  // Heavy-ish tail: the p99 estimate should land within a few percent of the
+  // exact store-everything tracker.
+  Rng rng(7);
+  P2Quantile p99(0.99);
+  PercentileTracker exact;
+  for (int i = 0; i < 100'000; ++i) {
+    const double x = rng.exponential(10.0);
+    p99.add(x);
+    exact.add(x);
+  }
+  const double truth = exact.percentile(99.0);
+  EXPECT_NEAR(p99.value(), truth, truth * 0.05);
+}
+
+TEST(P2Quantile, MonotoneShiftFollowsDistribution) {
+  // Feed a step change: the estimator must move toward the new regime rather
+  // than stay pinned to the old one.
+  Rng rng(3);
+  P2Quantile p50(0.5);
+  for (int i = 0; i < 50'000; ++i) p50.add(rng.uniform());
+  const double before = p50.value();
+  for (int i = 0; i < 500'000; ++i) p50.add(100.0 + rng.uniform());
+  EXPECT_LT(before, 1.0);
+  EXPECT_GT(p50.value(), 50.0);
+}
+
+TEST(P2Quantile, ClearResets) {
+  P2Quantile q(0.9);
+  for (int i = 0; i < 100; ++i) q.add(static_cast<double>(i));
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  q.add(5.0);
+  EXPECT_DOUBLE_EQ(q.value(), 5.0);
+}
+
+TEST(StreamingStats, MomentsMatchDefinition) {
+  StreamingStats s;
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (const double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-12);  // population stddev of the classic set
+}
+
+TEST(StreamingStats, DefaultQuantileSetIsSloShaped) {
+  StreamingStats s;
+  EXPECT_EQ(s.quantile_count(), 4u);
+  Rng rng(11);
+  for (int i = 0; i < 100'000; ++i) s.add(rng.uniform());
+  EXPECT_NEAR(s.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(s.quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(s.quantile(0.99), 0.99, 0.02);
+  EXPECT_NEAR(s.quantile(0.999), 0.999, 0.02);
+}
+
+TEST(StreamingStats, EmptyIsAllZeros) {
+  StreamingStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.99), 0.0);
+}
+
+TEST(StreamingStats, ClearThenReuse) {
+  StreamingStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1e6);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+}  // namespace
+}  // namespace ufab
