@@ -239,4 +239,32 @@ void BM_Fig17Slice(benchmark::State& state) {
 }
 BENCHMARK(BM_Fig17Slice)->Unit(benchmark::kMillisecond);
 
+/// Cost of one enabled ProfScope token (two clock reads + slice add) — the
+/// per-call price of every level-2 detailed scope (WFQ next, telemetry
+/// ingest, mailbox post).  Level-1 loop attribution pays one such pair only
+/// every timing_stride events (counts stay exact), so this number divided by
+/// the stride bounds the profiler's per-event overhead; the run_perf.sh
+/// guard checks the realized end-to-end figure.
+void BM_ProfScope(benchmark::State& state) {
+  obs::ProfSlice slice;
+  for (auto _ : state) {
+    const obs::ProfScope scope(&slice, obs::ProfCat::kWfq);
+    benchmark::DoNotOptimize(&slice);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfScope);
+
+/// The same token with profiling off (null slice): the cost left behind in
+/// hot paths that carry a permanent UFAB_PROF_SCOPE — a pointer test, no
+/// clock reads.
+void BM_ProfScopeDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    const obs::ProfScope scope(nullptr, obs::ProfCat::kWfq);
+    benchmark::DoNotOptimize(&state);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfScopeDisabled);
+
 }  // namespace

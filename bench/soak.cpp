@@ -15,6 +15,7 @@
 // Exit status is nonzero on any invariant violation or SLO breach, so a CI
 // lane can gate on it directly.
 #include <cstdio>
+#include <filesystem>
 
 #include "src/harness/experiment.hpp"
 #include "src/soak/runner.hpp"
@@ -23,7 +24,19 @@ using namespace ufab;
 
 int main() {
   soak::SoakOptions opts = soak::SoakOptions::from_env();
-  if (opts.csv_path.empty()) opts.csv_path = "soak_slo.csv";
+  // Default the SLO CSV into the gitignored artifact directory instead of
+  // littering the working tree; UFAB_SOAK_CSV still overrides.
+  if (opts.csv_path.empty()) opts.csv_path = "bench_artifacts/soak_slo.csv";
+  if (const auto parent = std::filesystem::path(opts.csv_path).parent_path();
+      !parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      std::fprintf(stderr, "soak: cannot create %s: %s\n", parent.c_str(),
+                   ec.message().c_str());
+      return 1;
+    }
+  }
 
   harness::print_header("soak: long-horizon production under rotating episodes");
   soak::SoakRunner runner(opts);

@@ -10,6 +10,13 @@ their phase requires), resolves track names from the "M" metadata records,
 and prints one summary line per track plus the overall event-name histogram.
 Exits non-zero if the file is missing, unparsable, or schema-invalid, so
 tests and CI can use it as a validity gate.  Stdlib only.
+
+Schema versions ("ufab_schema" top-level key; absent means 1):
+  1  fabric events only (PR 2 flight recorder).
+  2  adds engine-profiler counter tracks: "C" events named "prof.*" on the
+     profiler process group.
+A trace that mixes versions — profiler counters in a schema-1 file, or a
+schema newer than this validator — is rejected with a clear message.
 """
 
 import collections
@@ -17,6 +24,9 @@ import json
 import sys
 
 VALID_PHASES = {"M", "i", "X", "C", "s", "t", "f"}
+
+# Newest trace schema this validator understands.
+KNOWN_SCHEMA = 2
 
 # Keys every record of a phase must carry (beyond "ph").
 REQUIRED_KEYS = {
@@ -35,7 +45,7 @@ def fail(msg):
     sys.exit(1)
 
 
-def validate(events):
+def validate(events, schema):
     if not isinstance(events, list):
         fail("traceEvents is not an array")
     for n, ev in enumerate(events):
@@ -55,6 +65,21 @@ def validate(events):
                 fail("event %d: metadata args lack a name" % n)
         elif "ts" in ev and not isinstance(ev["ts"], (int, float)):
             fail("event %d: non-numeric ts" % n)
+        name = ev.get("name", "")
+        is_prof = isinstance(name, str) and name.startswith("prof.")
+        if is_prof and schema < 2:
+            fail("event %d (%r): trace mixes schema versions — profiler "
+                 "counter tracks require \"ufab_schema\": 2 but this trace "
+                 "declares schema %d; re-export it with a current build"
+                 % (n, name, schema))
+        if is_prof and ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                fail("event %d (%r): profiler counter has no args" % (n, name))
+            for key, value in args.items():
+                if not isinstance(value, (int, float)):
+                    fail("event %d (%r): counter arg %r is non-numeric"
+                         % (n, name, key))
 
 
 def summarize(events, quiet):
@@ -120,9 +145,15 @@ def main(argv):
         fail("not valid JSON: %s" % e)
     if not isinstance(doc, dict) or "traceEvents" not in doc:
         fail("top level is not an object with a traceEvents array")
-    validate(doc["traceEvents"])
+    schema = doc.get("ufab_schema", 1)
+    if not isinstance(schema, int) or schema < 1:
+        fail("ufab_schema is %r, expected a positive integer" % (schema,))
+    if schema > KNOWN_SCHEMA:
+        fail("trace declares schema %d but this validator only understands "
+             "up to %d — update scripts/render_trace.py" % (schema, KNOWN_SCHEMA))
+    validate(doc["traceEvents"], schema)
     summarize(doc["traceEvents"], quiet)
-    print("render_trace: OK")
+    print("render_trace: OK (schema %d)" % schema)
     return 0
 
 

@@ -8,14 +8,24 @@
 # equally:
 #   * engine sharding — one fig17 grid cell at k=8, UFAB_SHARDS=1 vs =4
 #     (UFAB_JOBS=1 so sweep parallelism cannot mask engine parallelism);
-#   * sweep parallelism — the full k=4 grid, UFAB_JOBS=1 vs all cores.
+#   * sweep parallelism — the full k=4 grid, UFAB_JOBS=1 vs all cores;
+#   * profiler overhead — BM_Fig17Slice with UFAB_PROF=0 vs =1, guarded:
+#     the lane FAILS if enabling the profiler costs more than
+#     UFAB_PROF_GUARD_PCT percent (default 5).
+#
+# The lane also runs the fig17 cell untimed with UFAB_PROF=1 (serial and
+# sharded), checks the profiled stdout is byte-identical to the unprofiled
+# run (the profiler must be passive), and merges the stall_fraction /
+# shard_imbalance numbers from the emitted *.profile.json into
+# BENCH_engine.json via scripts/profile_report.py.
 #
 #   scripts/run_perf.sh            # full lane: microbenches + timed fig17
-#   scripts/run_perf.sh --smoke    # microbenches only, short min-time
+#   scripts/run_perf.sh --smoke    # short: microbenches + k=4 profiled cell
 #
 # Environment:
 #   UFAB_JOBS    worker threads for the sweep-parallel side (default: nproc).
-#   UFAB_SHARDS_AB  shard count for the sharded side (default: 4).
+#   UFAB_SHARDS_AB      shard count for the sharded side (default: 4).
+#   UFAB_PROF_GUARD_PCT max tolerated profiler overhead percent (default: 5).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,16 +38,109 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)" --target micro_datastructures fig17_l
 
 OUT="BENCH_engine.json"
 MICRO_JSON="$(mktemp)"
-trap 'rm -f "${MICRO_JSON}"' EXIT
+GUARD_JSON="$(mktemp)"
+STDOUT_OFF="$(mktemp)"
+STDOUT_ON="$(mktemp)"
+trap 'rm -f "${MICRO_JSON}" "${GUARD_JSON}" "${STDOUT_OFF}" "${STDOUT_ON}"' EXIT
 
 MIN_TIME=0.5
 if [[ "${SMOKE}" == "1" ]]; then MIN_TIME=0.05; fi
 "${BUILD_DIR}/bench/micro_datastructures" \
   --benchmark_min_time="${MIN_TIME}" \
   --benchmark_out="${MICRO_JSON}" --benchmark_out_format=json \
-  --benchmark_filter='BM_(EventQueue|EventQueueBurst|EventQueueFarHorizon|ShardMailbox|EpochBarrier|PacketMake|CoreAgentProbe|Fig17Slice)'
+  --benchmark_filter='BM_(EventQueue|EventQueueBurst|EventQueueFarHorizon|ShardMailbox|EpochBarrier|PacketMake|CoreAgentProbe|Fig17Slice|ProfScope)'
 
-# Wall-clocks one fig17 invocation with the given extra environment.
+# Runs BM_Fig17Slice once under the given UFAB_PROF level and prints its
+# real_time in milliseconds.  The guard always uses a 0.2 s min-time (even in
+# smoke) — at the smoke min-time the iteration count is too small for a
+# stable 5% comparison.
+fig17_slice_ms() {
+  env UFAB_PROF="$1" "${BUILD_DIR}/bench/micro_datastructures" \
+    --benchmark_min_time=0.2 \
+    --benchmark_out="${GUARD_JSON}" --benchmark_out_format=json \
+    --benchmark_filter='BM_Fig17Slice$' >/dev/null
+  python3 -c '
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for b in doc["benchmarks"]:
+    if b["name"] == "BM_Fig17Slice":
+        print("%.4f" % b["real_time"])
+        break
+' "${GUARD_JSON}"
+}
+
+# Profiler overhead guard: interleaved min-of-3 of the end-to-end engine
+# slice, profiler off vs on.  Runs in smoke too — it is the cheapest place
+# to catch an accidentally hot profiling path.
+guard_pct="${UFAB_PROF_GUARD_PCT:-5}"
+off_samples=""
+on_samples=""
+for i in 1 2 3; do
+  echo "[perf] prof guard, round ${i}/3: UFAB_PROF=0 ..." >&2
+  off_samples+="${off_samples:+,}$(fig17_slice_ms 0)"
+  echo "[perf] prof guard, round ${i}/3: UFAB_PROF=1 ..." >&2
+  on_samples+="${on_samples:+,}$(fig17_slice_ms 1)"
+done
+prof_overhead=$(python3 -c '
+import sys
+off = min(float(x) for x in sys.argv[1].split(","))
+on = min(float(x) for x in sys.argv[2].split(","))
+print("%.2f %.4f %.4f" % (100.0 * (on - off) / off if off > 0 else 0.0, off, on))
+' "${off_samples}" "${on_samples}")
+read -r overhead_pct off_ms on_ms <<<"${prof_overhead}"
+echo "[perf] prof guard: BM_Fig17Slice off=${off_ms}ms on=${on_ms}ms overhead=${overhead_pct}% (limit ${guard_pct}%)" >&2
+if python3 -c 'import sys; sys.exit(0 if float(sys.argv[1]) > float(sys.argv[2]) else 1)' \
+    "${overhead_pct}" "${guard_pct}"; then
+  echo "[perf] FAIL: profiler overhead ${overhead_pct}% exceeds ${guard_pct}%" >&2
+  exit 1
+fi
+
+# Profiled fig17 cell runs (untimed): serial and sharded, each into its own
+# artifact dir so the profile files cannot collide.  The serial pair doubles
+# as the passivity check: stdout with UFAB_PROF=1 must be byte-identical to
+# stdout with UFAB_PROF=0.
+jobs="${UFAB_JOBS:-$(nproc)}"
+shards_ab="${UFAB_SHARDS_AB:-4}"
+prof_k=8
+if [[ "${SMOKE}" == "1" ]]; then prof_k=4; fi
+cell=(UFAB_FIG17_K="${prof_k}" UFAB_FIG17_ONLY=uFAB,1,0.5 UFAB_JOBS=1 UFAB_OBS=0)
+rm -rf bench_artifacts/prof-serial bench_artifacts/prof-sharded
+echo "[perf] fig17 cell k=${prof_k}: passivity reference (UFAB_PROF=0, serial) ..." >&2
+env "${cell[@]}" UFAB_SHARDS=1 UFAB_PROF=0 \
+  "${BUILD_DIR}/bench/fig17_large_scale" >"${STDOUT_OFF}"
+echo "[perf] fig17 cell k=${prof_k}: profiled serial (UFAB_PROF=1) ..." >&2
+env "${cell[@]}" UFAB_SHARDS=1 UFAB_PROF=1 UFAB_METRICS_DIR=bench_artifacts/prof-serial \
+  "${BUILD_DIR}/bench/fig17_large_scale" >"${STDOUT_ON}"
+if ! cmp -s "${STDOUT_OFF}" "${STDOUT_ON}"; then
+  echo "[perf] FAIL: profiler is not passive — fig17 stdout differs between UFAB_PROF=0 and =1:" >&2
+  diff "${STDOUT_OFF}" "${STDOUT_ON}" >&2 || true
+  exit 1
+fi
+echo "[perf] passivity OK: profiled stdout byte-identical" >&2
+echo "[perf] fig17 cell k=${prof_k}: profiled sharded (UFAB_PROF=1, UFAB_SHARDS=${shards_ab}) ..." >&2
+env "${cell[@]}" UFAB_SHARDS="${shards_ab}" UFAB_PROF=1 UFAB_METRICS_DIR=bench_artifacts/prof-sharded \
+  "${BUILD_DIR}/bench/fig17_large_scale" >/dev/null
+
+profile_of() {
+  local files=("$1"/*.profile.json)
+  if [[ ! -e "${files[0]}" ]]; then
+    echo "[perf] FAIL: no profile.json written under $1" >&2
+    exit 1
+  fi
+  scripts/profile_report.py --json "${files[0]}"
+}
+serial_profile="$(profile_of bench_artifacts/prof-serial)"
+sharded_profile="$(profile_of bench_artifacts/prof-sharded)"
+echo "[perf] stall/imbalance report:" >&2
+scripts/profile_report.py bench_artifacts/prof-serial/*.profile.json \
+  bench_artifacts/prof-sharded/*.profile.json >&2
+
+# Timed A/B wall-clocks (full lane only; always unprofiled).
+serial_samples=""
+sharded_samples=""
+jobs1_samples=""
+jobsN_samples=""
 wall() {
   local t0 t1
   t0=$(date +%s.%N)
@@ -45,21 +148,14 @@ wall() {
   t1=$(date +%s.%N)
   awk -v a="$t0" -v b="$t1" 'BEGIN{printf "%.2f", b-a}'
 }
-
-jobs="${UFAB_JOBS:-$(nproc)}"
-shards_ab="${UFAB_SHARDS_AB:-4}"
-serial_samples=""
-sharded_samples=""
-jobs1_samples=""
-jobsN_samples=""
 if [[ "${SMOKE}" == "0" ]]; then
   # Engine sharding A/B: one k=8 grid cell, serial engine vs sharded engine.
-  cell=(UFAB_FIG17_K=8 UFAB_FIG17_ONLY=uFAB,1,0.5 UFAB_JOBS=1 UFAB_OBS=0)
+  abcell=(UFAB_FIG17_K=8 UFAB_FIG17_ONLY=uFAB,1,0.5 UFAB_JOBS=1 UFAB_OBS=0)
   for i in 1 2 3; do
     echo "[perf] fig17 cell, round ${i}/3: UFAB_SHARDS=1 ..." >&2
-    serial_samples+="${serial_samples:+,}$(wall "${cell[@]}" UFAB_SHARDS=1)"
+    serial_samples+="${serial_samples:+,}$(wall "${abcell[@]}" UFAB_SHARDS=1)"
     echo "[perf] fig17 cell, round ${i}/3: UFAB_SHARDS=${shards_ab} ..." >&2
-    sharded_samples+="${sharded_samples:+,}$(wall "${cell[@]}" UFAB_SHARDS="${shards_ab}")"
+    sharded_samples+="${sharded_samples:+,}$(wall "${abcell[@]}" UFAB_SHARDS="${shards_ab}")"
   done
   # Sweep parallelism A/B: the full k=4 grid, 1 worker vs all cores.
   for i in 1 2 3; do
@@ -71,11 +167,15 @@ if [[ "${SMOKE}" == "0" ]]; then
 fi
 
 python3 - "$MICRO_JSON" "$OUT" "$serial_samples" "$sharded_samples" \
-  "$jobs1_samples" "$jobsN_samples" "$jobs" "$shards_ab" <<'PY'
+  "$jobs1_samples" "$jobsN_samples" "$jobs" "$shards_ab" \
+  "$serial_profile" "$sharded_profile" "$overhead_pct" "$off_ms" "$on_ms" \
+  "$guard_pct" "$prof_k" <<'PY'
 import json, os, platform, sys
 
 (micro_path, out_path, serial_s, sharded_s,
- jobs1_s, jobsN_s, jobs, shards_ab) = sys.argv[1:9]
+ jobs1_s, jobsN_s, jobs, shards_ab,
+ serial_profile, sharded_profile, overhead_pct, off_ms, on_ms,
+ guard_pct, prof_k) = sys.argv[1:16]
 with open(micro_path) as f:
     micro = json.load(f)
 
@@ -104,22 +204,36 @@ def ab(a_csv, b_csv):
 
 sharding = ab(serial_s, sharded_s)
 sharding.update({"a": "UFAB_SHARDS=1", "b": f"UFAB_SHARDS={shards_ab}",
-                 "workload": "fig17 k=8 cell uFAB,1,0.5 (UFAB_JOBS=1)"})
+                 "workload": "fig17 k=8 cell uFAB,1,0.5 (UFAB_JOBS=1)",
+                 "a_profile": json.loads(serial_profile),
+                 "b_profile": json.loads(sharded_profile)})
 sweep = ab(jobs1_s, jobsN_s)
 sweep.update({"a": "UFAB_JOBS=1", "b": f"UFAB_JOBS={jobs}",
               "workload": "fig17 k=4 full grid"})
 
 doc = {
-    "schema": "ufab-bench-engine-v2",
+    "schema": "ufab-bench-engine-v3",
     "notes": "interleaved min-of-3 wall clocks (A B A B A B); speedups are "
              "min(A)/min(B).  On single-CPU hosts the sharded and sweep "
              "sides cannot beat serial — the lane still records the samples "
-             "so the equivalence claim is auditable everywhere.",
+             "so the equivalence claim is auditable everywhere.  a_profile/"
+             "b_profile are stall/imbalance numbers from an untimed "
+             f"UFAB_PROF=1 run of the k={prof_k} cell (see "
+             "scripts/profile_report.py); prof_overhead is the guarded "
+             "BM_Fig17Slice cost of enabling the profiler.",
     "host": {
         "machine": platform.machine(),
         "cpus_online": os.cpu_count(),
     },
     "micro": entries,
+    "prof_overhead": {
+        "workload": "BM_Fig17Slice, UFAB_PROF=0 vs 1, interleaved min-of-3",
+        "off_ms": float(off_ms),
+        "on_ms": float(on_ms),
+        "overhead_pct": float(overhead_pct),
+        "guard_pct": float(guard_pct),
+        "passivity": "stdout byte-identical",
+    },
     "fig17_sharding_ab": sharding,
     "fig17_sweep_ab": sweep,
 }

@@ -45,7 +45,7 @@ class UniqueFunction {
             typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, UniqueFunction>>>
   UniqueFunction(F&& fn) {  // NOLINT(google-explicit-constructor): mirrors std::function
     using D = std::decay_t<F>;
-    call_ = [](void* obj) { (*static_cast<D*>(obj))(); };
+    call_ = &invoke_impl<D>;
     if constexpr (fits_inline<D>()) {
       ::new (static_cast<void*>(payload_.bytes)) D(std::forward<F>(fn));
       inline_ = true;
@@ -94,8 +94,23 @@ class UniqueFunction {
            std::is_nothrow_move_constructible_v<F>;
   }
 
+  /// True when this callable wraps exactly a `D` (after decay).  Dispatch
+  /// goes through one `invoke_impl` instantiation per capture type, so the
+  /// check is a function-pointer compare — the engine profiler uses it to
+  /// classify events (packet delivery vs generic closure) without adding a
+  /// tag byte to every event.
+  template <typename D>
+  [[nodiscard]] bool invokes() const {
+    return call_ == &invoke_impl<std::decay_t<D>>;
+  }
+
  private:
   using Call = void (*)(void*);
+
+  template <typename D>
+  static void invoke_impl(void* obj) {
+    (*static_cast<D*>(obj))();
+  }
   using Destroy = void (*)(void*) noexcept;
   using Relocate = void (*)(void* src, void* dst) noexcept;
 

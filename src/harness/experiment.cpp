@@ -43,6 +43,14 @@ Experiment::Experiment(Scheme scheme, const TopoFn& topo_fn, topo::FabricOptions
     }
     fab_->configure_sharding(std::max(1, std::atoi(v)), exec);
   }
+  // UFAB_PROF attaches the engine self-profiling plane (level 1 = loop
+  // attribution, 2 = + per-call scopes).  Passive: the schedule and every
+  // simulation result are unchanged (tests/obs/profiler_test.cpp).
+  if (const int prof_level = obs::Profiler::env_level(); prof_level > 0) {
+    obs::ProfOptions popts;
+    popts.level = prof_level;
+    fab_->sim().enable_profiling(popts);
+  }
   install_scheme(*fab_, scheme, scheme_opts_);
   fab_->install_pair_metering(1_ms);
   fab_->install_tenant_metering(1_ms);
@@ -158,7 +166,9 @@ std::string slug(const std::string& s) {
 
 void write_bench_artifacts(Fabric& fab, const std::string& bench, const std::string& variant) {
   obs::Obs* obs = fab.observability();
-  if (obs == nullptr || !obs->enabled()) return;
+  const bool obs_on = obs != nullptr && obs->enabled();
+  const bool prof_on = fab.sim().profiler() != nullptr;
+  if (!obs_on && !prof_on) return;
 
   // Artifacts default to bench_artifacts/ (gitignored) instead of littering
   // the working directory; UFAB_METRICS_DIR overrides.
@@ -175,6 +185,19 @@ void write_bench_artifacts(Fabric& fab, const std::string& bench, const std::str
   std::string base = dir + "/" + slug(bench);
   if (!variant.empty()) base += "." + slug(variant);
 
+  // The profile artifact is independent of the obs plane: a UFAB_PROF=1
+  // UFAB_OBS=0 run (the perf lane's shape, where obs event recording would
+  // distort the numbers) still gets its shard x scope matrix.
+  if (prof_on) {
+    const std::string profile_path = base + ".profile.json";
+    if (!write_text_file(profile_path, fab.sim().profile_json())) {
+      std::fprintf(stderr, "[prof] failed to write %s\n", profile_path.c_str());
+    } else {
+      std::fprintf(stderr, "[prof] profile: %s\n", profile_path.c_str());
+    }
+  }
+  if (!obs_on) return;
+
   const obs::MetricsSnapshot snap = fab.metrics_snapshot();
   const std::string json_path = base + ".metrics.json";
   const std::string csv_path = base + ".metrics.csv";
@@ -189,6 +212,7 @@ void write_bench_artifacts(Fabric& fab, const std::string& bench, const std::str
 
   if (obs->recorder().size() > 0) {
     const std::string trace_path = base + ".trace.json";
+    obs->set_profiler(fab.sim().profiler(), fab.sim().shard_count());
     obs->write_chrome_trace_file(trace_path);
     std::fprintf(stderr, "[obs] trace: %s (%zu events, %llu recorded)\n", trace_path.c_str(),
                  obs->recorder().size(),

@@ -125,6 +125,44 @@ obs::Obs& Fabric::enable_observability(obs::ObsOptions opts) {
           ->set(static_cast<double>(sim_.shard_barrier_wait_ns(s)));
       reg.gauge("sim.shard.pool_in_use_hwm", labels)
           ->set(static_cast<double>(sim_.shard_pool(s).in_use_high_water()));
+      reg.gauge("sim.shard.mailbox_drains", labels)
+          ->set(static_cast<double>(sim_.shard_outbox_drains(s)));
+      reg.gauge("sim.shard.mailbox_max_batch", labels)
+          ->set(static_cast<double>(sim_.shard_outbox_max_batch(s)));
+    }
+  });
+
+  // Engine self-profiling gauges (prof.*), materialized only when the
+  // profiling plane is attached (UFAB_PROF >= 1).  Pull-only, like every
+  // other gauge here: nothing is recorded between snapshots.
+  m.add_collector([this](obs::MetricRegistry& reg) {
+    const obs::Profiler* p = sim_.profiler();
+    if (p == nullptr) return;
+    const obs::ProfDerived d = p->derived(sim_.shard_count());
+    reg.gauge("prof.level", {})->set(static_cast<double>(p->level()));
+    reg.gauge("prof.stall_fraction", {})->set(d.stall_fraction);
+    reg.gauge("prof.shard_imbalance", {})->set(d.shard_imbalance);
+    reg.gauge("prof.busy_us_total", {})->set(d.busy_ns_total / 1e3);
+    reg.gauge("prof.stall_us_total", {})->set(d.stall_ns_total / 1e3);
+    reg.gauge("prof.epochs", {})->set(static_cast<double>(p->epochs()));
+    reg.gauge("prof.crossings_injected", {})
+        ->set(static_cast<double>(p->crossings_injected()));
+    for (int s = 0; s < sim_.shard_count(); ++s) {
+      const std::string shard_label = std::to_string(s);
+      reg.gauge("prof.busy_us", {{"shard", shard_label}})
+          ->set(d.busy_ns_per_shard[static_cast<std::size_t>(s)] / 1e3);
+      reg.gauge("prof.queue_samples", {{"shard", shard_label}})
+          ->set(static_cast<double>(p->samples_taken(s)));
+      const obs::ProfSlice& sl = p->slice(s);
+      for (int c = 0; c < obs::kProfCatCount; ++c) {
+        if (sl.count[static_cast<std::size_t>(c)] == 0) continue;
+        const obs::Labels labels{{"shard", shard_label},
+                                 {"scope", obs::to_string(static_cast<obs::ProfCat>(c))}};
+        reg.gauge("prof.scope_us", labels)
+            ->set(p->scope_ns(s, static_cast<obs::ProfCat>(c)) / 1e3);
+        reg.gauge("prof.scope_count", labels)
+            ->set(static_cast<double>(sl.count[static_cast<std::size_t>(c)]));
+      }
     }
   });
   return *obs_;
@@ -165,6 +203,7 @@ obs::MetricsSnapshot Fabric::metrics_snapshot() {
 
 void Fabric::write_trace_json(const std::string& path) {
   UFAB_CHECK_MSG(obs_ != nullptr, "write_trace_json requires enable_observability");
+  obs_->set_profiler(sim_.profiler(), sim_.shard_count());
   obs_->write_chrome_trace_file(path);
 }
 

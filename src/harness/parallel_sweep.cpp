@@ -1,12 +1,23 @@
 #include "src/harness/parallel_sweep.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <thread>
 
 #include "src/core/assert.hpp"
+#include "src/obs/profiler.hpp"
 
 namespace ufab::harness {
+
+namespace {
+[[nodiscard]] std::int64_t wall_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
 
 int ParallelSweep::jobs_from_env() {
   if (const char* env = std::getenv("UFAB_JOBS"); env != nullptr && env[0] != '\0') {
@@ -19,33 +30,68 @@ int ParallelSweep::jobs_from_env() {
 
 void ParallelSweep::run_indexed(int n, const std::function<void(int)>& fn) {
   UFAB_CHECK(n >= 0);
+  worker_stats_.clear();
   if (n == 0) return;
+  const bool report = obs::Profiler::env_level() >= 1;
   const int workers = jobs_ < n ? jobs_ : n;
   if (workers <= 1) {
     // Inline serial path: same thread, same order, no thread machinery —
     // UFAB_JOBS=1 behaves exactly like the pre-sweep benches.
-    for (int i = 0; i < n; ++i) fn(i);
+    SweepWorkerStat stat;
+    const std::int64_t start = wall_ns();
+    for (int i = 0; i < n; ++i) {
+      const std::int64_t t0 = wall_ns();
+      fn(i);
+      stat.busy_ns += wall_ns() - t0;
+      ++stat.variants;
+    }
+    stat.wall_ns = wall_ns() - start;
+    worker_stats_.push_back(stat);
+    if (report) {
+      std::fprintf(stderr, "[prof] sweep: serial, %d variants in %.2fs\n", n,
+                   static_cast<double>(stat.wall_ns) / 1e9);
+    }
     return;
   }
 
   std::atomic<int> next{0};
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
-  auto worker = [&] {
+  worker_stats_.resize(static_cast<std::size_t>(workers));
+  auto worker = [&](int w) {
+    SweepWorkerStat& stat = worker_stats_[static_cast<std::size_t>(w)];
+    const std::int64_t start = wall_ns();
     while (true) {
       const int i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
+      if (i >= n) break;
+      const std::int64_t t0 = wall_ns();
       try {
         fn(i);
       } catch (...) {
         errors[static_cast<std::size_t>(i)] = std::current_exception();
       }
+      stat.busy_ns += wall_ns() - t0;
+      ++stat.variants;
     }
+    stat.wall_ns = wall_ns() - start;
   };
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(workers));
-  for (int w = 0; w < workers; ++w) threads.emplace_back(worker);
+  for (int w = 0; w < workers; ++w) threads.emplace_back(worker, w);
   for (std::thread& t : threads) t.join();
+
+  if (report) {
+    for (int w = 0; w < workers; ++w) {
+      const SweepWorkerStat& stat = worker_stats_[static_cast<std::size_t>(w)];
+      const double util = stat.wall_ns > 0
+                              ? 100.0 * static_cast<double>(stat.busy_ns) /
+                                    static_cast<double>(stat.wall_ns)
+                              : 0.0;
+      std::fprintf(stderr, "[prof] sweep: worker %d ran %d variants, busy %.2fs/%.2fs (%.1f%%)\n",
+                   w, stat.variants, static_cast<double>(stat.busy_ns) / 1e9,
+                   static_cast<double>(stat.wall_ns) / 1e9, util);
+    }
+  }
 
   // Deterministic error propagation: the lowest-index failure wins.
   for (const std::exception_ptr& e : errors) {

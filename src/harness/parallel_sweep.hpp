@@ -17,11 +17,22 @@
 // per-variant artifact files (distinct names) and stderr notices is fine.
 #pragma once
 
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <vector>
 
 namespace ufab::harness {
+
+/// Per-worker utilization accounting for one run_indexed call: how much of
+/// the worker's wall time went to variant functions vs idling on the work
+/// queue.  Feeds the profiling plane (DESIGN.md §11) — a sweep whose workers
+/// sit at 60% busy is starved for variants, not CPU.
+struct SweepWorkerStat {
+  int variants = 0;          ///< Variants this worker executed.
+  std::int64_t busy_ns = 0;  ///< Wall time inside variant functions.
+  std::int64_t wall_ns = 0;  ///< Worker lifetime for the sweep.
+};
 
 class ParallelSweep {
  public:
@@ -48,10 +59,18 @@ class ParallelSweep {
   /// As map(), for variant functions with side effects only.
   void for_each(int n, const std::function<void(int)>& fn) { run_indexed(n, fn); }
 
+  /// Utilization of each worker in the most recent map()/for_each() call
+  /// (one entry for the inline serial path).  When UFAB_PROF >= 1 a summary
+  /// is also printed to stderr at the end of the sweep.
+  [[nodiscard]] const std::vector<SweepWorkerStat>& worker_stats() const {
+    return worker_stats_;
+  }
+
  private:
   void run_indexed(int n, const std::function<void(int)>& fn);
 
   int jobs_;
+  std::vector<SweepWorkerStat> worker_stats_;
 };
 
 /// One-shot helper: `parallel_sweep<R>(n, fn)` with env-derived job count.

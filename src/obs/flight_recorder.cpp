@@ -8,6 +8,7 @@
 #include "src/core/assert.hpp"
 #include "src/core/shard_context.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/profiler.hpp"
 
 namespace ufab::obs {
 
@@ -293,9 +294,13 @@ void FlightRecorder::write_json(std::ostream& os) const {
   os << "  ]\n}\n";
 }
 
-void FlightRecorder::write_chrome_trace(std::ostream& os, const TrackNamer& namer) const {
+void FlightRecorder::write_chrome_trace(std::ostream& os, const TrackNamer& namer,
+                                        const Profiler* profiler, int shard_count) const {
   const std::vector<TraceEvent> evs = events();
-  os << "{\"traceEvents\": [\n";
+  // Schema 2 = schema 1 plus profiler counter tracks (pid 6) and this
+  // explicit version key; render_trace.py uses it to catch version-mixed
+  // traces (e.g. prof.* counters spliced into an old schema-1 export).
+  os << "{\"ufab_schema\": 2, \"traceEvents\": [\n";
 
   // Metadata: name every process group and every track that appears,
   // including the per-tenant counter tracks fed by window updates (below).
@@ -375,6 +380,7 @@ void FlightRecorder::write_chrome_trace(std::ostream& os, const TrackNamer& name
       emit(head);
     }
   }
+  if (profiler != nullptr) profiler->write_chrome_counter_events(os, first, shard_count);
   os << "\n]}\n";
 }
 

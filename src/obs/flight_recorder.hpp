@@ -138,7 +138,12 @@ class FlightRecorder {
   void clear();
 
   void write_json(std::ostream& os) const;
-  void write_chrome_trace(std::ostream& os, const TrackNamer& namer = {}) const;
+  /// Chrome trace-event JSON (schema 2: top-level "ufab_schema" key).  When
+  /// `profiler` is non-null its queue-occupancy counter tracks (pid 6) are
+  /// appended after the fabric events — scripts/render_trace.py validates
+  /// them and rejects profiler counters in a schema-1 trace.
+  void write_chrome_trace(std::ostream& os, const TrackNamer& namer = {},
+                          const class Profiler* profiler = nullptr, int shard_count = 0) const;
 
  private:
   /// Mirrors the engine's shard cap; each slot is written by one shard only.

@@ -61,7 +61,7 @@ void Obs::write_chrome_trace_file(const std::string& path) const {
     UFAB_LOG_WARN("cannot open %s for trace export", path.c_str());
     return;
   }
-  recorder_.write_chrome_trace(out, namer_);
+  recorder_.write_chrome_trace(out, namer_, profiler_, profiler_shards_);
 }
 
 void Obs::write_events_json_file(const std::string& path) const {

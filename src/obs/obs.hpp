@@ -57,6 +57,14 @@ class Obs {
   void set_track_namer(TrackNamer namer) { namer_ = std::move(namer); }
   [[nodiscard]] const TrackNamer& track_namer() const { return namer_; }
 
+  /// Attaches the engine profiler so trace exports append its counter tracks
+  /// (queue occupancy per shard, pid 6).  Null detaches; the harness keeps
+  /// this in sync with Simulator::profiler() before each export.
+  void set_profiler(const class Profiler* profiler, int shard_count) {
+    profiler_ = profiler;
+    profiler_shards_ = shard_count;
+  }
+
   /// Writes the Chrome trace / raw event JSON to `path` (truncating).
   void write_chrome_trace_file(const std::string& path) const;
   void write_events_json_file(const std::string& path) const;
@@ -66,6 +74,8 @@ class Obs {
   MetricRegistry metrics_;
   FlightRecorder recorder_;
   TrackNamer namer_;
+  const class Profiler* profiler_ = nullptr;  ///< Counter-track source, optional.
+  int profiler_shards_ = 0;
 };
 
 }  // namespace ufab::obs

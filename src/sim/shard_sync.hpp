@@ -34,6 +34,8 @@ class ShardMailbox {
   /// mailbox empty.  Swapping keeps both vectors' capacity, so steady-state
   /// epochs allocate nothing.
   void drain_into(std::vector<T>& out) {
+    if (box_.size() > max_batch_) max_batch_ = box_.size();
+    ++drains_;
     out.clear();
     std::swap(out, box_);
   }
@@ -42,10 +44,17 @@ class ShardMailbox {
   [[nodiscard]] std::size_t size() const { return box_.size(); }
   /// Entries ever posted (the mailbox-crossings counter for obs).
   [[nodiscard]] std::uint64_t posted_total() const { return posted_; }
+  /// Times the coordinator drained this mailbox (== non-skipped epochs).
+  [[nodiscard]] std::uint64_t drains() const { return drains_; }
+  /// High-water mark of entries handed over in one drain — the per-epoch
+  /// cross-shard traffic gauge the profiler exports.
+  [[nodiscard]] std::size_t max_drain_batch() const { return max_batch_; }
 
  private:
   std::vector<T> box_;
   std::uint64_t posted_ = 0;
+  std::uint64_t drains_ = 0;
+  std::size_t max_batch_ = 0;
 };
 
 /// Two-phase barrier between the coordinator and the shard workers.

@@ -105,11 +105,16 @@ void Simulator::worker_main(int shard_index) {
   while (true) {
     shard_pass(s, pass_boundary_, pass_inclusive_);
     const std::int64_t parked_at = steady_ns();
+    const std::int64_t parked_ticks = prof_ != nullptr ? obs::ProfClock::now() : 0;
     barrier_->arrive_done();
     if (!barrier_->wait_for_pass(gen)) return;
     // Written between passes is safe: the coordinator only reads this while
     // workers are parked, ordered through the barrier's mutex.
     s.barrier_wait_ns += steady_ns() - parked_at;
+    if (prof_ != nullptr) {
+      prof_->slice(shard_index)
+          .add(obs::ProfCat::kBarrierWait, obs::ProfClock::now() - parked_ticks);
+    }
   }
 }
 
@@ -123,7 +128,15 @@ void Simulator::run_pass(TimeNs boundary, bool inclusive) {
     pass_inclusive_ = inclusive;
     barrier_->release(++pass_gen_);
     shard_pass(*shards_.front(), boundary, inclusive);
-    barrier_->wait_all_done();
+    if (prof_ != nullptr) {
+      // The coordinator's stall is the tail it spends waiting for the
+      // slowest worker — the direct read on "does sharding pay".
+      const std::int64_t t0 = obs::ProfClock::now();
+      barrier_->wait_all_done();
+      prof_->slice(0).add(obs::ProfCat::kBarrierWait, obs::ProfClock::now() - t0);
+    } else {
+      barrier_->wait_all_done();
+    }
   } else {
     for (auto& s : shards_) {
       const ShardScope scope = scoped(s->index);
@@ -133,12 +146,92 @@ void Simulator::run_pass(TimeNs boundary, bool inclusive) {
 }
 
 void Simulator::shard_pass(Shard& s, TimeNs boundary, bool inclusive) {
+  if (prof_ != nullptr) {
+    shard_pass_profiled(s, boundary, inclusive);
+    return;
+  }
   while (true) {
     const Event* ev = peek(s);
     if (ev == nullptr) break;
     if (inclusive ? ev->at > boundary : ev->at >= boundary) break;
     pop_and_run(s);
   }
+}
+
+/// The profiled dispatch step.  Every event bumps its exact category counts
+/// (two plain increments); only every timing_stride-th event pays clock
+/// reads — t0 -> peek/migrate/pop -> t1 -> closure -> t2, attributing
+/// [t0,t1) to queue_pop and [t1,t2) to the dispatch category — and the
+/// export scales sampled ticks back up by count/sampled.  A clock-read pair
+/// can cost tens of ns on VMs with slow TSC reads, comparable to the mean
+/// event itself, so per-event timing would blow the <= 5% overhead guard.
+/// The event sequence is identical to pop_and_run after a successful peek.
+void Simulator::pop_and_run_profiled(Shard& s, obs::ProfSlice& sl) {
+  obs::Profiler& p = *prof_;
+  const bool timed = (sl.strided++ & p.timing_mask()) == 0;
+  const std::int64_t t0 = timed ? obs::ProfClock::now() : 0;
+  Event ev = s.peeked_overflow ? bucket_pop<true>(s.overflow)
+                               : bucket_pop<false>(s.ring[s.cursor & (kNumBuckets - 1)]);
+  if (!s.peeked_overflow) --s.ring_size;
+  s.now = ev.at;
+  ++s.processed;
+  const obs::ProfCat dispatch_cat = ev.fn.invokes<DeliverEvent>()
+                                        ? obs::ProfCat::kDispatchDeliver
+                                        : obs::ProfCat::kDispatchClosure;
+  sl.bump(obs::ProfCat::kQueuePop);
+  sl.bump(dispatch_cat);
+  const std::int64_t t1 = timed ? obs::ProfClock::now() : 0;
+  if (canonical_) {
+    s.cur_id = event_identity(ev.h, ev.k);
+    s.cur_k = 0;
+    s.in_event = true;
+    ev.fn();
+    s.in_event = false;
+  } else {
+    ev.fn();
+  }
+  if (timed) {
+    const std::int64_t t2 = obs::ProfClock::now();
+    sl.add_sampled(obs::ProfCat::kQueuePop, t1 - t0);
+    sl.add_sampled(dispatch_cat, t2 - t1);
+  }
+  // Calendar introspection on a sim-time cadence: pure simulation state, so
+  // the sample series is deterministic for a fixed seed and shard count.
+  if (s.now.ns() >= p.next_sample_ns(s.index)) {
+    p.add_sample(s.index,
+                 obs::ProfSample{s.now.ns(), static_cast<std::uint64_t>(s.ring_size),
+                                 static_cast<std::uint64_t>(s.overflow.heap.size()),
+                                 s.processed, s.outbox.posted_total()});
+  }
+}
+
+void Simulator::shard_pass_profiled(Shard& s, TimeNs boundary, bool inclusive) {
+  obs::Profiler& p = *prof_;
+  obs::ProfSlice& sl = p.slice(s.index);
+  obs::ProfSlice* const prev_tls = obs::tls_prof_slice;
+  if (p.detailed()) obs::tls_prof_slice = &sl;
+  while (true) {
+    const Event* ev = peek(s);
+    if (ev == nullptr) break;
+    if (inclusive ? ev->at > boundary : ev->at >= boundary) break;
+    pop_and_run_profiled(s, sl);
+  }
+  obs::tls_prof_slice = prev_tls;
+}
+
+void Simulator::run_serial_profiled(Shard& s, TimeNs bound) {
+  obs::Profiler& p = *prof_;
+  obs::ProfSlice& sl = p.slice(s.index);
+  obs::ProfSlice* const prev_tls = obs::tls_prof_slice;
+  if (p.detailed()) obs::tls_prof_slice = &sl;
+  const std::int64_t loop_start = obs::ProfClock::now();
+  while (true) {
+    const Event* ev = peek(s);
+    if (ev == nullptr || ev->at > bound) break;
+    pop_and_run_profiled(s, sl);
+  }
+  p.add_run_wall(obs::ProfClock::now() - loop_start);
+  obs::tls_prof_slice = prev_tls;
 }
 
 TimeNs Simulator::earliest_pending() {
@@ -172,10 +265,13 @@ bool Simulator::outboxes_empty() const {
 /// run_until final-epoch loop uses this to know it must run another
 /// inclusive pass.
 bool Simulator::inject_crossings(TimeNs le_mark) {
+  const std::int64_t inject_t0 = prof_ != nullptr ? obs::ProfClock::now() : 0;
+  std::uint64_t injected = 0;
   bool any_le = false;
   for (auto& src : shards_) {
     if (src->outbox.empty()) continue;
     src->outbox.drain_into(inject_scratch_);
+    injected += inject_scratch_.size();
     for (Crossing& c : inject_scratch_) {
       Shard& dst = *shards_[static_cast<std::size_t>(c.dst_shard)];
       UFAB_CHECK_MSG(c.at >= dst.now, "cross-shard crossing violates the lookahead bound");
@@ -189,12 +285,17 @@ bool Simulator::inject_crossings(TimeNs le_mark) {
     }
     inject_scratch_.clear();
   }
+  if (prof_ != nullptr) {
+    prof_->slice(0).add(obs::ProfCat::kMailboxInject, obs::ProfClock::now() - inject_t0);
+    prof_->note_injected(injected);
+  }
   return any_le;
 }
 
 void Simulator::run_until_sharded(TimeNs t) {
   ensure_exec_started();
   const ShardScope scope = scoped(0);
+  const std::int64_t wall_t0 = prof_ != nullptr ? obs::ProfClock::now() : 0;
   while (true) {
     // Between epochs every clock is equal and every outbox is empty.
     const TimeNs clock = shards_.front()->now;
@@ -213,21 +314,25 @@ void Simulator::run_until_sharded(TimeNs t) {
       // the serial engine would fire it, so keep passing until no injected
       // crossing lands at or before t.  Terminates: second-round events all
       // run at exactly t, and their crossings land strictly after t.
+      if (prof_ != nullptr) prof_->note_epoch((t - base).ns());
       run_pass(t, true);
       set_clocks(t);
       while (inject_crossings(t)) run_pass(t, true);
       break;
     }
     const TimeNs boundary = base + lookahead_;
+    if (prof_ != nullptr) prof_->note_epoch(lookahead_.ns());
     run_pass(boundary, false);
     set_clocks(boundary);
     (void)inject_crossings(TimeNs{-1});
   }
+  if (prof_ != nullptr) prof_->add_run_wall(obs::ProfClock::now() - wall_t0);
 }
 
 void Simulator::run_sharded_drain() {
   ensure_exec_started();
   const ShardScope scope = scoped(0);
+  const std::int64_t wall_t0 = prof_ != nullptr ? obs::ProfClock::now() : 0;
   while (true) {
     const TimeNs earliest = earliest_pending();
     if (earliest == TimeNs::max()) break;  // outboxes are empty between epochs
@@ -238,10 +343,35 @@ void Simulator::run_sharded_drain() {
       continue;
     }
     const TimeNs boundary = earliest + lookahead_;
+    if (prof_ != nullptr) prof_->note_epoch(lookahead_.ns());
     run_pass(boundary, false);
     set_clocks(boundary);
     (void)inject_crossings(TimeNs{-1});
   }
+  if (prof_ != nullptr) prof_->add_run_wall(obs::ProfClock::now() - wall_t0);
+}
+
+void Simulator::enable_profiling(obs::ProfOptions opts) {
+  UFAB_CHECK_MSG(!exec_started_, "enable_profiling after a sharded run started");
+  UFAB_CHECK_MSG(prof_ == nullptr, "enable_profiling called twice");
+  UFAB_CHECK_MSG(static_cast<int>(shards_.size()) <= obs::Profiler::kMaxShards,
+                 "profiler shard capacity out of sync with the engine");
+  prof_ = std::make_unique<obs::Profiler>(opts);
+}
+
+std::string Simulator::profile_json() const {
+  if (prof_ == nullptr) return {};
+  obs::ProfContext ctx;
+  ctx.shard_count = shard_count();
+  ctx.threaded = threaded();
+  ctx.lookahead_ns = lookahead_ == TimeNs::max() ? -1 : lookahead_.ns();
+  ctx.events_per_shard.reserve(shards_.size());
+  ctx.crossings_per_shard.reserve(shards_.size());
+  for (const auto& s : shards_) {
+    ctx.events_per_shard.push_back(s->processed);
+    ctx.crossings_per_shard.push_back(s->outbox.posted_total());
+  }
+  return prof_->to_json(ctx);
 }
 
 }  // namespace ufab::sim

@@ -62,6 +62,7 @@
 #include "src/core/shard_context.hpp"
 #include "src/core/time.hpp"
 #include "src/core/unique_function.hpp"
+#include "src/obs/profiler.hpp"
 #include "src/sim/packet.hpp"
 #include "src/sim/packet_pool.hpp"
 #include "src/sim/shard_sync.hpp"
@@ -116,6 +117,10 @@ class Simulator {
   void run() {
     if (shards_.size() == 1) {
       Shard& s = *shards_.front();
+      if (prof_ != nullptr) {
+        run_serial_profiled(s, TimeNs::max());
+        return;
+      }
       while (peek(s) != nullptr) pop_and_run(s);
     } else {
       run_sharded_drain();
@@ -126,10 +131,14 @@ class Simulator {
   void run_until(TimeNs t) {
     if (shards_.size() == 1) {
       Shard& s = *shards_.front();
-      while (true) {
-        const Event* ev = peek(s);
-        if (ev == nullptr || ev->at > t) break;
-        pop_and_run(s);
+      if (prof_ != nullptr) {
+        run_serial_profiled(s, t);
+      } else {
+        while (true) {
+          const Event* ev = peek(s);
+          if (ev == nullptr || ev->at > t) break;
+          pop_and_run(s);
+        }
       }
       if (t > s.now) s.now = t;
     } else {
@@ -224,6 +233,7 @@ class Simulator {
   /// independent of the partition.  Only valid in canonical mode from inside
   /// a running event.
   void post_cross(int dst_shard, TimeNs at, Node* dst, PacketPtr pkt) {
+    UFAB_PROF_SCOPE(obs::ProfCat::kMailboxPost);
     Shard& s = active();
     UFAB_CHECK(canonical_ && s.in_event);
     UFAB_CHECK(dst_shard >= 0 && dst_shard < shard_count());
@@ -240,7 +250,30 @@ class Simulator {
   [[nodiscard]] std::int64_t shard_barrier_wait_ns(int shard) const {
     return shard_at(shard).barrier_wait_ns;
   }
+  [[nodiscard]] std::uint64_t shard_outbox_drains(int shard) const {
+    return shard_at(shard).outbox.drains();
+  }
+  [[nodiscard]] std::size_t shard_outbox_max_batch(int shard) const {
+    return shard_at(shard).outbox.max_drain_batch();
+  }
   [[nodiscard]] const PacketPool& shard_pool(int shard) const { return shard_at(shard).pool; }
+
+  // --- engine self-profiling (see src/obs/profiler.hpp) ---
+
+  /// Attaches the profiling plane.  Must happen before the first run; from
+  /// then on the run loops take their profiled variants (identical schedule,
+  /// plus wall-clock attribution).  Passive by construction: profiling never
+  /// schedules events or consumes randomness, so results are byte-identical
+  /// to an unprofiled run (tests/obs/profiler_test.cpp).
+  void enable_profiling(obs::ProfOptions opts = {});
+
+  /// The attached profiler, or nullptr when profiling is disabled.
+  [[nodiscard]] obs::Profiler* profiler() { return prof_.get(); }
+  [[nodiscard]] const obs::Profiler* profiler() const { return prof_.get(); }
+
+  /// The per-run profile artifact (ufab-profile-v1 JSON): run context plus
+  /// the shard x scope time matrix.  Empty string when profiling is off.
+  [[nodiscard]] std::string profile_json() const;
 
   /// The canonical identity an event gets from parent identity `h` and child
   /// index `k` (splitmix64-style finalizer).  Exposed so tests can mirror
@@ -484,6 +517,11 @@ class Simulator {
   [[nodiscard]] bool outboxes_empty() const;
   void worker_main(int shard_index);
 
+  // --- profiled run loops (simulator.cpp; same schedule, plus attribution) ---
+  void run_serial_profiled(Shard& s, TimeNs bound);
+  void shard_pass_profiled(Shard& s, TimeNs boundary, bool inclusive);
+  void pop_and_run_profiled(Shard& s, obs::ProfSlice& sl);
+
   inline static thread_local ShardScope::Active tls_{nullptr, nullptr};
 
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -502,6 +540,7 @@ class Simulator {
   bool pass_inclusive_ = false;
   std::uint64_t pass_gen_ = 0;
   std::vector<Crossing> inject_scratch_;
+  std::unique_ptr<obs::Profiler> prof_;  ///< Null = profiling disabled.
 };
 
 }  // namespace ufab::sim

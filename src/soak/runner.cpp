@@ -136,6 +136,14 @@ void SoakRunner::Impl::build() {
   }
   if (shards > 0) fab->configure_sharding(shards);
 
+  // UFAB_PROF attaches the engine profiling plane, same as the benches —
+  // prof.* gauges then show up in the soak's metric snapshots.
+  if (const int prof_level = obs::Profiler::env_level(); prof_level > 0) {
+    obs::ProfOptions popts;
+    popts.level = prof_level;
+    fab->sim().enable_profiling(popts);
+  }
+
   if (opts.observability) {
     obs::ObsOptions oo = harness::obs_options_from_env();
     // Per-packet wire events would dominate a multi-hour ring; keep the

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/obs/obs.hpp"
+#include "src/obs/profiler.hpp"
 #include "src/telemetry/int_codec.hpp"
 
 namespace ufab::telemetry {
@@ -35,6 +36,7 @@ void CoreAgent::record_event(obs::EventKind kind, TimeNs now, VmPairId pair, Ten
 }
 
 void CoreAgent::on_probe_egress(sim::Packet& pkt, sim::Link& link, TimeNs now) {
+  UFAB_PROF_SCOPE(obs::ProfCat::kTelemetry);
   if (pkt.kind == sim::PacketKind::kFinishProbe) {
     handle_finish(pkt, now);
     return;

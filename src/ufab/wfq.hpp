@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/core/ids.hpp"
+#include "src/obs/profiler.hpp"
 
 namespace ufab::edge {
 
@@ -42,6 +43,7 @@ class WfqScheduler {
   /// every per-entity query an indirect call.
   template <typename Sendable>
   std::uint64_t next(Sendable&& sendable) {
+    UFAB_PROF_SCOPE(obs::ProfCat::kWfq);
     // Classic DRR adapted to pull-one semantics: the rotation pointer stays
     // on a level while its deficit lasts; moving onto a level grants its
     // quantum exactly once. A level with nothing sendable forfeits its
