@@ -52,12 +52,20 @@ Outcome run(Scheme scheme, int oversub, double load, std::uint64_t seed) {
   // Bursty short-flow workload: deregister idle pairs quickly so transient
   // pairs do not keep reserving subscription on their old links.
   sopts.ufab.idle_finish_timeout = TimeNs{300'000};
+  // Tiered propagation: short in-pod fibers, long agg<->core spans — the
+  // realistic DC split, chosen so the max base RTT stays exactly at the
+  // paper's 24 us (0.5*4 + 5*2 = 12 us one-way).  The long core tier is also
+  // what the sharded engine feeds on: partition cuts land on agg<->core, so
+  // the epoch lookahead is 5 us instead of the uniform 2 us (DESIGN.md §12).
+  topo::FabricOptions base_opts;
+  base_opts.prop_delay = TimeNs{500};
+  base_opts.core_prop = TimeNs{5'000};
   Experiment exp(
       scheme,
       [k, oversub](sim::Simulator& s, const topo::FabricOptions& o) {
         return topo::make_fat_tree(s, k, oversub, o);
       },
-      {}, sopts, seed);
+      base_opts, sopts, seed);
   exp.enable_observability(harness::obs_options_from_env());
   auto& fab = exp.fab();
   auto& vms = fab.vms();

@@ -104,20 +104,38 @@ void BM_EventQueueFarHorizon(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueFarHorizon);
 
-/// Cross-shard handoff cost: one epoch's worth of mailbox posts plus the
-/// swap-drain the coordinator performs at the barrier.
+/// Cross-shard handoff cost: one window's worth of mailbox posts, the single
+/// release-store flush, and the receiver's acquire-drain.
 void BM_ShardMailbox(benchmark::State& state) {
   sim::ShardMailbox<std::uint64_t> box;
-  std::vector<std::uint64_t> drained;
   std::uint64_t sum = 0;
   for (auto _ : state) {
     for (std::uint64_t i = 0; i < 256; ++i) box.post(i);
-    box.drain_into(drained);
-    sum += drained.size();
+    box.flush();
+    box.drain([&sum](std::uint64_t v) { sum += v; });
+    box.maybe_reset();
   }
   benchmark::DoNotOptimize(sum);
 }
 BENCHMARK(BM_ShardMailbox);
+
+/// Batched handoff at varying batch sizes: amortization of the publish —
+/// posts are plain stores, so per-item cost should fall as the batch grows
+/// (one release/acquire pair per batch, not per item).
+void BM_MailboxBatch(benchmark::State& state) {
+  sim::ShardMailbox<std::uint64_t> box;
+  const auto batch = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t sum = 0;
+  for (auto _ : state) {
+    for (std::uint64_t i = 0; i < batch; ++i) box.post(i);
+    box.flush();
+    box.drain([&sum](std::uint64_t v) { sum += v; });
+    box.maybe_reset();
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_MailboxBatch)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
 
 /// Full epoch-barrier round trip with three parked workers: release, three
 /// empty passes, wait_all_done — the fixed synchronization overhead every
@@ -142,6 +160,41 @@ void BM_EpochBarrier(benchmark::State& state) {
   for (auto& t : workers) t.join();
 }
 BENCHMARK(BM_EpochBarrier)->UseRealTime();
+
+/// Synchronization amortization end to end: a two-shard lookahead-limited
+/// workload (self-rescheduling chains + periodic crossings) run to a fixed
+/// horizon with N lookahead windows per coordinator barrier.  Arg(1) is the
+/// legacy one-barrier-per-window cadence; higher args show the adaptive
+/// engine's win.  Sequential executor so the number isolates epoch overhead
+/// rather than thread scheduling noise.
+void BM_AdaptiveEpoch(benchmark::State& state) {
+  const int windows = static_cast<int>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim.configure_shards(2, TimeNs{1'000}, sim::ShardExec::kSequential);
+    sim.set_adaptive_epochs(windows > 1, windows);
+    struct Chain {
+      sim::Simulator* sim;
+      int self;
+      void fire() {
+        if (sim->now() < TimeNs{400'000}) {
+          sim->after(TimeNs{self == 0 ? 331 : 457}, [this] { fire(); });
+        }
+      }
+    };
+    Chain chains[2] = {{&sim, 0}, {&sim, 1}};
+    for (int s = 0; s < 2; ++s) {
+      const auto scope = sim.scoped(s);
+      sim.at(TimeNs{10 + s}, [chain = &chains[s]] { chain->fire(); });
+    }
+    sim.run_until(TimeNs{500'000});
+    events += sim.events_processed();
+  }
+  benchmark::DoNotOptimize(events);
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_AdaptiveEpoch)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
 
 /// Pooled packet make/destroy churn with realistic field traffic — the
 /// per-packet cost transport and the links pay on every hop.

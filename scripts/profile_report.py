@@ -77,11 +77,32 @@ def report(path, doc):
           % (doc.get("shards", 1), doc.get("threaded", False),
              doc.get("level", 1), doc.get("lookahead_ns", -1),
              fmt_ms(doc.get("wall_ns", 0.0))))
-    print("epochs=%d crossings_injected=%d"
-          % (epochs.get("count", 0), epochs.get("crossings_injected", 0)))
+    print("epochs=%d windows=%d barrier_skips=%d crossings_injected=%d "
+          "adaptive=%s epoch_windows=%d"
+          % (epochs.get("count", 0), epochs.get("windows", 0),
+             epochs.get("barrier_skips", 0), epochs.get("crossings_injected", 0),
+             doc.get("adaptive_epochs", False), doc.get("epoch_windows", 1)))
+    handoff = doc.get("handoff", {})
+    if handoff:
+        print("handoff: max_drain_batch=%d mailbox_flushes=%d"
+              % (handoff.get("max_drain_batch", 0), handoff.get("mailbox_flushes", 0)))
     print("stall_fraction=%.4f shard_imbalance=%.3f"
           % (derived.get("stall_fraction", 0.0),
              derived.get("shard_imbalance", 1.0)))
+
+    # Epoch-length distribution: simulated time amortized per barrier.  A
+    # healthy adaptive run piles up in buckets well above the lookahead.
+    epoch_hist = doc.get("epoch_len_ns_log2", [])
+    if any(epoch_hist):
+        total = sum(epoch_hist)
+        peak = max(epoch_hist)
+        print("\nepoch length (sim-ns per barrier, log2 buckets):")
+        for i, count in enumerate(epoch_hist):
+            if count == 0:
+                continue
+            print("  [%11d, %11d) %8d %5.1f%%  %s"
+                  % (2 ** (i - 1) if i > 0 else 0, 2 ** i, count,
+                     100.0 * count / total, bar(count / peak, 20)))
 
     # Per-shard busy/stall split, busy bar normalized to the busiest shard.
     busiest = max((s.get("busy_ns", 0.0) for s in shards), default=0.0)
@@ -147,7 +168,12 @@ def main(argv):
             "shards": doc.get("shards", 1),
             "threaded": doc.get("threaded", False),
             "epochs": epochs.get("count", 0),
+            "windows": epochs.get("windows", 0),
+            "barrier_skips": epochs.get("barrier_skips", 0),
             "crossings_injected": epochs.get("crossings_injected", 0),
+            "adaptive_epochs": doc.get("adaptive_epochs", False),
+            "epoch_windows": doc.get("epoch_windows", 1),
+            "handoff_max_batch": doc.get("handoff", {}).get("max_drain_batch", 0),
         }))
         return 0
     for path in args:

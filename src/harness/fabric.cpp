@@ -15,6 +15,10 @@ Fabric::~Fabric() {
 void Fabric::configure_sharding(int shards, sim::ShardExec exec) {
   partition_ = topo::partition_network(*net_, shards);
   sim_.configure_shards(partition_.shards, partition_.lookahead, exec);
+  // Per-shard outgoing strides feed the engine's solo barrier-skip rounds:
+  // when one shard is the only one with pending work, it may run ahead by
+  // its own min outgoing cut-link prop, not the global minimum.
+  sim_.set_shard_lookaheads(partition_.shard_out_lookahead);
   // Cut links hand their deliveries to the peer shard's mailbox instead of
   // scheduling locally.
   for (const LinkId lid : partition_.cut_links) {
@@ -145,8 +149,20 @@ obs::Obs& Fabric::enable_observability(obs::ObsOptions opts) {
     reg.gauge("prof.busy_us_total", {})->set(d.busy_ns_total / 1e3);
     reg.gauge("prof.stall_us_total", {})->set(d.stall_ns_total / 1e3);
     reg.gauge("prof.epochs", {})->set(static_cast<double>(p->epochs()));
+    reg.gauge("prof.windows", {})->set(static_cast<double>(p->windows()));
+    reg.gauge("prof.barrier_skips", {})->set(static_cast<double>(p->barrier_skips()));
     reg.gauge("prof.crossings_injected", {})
         ->set(static_cast<double>(p->crossings_injected()));
+    reg.gauge("prof.handoff_max_batch", {})
+        ->set(static_cast<double>(sim_.handoff_max_batch()));
+    // Epoch-length distribution: one labeled row per occupied log2 bucket
+    // ("epoch spanned [2^b, 2^{b+1}) ns of simulated time, N times").
+    const auto& hist = p->epoch_len_hist();
+    for (std::size_t b = 0; b < hist.size(); ++b) {
+      if (hist[b] == 0) continue;
+      reg.gauge("prof.epoch_len_ns", {{"log2", std::to_string(b)}})
+          ->set(static_cast<double>(hist[b]));
+    }
     for (int s = 0; s < sim_.shard_count(); ++s) {
       const std::string shard_label = std::to_string(s);
       reg.gauge("prof.busy_us", {{"shard", shard_label}})

@@ -124,6 +124,9 @@ void Profiler::note_epoch(std::int64_t epoch_sim_ns) {
   if (epochs_ == 0 || epoch_sim_ns > epoch_sim_ns_max_) epoch_sim_ns_max_ = epoch_sim_ns;
   epoch_sim_ns_total_ += epoch_sim_ns;
   ++epochs_;
+  const auto len = static_cast<std::uint64_t>(epoch_sim_ns < 0 ? 0 : epoch_sim_ns);
+  const int b = std::min(static_cast<int>(std::bit_width(len)), kEpochLenBuckets - 1);
+  ++epoch_len_hist_[static_cast<std::size_t>(b)];
 }
 
 void Profiler::note_injected(std::uint64_t crossings) { crossings_injected_ += crossings; }
@@ -197,6 +200,8 @@ std::string Profiler::to_json(const ProfContext& ctx) const {
   append_f(out, "  \"shards\": %d,\n", ctx.shard_count);
   append_f(out, "  \"threaded\": %s,\n", ctx.threaded ? "true" : "false");
   append_f(out, "  \"lookahead_ns\": %lld,\n", static_cast<long long>(ctx.lookahead_ns));
+  append_f(out, "  \"adaptive_epochs\": %s,\n", ctx.adaptive_epochs ? "true" : "false");
+  append_f(out, "  \"epoch_windows\": %d,\n", ctx.epoch_windows);
   append_f(out, "  \"sample_period_ns\": %lld,\n",
            static_cast<long long>(opts_.sample_period_ns));
   append_f(out, "  \"timing_stride\": %llu,\n",
@@ -204,12 +209,25 @@ std::string Profiler::to_json(const ProfContext& ctx) const {
   append_f(out, "  \"wall_ns\": %.1f,\n", run_wall_ns());
   append_f(out,
            "  \"epochs\": {\"count\": %llu, \"sim_ns_total\": %lld, \"sim_ns_min\": %lld, "
-           "\"sim_ns_max\": %lld, \"crossings_injected\": %llu},\n",
+           "\"sim_ns_max\": %lld, \"crossings_injected\": %llu, \"windows\": %llu, "
+           "\"barrier_skips\": %llu},\n",
            static_cast<unsigned long long>(epochs_),
            static_cast<long long>(epoch_sim_ns_total_),
            static_cast<long long>(epochs_ == 0 ? 0 : epoch_sim_ns_min_),
            static_cast<long long>(epochs_ == 0 ? 0 : epoch_sim_ns_max_),
-           static_cast<unsigned long long>(crossings_injected_));
+           static_cast<unsigned long long>(crossings_injected_),
+           static_cast<unsigned long long>(windows_),
+           static_cast<unsigned long long>(barrier_skips_));
+  out += "  \"epoch_len_ns_log2\": [";
+  for (int b = 0; b < kEpochLenBuckets; ++b) {
+    append_f(out, "%s%llu", b == 0 ? "" : ",",
+             static_cast<unsigned long long>(epoch_len_hist_[static_cast<std::size_t>(b)]));
+  }
+  out += "],\n";
+  append_f(out,
+           "  \"handoff\": {\"max_drain_batch\": %llu, \"mailbox_flushes\": %llu},\n",
+           static_cast<unsigned long long>(ctx.handoff_max_batch),
+           static_cast<unsigned long long>(ctx.mailbox_flushes));
   append_f(out,
            "  \"derived\": {\"stall_fraction\": %.6f, \"shard_imbalance\": %.6f, "
            "\"busy_ns_total\": %.1f, \"stall_ns_total\": %.1f},\n",

@@ -215,6 +215,10 @@ struct ProfContext {
   int shard_count = 1;
   bool threaded = false;
   std::int64_t lookahead_ns = -1;  ///< -1 = unbounded (no cut links).
+  bool adaptive_epochs = false;    ///< Multi-window epochs + solo skipping on.
+  int epoch_windows = 1;           ///< Lookahead windows per barrier (knob).
+  std::uint64_t handoff_max_batch = 0;  ///< Largest single mailbox drain.
+  std::uint64_t mailbox_flushes = 0;    ///< Batch publications, all mailboxes.
   std::vector<std::uint64_t> events_per_shard;
   std::vector<std::uint64_t> crossings_per_shard;
 };
@@ -259,12 +263,30 @@ class Profiler {
   }
   void add_sample(int shard, const ProfSample& sample);
 
-  /// Epoch accounting (coordinator only, between passes).
+  /// Number of log2 epoch-length buckets: bucket i counts epochs with
+  /// bit_width(sim_ns) == i (bucket 0 would be a zero-length epoch; bucket i
+  /// covers [2^(i-1), 2^i) ns).  48 buckets reach ~1.6 simulated days.
+  static constexpr int kEpochLenBuckets = 48;
+
+  /// Epoch accounting (coordinator only, between passes).  One note_epoch
+  /// per coordinator barrier, carrying the sim-time span the barrier paid
+  /// for — multi-window epochs report the whole span, which is exactly what
+  /// the epoch-length histogram is for.
   void note_epoch(std::int64_t epoch_sim_ns);
+  /// Lookahead windows resolved inside multi-window epochs (clock-spin
+  /// boundaries, no barrier).
+  void note_windows(int windows) { windows_ += static_cast<std::uint64_t>(windows); }
+  /// A solo round ran with no barrier and no clock publication at all.
+  void note_barrier_skip() { ++barrier_skips_; }
   void note_injected(std::uint64_t crossings);
   void add_run_wall(std::int64_t ticks) { run_wall_ticks_ += ticks; }
 
   [[nodiscard]] std::uint64_t epochs() const { return epochs_; }
+  [[nodiscard]] std::uint64_t windows() const { return windows_; }
+  [[nodiscard]] std::uint64_t barrier_skips() const { return barrier_skips_; }
+  [[nodiscard]] const std::array<std::uint64_t, kEpochLenBuckets>& epoch_len_hist() const {
+    return epoch_len_hist_;
+  }
   [[nodiscard]] std::uint64_t crossings_injected() const { return crossings_injected_; }
   [[nodiscard]] double run_wall_ns() const;
 
@@ -314,6 +336,9 @@ class Profiler {
   std::int64_t epoch_sim_ns_total_ = 0;
   std::int64_t epoch_sim_ns_min_ = 0;
   std::int64_t epoch_sim_ns_max_ = 0;
+  std::uint64_t windows_ = 0;
+  std::uint64_t barrier_skips_ = 0;
+  std::array<std::uint64_t, kEpochLenBuckets> epoch_len_hist_{};
   std::uint64_t crossings_injected_ = 0;
   std::int64_t run_wall_ticks_ = 0;
 };

@@ -120,7 +120,7 @@ Packet* PacketPool::take() {
   return p;
 }
 
-void PacketPool::put(Packet* p) {
+void PacketPool::put_direct(Packet* p) {
   p->reset_for_reuse();
   free_.push_back(p);
   ++recycled_;

@@ -1,60 +1,182 @@
 // Synchronization primitives for the sharded engine.
 //
-// ShardMailbox is the cross-shard handoff buffer: the owning shard appends
-// crossings while its event pass runs (single writer, no locking — passes
-// never overlap with drains), and the coordinator drains it between passes in
-// shard-index order, which is what makes cross-shard injection a fixed total
-// order.  EpochBarrier parks the worker threads between passes: the
-// coordinator publishes a pass generation, workers run their shard's pass and
-// report back, and the coordinator proceeds only when every worker is done.
-// Both are benchmarked in bench/micro_datastructures.cpp (BM_ShardMailbox,
+// ShardMailbox is the cross-shard handoff channel: a single-producer /
+// single-consumer queue of fixed-size chunks with *batched* publication.  The
+// writer (the source shard, during its pass) appends entries into chunk
+// arrays with plain stores and makes a whole batch visible with ONE
+// release-store of the published count (`flush()`); the reader (the
+// destination shard, at a window boundary) acquires that count once and
+// drains every published entry.  That amortizes the cross-core cache-line
+// traffic of the old per-entry vector to one line per 64 entries plus one
+// atomic per batch — the "cache-line-friendly chunks with a single size/flag
+// publish" design from DESIGN.md §12.  Between coordinator barriers the
+// usual quiesced-owner discipline applies, so the coordinator may also act
+// as reader or writer while workers are parked.
+//
+// ShardClockSlot is the per-shard published simulation clock that lets
+// shards self-synchronize at window boundaries *inside* an epoch without a
+// condvar barrier: a shard flushes its mailboxes, release-publishes its
+// clock, then spin-waits (with yields) until every peer's clock reaches the
+// boundary.  Acquiring a peer's clock therefore also acquires everything the
+// peer flushed before publishing it — the message-passing pattern the
+// windowed pass relies on (DESIGN.md §12).
+//
+// EpochBarrier parks the worker threads between epochs (multi-window
+// passes): the coordinator publishes a pass generation, workers run their
+// shard's windows and report back, and the coordinator proceeds only when
+// every worker is done.  All three are benchmarked in
+// bench/micro_datastructures.cpp (BM_ShardMailbox, BM_MailboxBatch,
 // BM_EpochBarrier).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "src/core/assert.hpp"
+
 namespace ufab::sim {
 
-/// Single-writer append buffer with coordinator-side drain.  The writer is
-/// the shard that owns the mailbox (during its pass); drains happen at epoch
-/// barriers while every worker is parked, so no operation ever races.
+/// Single-producer / single-consumer chunked channel with batch publication.
+///
+/// Roles (enforced by the engine's pass structure, not by the type):
+///   * writer — post() any number of entries, then flush() once per batch;
+///   * reader — drain() everything published so far;
+///   * coordinator (both sides quiesced at a barrier) — may call any method,
+///     including maybe_reset(), which rewinds the monotone positions so the
+///     chunk index never overflows on long runs.
+///
+/// Entry positions grow monotonically; chunk `p / kChunkItems` holds
+/// position p.  Chunk storage is allocated on first touch and retained
+/// across resets, so steady-state epochs allocate nothing.
 template <typename T>
 class ShardMailbox {
  public:
+  static constexpr std::size_t kChunkItems = 64;   ///< One batch cache block.
+  static constexpr std::size_t kMaxChunks = 512;   ///< 32768 in-flight entries.
+
+  ShardMailbox() : chunks_(kMaxChunks, nullptr) {}
+  ShardMailbox(const ShardMailbox&) = delete;
+  ShardMailbox& operator=(const ShardMailbox&) = delete;
+  ~ShardMailbox() {
+    for (Chunk* c : chunks_) delete c;
+  }
+
+  // --- writer side ---
+
   void post(T v) {
-    box_.push_back(std::move(v));
+    const std::uint64_t pos = tail_;
+    UFAB_CHECK_MSG(pos - head_ < kChunkItems * kMaxChunks,
+                   "shard mailbox overflow: one pass posted too many crossings");
+    Chunk*& slot = chunks_[(pos / kChunkItems) % kMaxChunks];
+    if (slot == nullptr) slot = new Chunk();
+    slot->items[pos % kChunkItems] = std::move(v);
+    tail_ = pos + 1;
     ++posted_;
   }
 
-  /// Moves the buffered entries into `out` (cleared first) and leaves the
-  /// mailbox empty.  Swapping keeps both vectors' capacity, so steady-state
-  /// epochs allocate nothing.
-  void drain_into(std::vector<T>& out) {
-    if (box_.size() > max_batch_) max_batch_ = box_.size();
-    ++drains_;
-    out.clear();
-    std::swap(out, box_);
+  /// Publishes every entry posted since the last flush with a single
+  /// release-store.  No-op (and not counted) when nothing new was posted.
+  void flush() {
+    if (published_.load(std::memory_order_relaxed) == tail_) return;
+    published_.store(tail_, std::memory_order_release);
+    ++flushes_;
   }
 
-  [[nodiscard]] bool empty() const { return box_.empty(); }
-  [[nodiscard]] std::size_t size() const { return box_.size(); }
-  /// Entries ever posted (the mailbox-crossings counter for obs).
+  // --- reader side ---
+
+  /// Consumes every published entry in post order, invoking `fn(T&&)` on
+  /// each.  Returns the batch size (0 when nothing was published).
+  template <typename Fn>
+  std::size_t drain(Fn&& fn) {
+    const std::uint64_t avail = published_.load(std::memory_order_acquire);
+    if (avail == head_) return 0;
+    const auto batch = static_cast<std::size_t>(avail - head_);
+    for (std::uint64_t pos = head_; pos < avail; ++pos) {
+      fn(std::move(chunks_[(pos / kChunkItems) % kMaxChunks]->items[pos % kChunkItems]));
+    }
+    head_ = avail;
+    ++drains_;
+    if (batch > max_batch_) max_batch_ = batch;
+    return batch;
+  }
+
+  // --- coordinator side (both roles quiesced) ---
+
+  /// True when every posted entry has been drained.  Only meaningful while
+  /// both sides are quiesced (between passes).
+  [[nodiscard]] bool quiesced_empty() const { return head_ == tail_; }
+
+  /// Rewinds the monotone positions once they near the chunk-index wrap, so
+  /// arbitrarily long runs never overflow.  Requires an empty channel.
+  void maybe_reset() {
+    if (tail_ < kChunkItems * (kMaxChunks / 2)) return;
+    UFAB_CHECK(head_ == tail_);
+    head_ = tail_ = 0;
+    published_.store(0, std::memory_order_relaxed);
+  }
+
+  // --- stats (read quiesced) ---
   [[nodiscard]] std::uint64_t posted_total() const { return posted_; }
-  /// Times the coordinator drained this mailbox (== non-skipped epochs).
+  /// Batches published (one release-store each).
+  [[nodiscard]] std::uint64_t flushes() const { return flushes_; }
+  /// Non-empty drains (== injection batches the reader absorbed).
   [[nodiscard]] std::uint64_t drains() const { return drains_; }
-  /// High-water mark of entries handed over in one drain — the per-epoch
+  /// High-water mark of entries handed over in one drain — the per-boundary
   /// cross-shard traffic gauge the profiler exports.
   [[nodiscard]] std::size_t max_drain_batch() const { return max_batch_; }
+  /// Entries posted but not yet drained (quiesced read; pending() uses it).
+  [[nodiscard]] std::size_t size() const { return static_cast<std::size_t>(tail_ - head_); }
 
  private:
-  std::vector<T> box_;
+  struct Chunk {
+    T items[kChunkItems];
+  };
+
+  std::vector<Chunk*> chunks_;  ///< Fixed slot table; entries allocated lazily.
+
+  // Writer-owned.
+  std::uint64_t tail_ = 0;    ///< Next position to post.
   std::uint64_t posted_ = 0;
+  std::uint64_t flushes_ = 0;
+
+  /// The batch publication point: item writes (and chunk-pointer stores)
+  /// happen-before this release-store; the reader's acquire-load pairs with
+  /// it.  The only cross-thread traffic the channel generates per batch.
+  std::atomic<std::uint64_t> published_{0};
+
+  // Reader-owned.
+  std::uint64_t head_ = 0;    ///< Next position to drain.
   std::uint64_t drains_ = 0;
   std::size_t max_batch_ = 0;
+};
+
+/// One shard's published simulation clock, cache-line isolated so the spin
+/// loops of the windowed pass never false-share.  Publishing with release
+/// after flushing mailboxes makes every pre-publish flush visible to any
+/// thread that acquires a clock value at or past the boundary.
+struct alignas(64) ShardClockSlot {
+  std::atomic<std::int64_t> ns{0};
+
+  void publish(std::int64_t t) { ns.store(t, std::memory_order_release); }
+  [[nodiscard]] std::int64_t read() const { return ns.load(std::memory_order_acquire); }
+
+  /// Spin-waits (pausing/yielding) until the clock reaches `target`.
+  /// Returns the number of spin iterations (0 = peer was already there).
+  std::uint64_t await(std::int64_t target) const {
+    std::uint64_t spins = 0;
+    while (read() < target) {
+      ++spins;
+      if ((spins & 63u) == 0) {
+        std::this_thread::yield();  // single-CPU hosts: let the peer run
+      }
+    }
+    return spins;
+  }
 };
 
 /// Two-phase barrier between the coordinator and the shard workers.

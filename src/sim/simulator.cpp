@@ -1,16 +1,46 @@
 // Sharded (conservative parallel DES) execution for Simulator.
 //
 // The serial hot paths live inline in simulator.hpp; everything here runs
-// once per epoch, not once per event.  An epoch is one synchronized pass:
-// every shard processes its calendar up to a common boundary, then the
-// coordinator — alone, with every worker parked at the barrier — drains the
-// cross-shard outboxes in (src shard, post order) order and injects the
-// crossings into the destination calendars.  The epoch length is the
-// partition's lookahead: the minimum propagation delay over cut links.  A
-// crossing posted at wire-exit time tau arrives at tau + prop >= tau +
-// lookahead, which is at or past the boundary of the epoch that produced it,
-// so a shard processing events strictly before the boundary can never miss a
-// remote event — the conservative-PDES safety argument (see DESIGN.md §9).
+// once per window or epoch, not once per event.  The safety invariant is the
+// same at every granularity: a crossing posted at wire-exit time tau arrives
+// at tau + prop >= tau + lookahead, which is at or past the boundary of the
+// lookahead window that produced it, so a shard processing events strictly
+// before a boundary can never miss a remote event (DESIGN.md §9).
+//
+// What changed for §12 is how boundaries are *paid for*:
+//
+//  * A pass now spans many windows per coordinator barrier
+//    (run_pass_windowed).  Inside the pass each shard walks the common
+//    boundary ladder b_1 < b_2 < ... on its own: run events < b_w, flush the
+//    outgoing mailboxes (one release-store per non-empty channel), publish
+//    its clock = b_w, spin until every peer's clock reached b_w, drain
+//    incoming mailboxes, continue.  Because a peer flushes *before*
+//    publishing, acquiring its clock at b_w also acquires every crossing it
+//    posted before b_w — and any such crossing delivers at or after b_w, so
+//    draining at b_w is always early enough.  One condvar barrier (~µs) per
+//    UFAB_EPOCH_WINDOWS windows instead of one per window.
+//
+//  * When exactly one shard has pending events the coordinator skips the
+//    barrier machinery entirely (solo_run): it executes that shard inline
+//    with a stride of the shard's *outgoing* cut lookahead (no outgoing cut
+//    links: straight to the limit), routing any crossings itself, and falls
+//    back to synchronized epochs at the first boundary where a crossing
+//    woke a peer — before the woken shard executes anything, so nothing is
+//    ever missed.
+//
+//  * The final inclusive stretch of run_until keeps the PR-4 coordinator
+//    round structure (run_pass(t, true) + inject_crossings loops): at the
+//    horizon the window ladder degenerates (events at exactly t can emit
+//    crossings at exactly t), and the legacy rounds already handle that
+//    termination argument.
+//
+// Cross-shard packets are handed over, not cloned: injection moves the
+// PacketPtr into the destination calendar with its origin pool unchanged,
+// and a release on a foreign shard routes the storage home through a
+// per-(freer, owner) return mailbox (PacketPool's foreign guard, armed only
+// for threaded execution).  Every injection path inserts through the bulk
+// calendar path (push_deferred + end_bulk) so a drain batch costs one heap
+// fixup per touched bucket instead of one sift per crossing.
 #include "src/sim/simulator.hpp"
 
 #include <algorithm>
@@ -33,6 +63,28 @@ namespace {
 Simulator::~Simulator() {
   if (barrier_ != nullptr) barrier_->shutdown();
   for (std::thread& w : workers_) w.join();
+  // Teardown releases (pending events, undrained crossings) must reach their
+  // pools directly: with the workers gone there is nobody left to drain a
+  // return mailbox, so disarm every foreign guard before members destruct.
+  for (auto& s : shards_) s->pool.set_foreign_guard(s->index, nullptr, nullptr);
+  // Ownership handoff means a shard's calendar can hold packets born in any
+  // other shard's arena.  Shards destruct member-wise in index order, so
+  // shard 0's pool (and the slabs its packets live in) would be freed while
+  // a later shard's pending events still own packets from it.  Drop every
+  // pending event here, while all pools are alive; the cross/return
+  // mailboxes are declared after shards_ and already destruct first.
+  for (auto& s : shards_) {
+    for (Bucket& b : s->ring) {
+      b.heap.clear();
+      b.slots.clear();
+      b.fixup_from = Bucket::kNoFixup;
+    }
+    s->overflow.heap.clear();
+    s->overflow.slots.clear();
+    s->overflow.free_idx.clear();
+    s->ring_size = 0;
+    s->touched.clear();
+  }
 }
 
 void Simulator::configure_shards(int shards, TimeNs lookahead, ShardExec exec) {
@@ -48,6 +100,18 @@ void Simulator::configure_shards(int shards, TimeNs lookahead, ShardExec exec) {
   lookahead_ = lookahead;
   exec_request_ = exec;
   for (int i = 1; i < shards; ++i) shards_.push_back(std::make_unique<Shard>(i));
+  const auto n = static_cast<std::size_t>(shards);
+  cross_ch_.resize(n * n);
+  ret_ch_.resize(n * n);
+  clocks_.resize(n);
+  for (std::size_t src = 0; src < n; ++src) {
+    clocks_[src] = std::make_unique<ShardClockSlot>();
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      if (src == dst) continue;
+      cross_ch_[src * n + dst] = std::make_unique<ShardMailbox<Crossing>>();
+      ret_ch_[src * n + dst] = std::make_unique<ShardMailbox<Packet*>>();
+    }
+  }
 }
 
 void Simulator::require_sequential(const char* reason) {
@@ -89,11 +153,22 @@ void Simulator::ensure_exec_started() {
   if (sequential_only_) threads = false;
   exec_threads_ = threads;
   if (!threads) return;
+  // Concurrent shards must not touch each other's freelists: arm the
+  // foreign-release guard so a packet freed away from home is posted to the
+  // return mailbox instead (sequential execution keeps the plain fast path).
+  for (auto& s : shards_) {
+    s->pool.set_foreign_guard(s->index, &Simulator::foreign_release_sink, this);
+  }
   barrier_ = std::make_unique<EpochBarrier>(static_cast<int>(shards_.size()) - 1);
   workers_.reserve(shards_.size() - 1);
   for (std::size_t i = 1; i < shards_.size(); ++i) {
     workers_.emplace_back([this, i] { worker_main(static_cast<int>(i)); });
   }
+}
+
+void Simulator::foreign_release_sink(void* ctx, PacketPool* owner, Packet* p) {
+  auto* sim = static_cast<Simulator*>(ctx);
+  sim->ret_ch(ufab::current_shard_index(), owner->owner_shard()).post(p);
 }
 
 void Simulator::worker_main(int shard_index) {
@@ -103,7 +178,11 @@ void Simulator::worker_main(int shard_index) {
   std::uint64_t gen = 0;
   if (!barrier_->wait_for_pass(gen)) return;
   while (true) {
-    shard_pass(s, pass_boundary_, pass_inclusive_);
+    if (pass_windows_ > 0) {
+      windowed_shard_pass(s);
+    } else {
+      shard_pass(s, pass_boundary_, pass_inclusive_);
+    }
     const std::int64_t parked_at = steady_ns();
     const std::int64_t parked_ticks = prof_ != nullptr ? obs::ProfClock::now() : 0;
     barrier_->arrive_done();
@@ -118,14 +197,16 @@ void Simulator::worker_main(int shard_index) {
   }
 }
 
-/// Runs one synchronized pass on every shard.  Threaded mode: workers run
-/// their own shard while the coordinator (already scoped to shard 0 by the
-/// caller) runs shard 0.  Sequential mode: the coordinator runs each shard's
-/// pass in index order — byte-identical schedule, no concurrency.
+/// Runs one synchronized legacy pass (single boundary) on every shard.
+/// Threaded mode: workers run their own shard while the coordinator (already
+/// scoped to shard 0 by the caller) runs shard 0.  Sequential mode: the
+/// coordinator runs each shard's pass in index order — byte-identical
+/// schedule, no concurrency.
 void Simulator::run_pass(TimeNs boundary, bool inclusive) {
   if (exec_threads_) {
     pass_boundary_ = boundary;
     pass_inclusive_ = inclusive;
+    pass_windows_ = 0;
     barrier_->release(++pass_gen_);
     shard_pass(*shards_.front(), boundary, inclusive);
     if (prof_ != nullptr) {
@@ -145,6 +226,75 @@ void Simulator::run_pass(TimeNs boundary, bool inclusive) {
   }
 }
 
+/// Runs one multi-window pass: every shard walks `windows` boundaries of
+/// length lookahead_ starting at `base`, self-synchronizing at each through
+/// the published clocks — ONE coordinator barrier for the whole pass.
+/// Sequential mode replays the identical structure in index order: for each
+/// window, every shard runs to the boundary and flushes, then every shard
+/// drains — the same flush-before-drain dataflow, hence the same schedule.
+void Simulator::run_pass_windowed(TimeNs base, int windows) {
+  pass_base_ = base;
+  pass_windows_ = windows;
+  if (exec_threads_) {
+    barrier_->release(++pass_gen_);
+    windowed_shard_pass(*shards_.front());
+    if (prof_ != nullptr) {
+      const std::int64_t t0 = obs::ProfClock::now();
+      barrier_->wait_all_done();
+      prof_->slice(0).add(obs::ProfCat::kBarrierWait, obs::ProfClock::now() - t0);
+    } else {
+      barrier_->wait_all_done();
+    }
+  } else {
+    TimeNs b = base;
+    for (int w = 0; w < windows; ++w) {
+      b = b + lookahead_;
+      for (auto& s : shards_) {
+        const ShardScope scope = scoped(s->index);
+        shard_pass(*s, b, false);
+        if (b > s->now) s->now = b;
+        flush_outgoing(s->index);
+      }
+      const std::int64_t t0 = prof_ != nullptr ? obs::ProfClock::now() : 0;
+      for (auto& s : shards_) drain_incoming(*s);
+      if (prof_ != nullptr) {
+        prof_->slice(0).add(obs::ProfCat::kMailboxInject, obs::ProfClock::now() - t0);
+      }
+    }
+  }
+  pass_windows_ = 0;
+}
+
+/// One shard's side of a windowed pass (worker thread, or the coordinator
+/// for shard 0).  The boundary ladder is common to all shards, so publishing
+/// the clock after flushing makes "peer clock >= b" imply "peer's crossings
+/// relevant to my next window are visible" — the message-passing pattern the
+/// mailboxes' single release-store is designed around.
+void Simulator::windowed_shard_pass(Shard& s) {
+  const int n = shard_count();
+  obs::ProfSlice* const sl = prof_ != nullptr ? &prof_->slice(s.index) : nullptr;
+  TimeNs b = pass_base_;
+  for (int w = 0; w < pass_windows_; ++w) {
+    b = b + lookahead_;
+    shard_pass(s, b, false);
+    if (b > s.now) s.now = b;
+    flush_outgoing(s.index);
+    clocks_[static_cast<std::size_t>(s.index)]->publish(b.ns());
+    const std::int64_t t0 = sl != nullptr ? obs::ProfClock::now() : 0;
+    for (int p = 0; p < n; ++p) {
+      if (p != s.index) (void)clocks_[static_cast<std::size_t>(p)]->await(b.ns());
+    }
+    if (sl != nullptr) {
+      const std::int64_t t1 = obs::ProfClock::now();
+      sl->add(obs::ProfCat::kBarrierWait, t1 - t0);
+      drain_incoming(s);
+      sl->add(obs::ProfCat::kMailboxInject, obs::ProfClock::now() - t1);
+    } else {
+      drain_incoming(s);
+    }
+  }
+}
+
 void Simulator::shard_pass(Shard& s, TimeNs boundary, bool inclusive) {
   if (prof_ != nullptr) {
     shard_pass_profiled(s, boundary, inclusive);
@@ -156,6 +306,32 @@ void Simulator::shard_pass(Shard& s, TimeNs boundary, bool inclusive) {
     if (inclusive ? ev->at > boundary : ev->at >= boundary) break;
     pop_and_run(s);
   }
+}
+
+void Simulator::flush_outgoing(int src) {
+  const int n = shard_count();
+  for (int dst = 0; dst < n; ++dst) {
+    if (dst == src) continue;
+    cross_ch(src, dst).flush();
+    ret_ch(src, dst).flush();
+  }
+}
+
+/// Absorbs everything published to this shard: crossings bulk-insert into
+/// the calendar (ownership handoff — the packet travels, its pool does not),
+/// returned storage goes home via put_direct (we ARE the owner here, so the
+/// foreign guard must not re-route it).
+void Simulator::drain_incoming(Shard& s) {
+  const int n = shard_count();
+  for (int src = 0; src < n; ++src) {
+    if (src == s.index) continue;
+    cross_ch(src, s.index).drain([&s](Crossing&& c) {
+      UFAB_CHECK_MSG(c.at >= s.now, "cross-shard crossing violates the lookahead bound");
+      push_deferred(s, c.at, c.h, c.k, UniqueFunction(DeliverEvent{c.dst, std::move(c.pkt)}));
+    });
+    ret_ch(src, s.index).drain([](Packet*&& p) { p->origin_pool->put_direct(p); });
+  }
+  end_bulk(s);
 }
 
 /// The profiled dispatch step.  Every event bumps its exact category counts
@@ -201,7 +377,7 @@ void Simulator::pop_and_run_profiled(Shard& s, obs::ProfSlice& sl) {
     p.add_sample(s.index,
                  obs::ProfSample{s.now.ns(), static_cast<std::uint64_t>(s.ring_size),
                                  static_cast<std::uint64_t>(s.overflow.heap.size()),
-                                 s.processed, s.outbox.posted_total()});
+                                 s.processed, s.crossings_posted});
   }
 }
 
@@ -249,45 +425,133 @@ void Simulator::set_clocks(TimeNs t) {
   }
 }
 
-bool Simulator::outboxes_empty() const {
+/// The shard holding every pending event, or -1 when zero or several shards
+/// have work.  Only meaningful between passes (mailboxes drained).
+int Simulator::single_active_shard() const {
+  int active = -1;
   for (const auto& s : shards_) {
-    if (!s->outbox.empty()) return false;
+    if (s->ring_size > 0 || !s->overflow.empty()) {
+      if (active >= 0) return -1;
+      active = s->index;
+    }
   }
-  return true;
+  return active;
 }
 
-/// Drains every outbox in shard-index order and injects the crossings into
-/// their destination calendars, cloning each packet into the destination
-/// shard's pool (pools are single-shard-owned; the original returns to its
-/// source pool here, while every worker is parked).  The clone preserves the
-/// packet id, so ACK matching at the sender sees the id it recorded.
-/// Returns whether any injected crossing fires at or before `le_mark` — the
-/// run_until final-epoch loop uses this to know it must run another
-/// inclusive pass.
+/// Rewinds mailbox positions before they near the chunk-index wrap.  Called
+/// between passes, when every channel is drained, so the reset precondition
+/// (empty) holds by construction.
+void Simulator::reset_channels() {
+  for (auto& ch : cross_ch_) {
+    if (ch != nullptr) ch->maybe_reset();
+  }
+  for (auto& ch : ret_ch_) {
+    if (ch != nullptr) ch->maybe_reset();
+  }
+}
+
+/// Reports newly injected crossings to the profiler.  Called at points where
+/// posted == injected (after a pass's final drain), so the posted total *is*
+/// the injected total.
+void Simulator::note_injected_progress() {
+  if (prof_ == nullptr) return;
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->crossings_posted;
+  prof_->note_injected(total - injected_noted_);
+  injected_noted_ = total;
+}
+
+/// Barrier-skip fast path: exactly one shard has pending events, so the
+/// coordinator runs it inline — no barrier, no clock publishing — striding
+/// by the shard's *outgoing* cut lookahead (nothing it does before
+/// boundary can be seen elsewhere before boundary) and routing any crossings
+/// itself.  Ends at the first boundary where a crossing woke a peer: the
+/// woken shard has executed nothing yet, so falling back to synchronized
+/// epochs there preserves the schedule exactly.  Returns whether any events
+/// ran (false lets the caller take the ordinary path this iteration).
+bool Simulator::solo_run(int x, TimeNs limit) {
+  Shard& s = *shards_[static_cast<std::size_t>(x)];
+  const TimeNs out_la =
+      shard_out_la_.empty() ? lookahead_ : shard_out_la_[static_cast<std::size_t>(x)];
+  const ShardScope scope = scoped(x);
+  const int n = shard_count();
+  bool progressed = false;
+  while (true) {
+    const Event* ev = peek(s);
+    if (ev == nullptr) break;
+    if (out_la == TimeNs::max()) {
+      // No outgoing cut links: nothing this shard runs can wake a peer.  Run
+      // straight to the limit, inclusively, matching the serial engine's
+      // treatment of events at exactly t.
+      shard_pass(s, limit, true);
+      if (limit != TimeNs::max() && limit > s.now) s.now = limit;
+      if (prof_ != nullptr) prof_->note_barrier_skip();
+      progressed = true;
+      break;
+    }
+    if (ev->at >= limit) break;
+    const TimeNs boundary = ev->at + out_la;
+    if (boundary >= limit) break;  // final stretch: the epoch loop owns it
+    shard_pass(s, boundary, false);
+    if (boundary > s.now) s.now = boundary;
+    if (prof_ != nullptr) prof_->note_barrier_skip();
+    progressed = true;
+    flush_outgoing(x);
+    bool woke = false;
+    const std::int64_t t0 = prof_ != nullptr ? obs::ProfClock::now() : 0;
+    for (int dst = 0; dst < n; ++dst) {
+      if (dst == x) continue;
+      Shard& d = *shards_[static_cast<std::size_t>(dst)];
+      cross_ch(x, dst).drain([&d, &woke](Crossing&& c) {
+        UFAB_CHECK_MSG(c.at >= d.now, "cross-shard crossing violates the lookahead bound");
+        push_deferred(d, c.at, c.h, c.k, UniqueFunction(DeliverEvent{c.dst, std::move(c.pkt)}));
+        woke = true;
+      });
+      end_bulk(d);
+      // Storage this shard freed on behalf of `dst`'s pool goes home now
+      // (put_direct: the guard would bounce a foreign put right back here).
+      ret_ch(x, dst).drain([](Packet*&& p) { p->origin_pool->put_direct(p); });
+    }
+    if (prof_ != nullptr) {
+      prof_->slice(0).add(obs::ProfCat::kMailboxInject, obs::ProfClock::now() - t0);
+    }
+    if (woke) break;
+  }
+  note_injected_progress();
+  return progressed;
+}
+
+/// Coordinator-only legacy injection round (workers parked): flushes and
+/// drains every mailbox, bulk-inserting crossings and returning freed
+/// storage.  Returns whether any injected crossing fires at or before
+/// `le_mark` — the run_until final-epoch loop uses this to know it must run
+/// another inclusive pass.
 bool Simulator::inject_crossings(TimeNs le_mark) {
   const std::int64_t inject_t0 = prof_ != nullptr ? obs::ProfClock::now() : 0;
-  std::uint64_t injected = 0;
   bool any_le = false;
-  for (auto& src : shards_) {
-    if (src->outbox.empty()) continue;
-    src->outbox.drain_into(inject_scratch_);
-    injected += inject_scratch_.size();
-    for (Crossing& c : inject_scratch_) {
-      Shard& dst = *shards_[static_cast<std::size_t>(c.dst_shard)];
-      UFAB_CHECK_MSG(c.at >= dst.now, "cross-shard crossing violates the lookahead bound");
-      Packet* raw = dst.pool.take();
-      *raw = *c.pkt;
-      raw->origin_pool = &dst.pool;
-      PacketPtr clone{raw};
-      c.pkt.reset();
-      if (c.at <= le_mark) any_le = true;
-      push(dst, c.at, c.h, c.k, UniqueFunction(DeliverEvent{c.dst, std::move(clone)}));
+  const int n = shard_count();
+  for (int src = 0; src < n; ++src) {
+    for (int dst = 0; dst < n; ++dst) {
+      if (src == dst) continue;
+      // The coordinator acts as writer here (flush) — safe because every
+      // worker is parked at the barrier, which orders their posts before
+      // this read-modify of the writer cursor.
+      ShardMailbox<Crossing>& ch = cross_ch(src, dst);
+      ch.flush();
+      Shard& d = *shards_[static_cast<std::size_t>(dst)];
+      ch.drain([&](Crossing&& c) {
+        UFAB_CHECK_MSG(c.at >= d.now, "cross-shard crossing violates the lookahead bound");
+        if (c.at <= le_mark) any_le = true;
+        push_deferred(d, c.at, c.h, c.k, UniqueFunction(DeliverEvent{c.dst, std::move(c.pkt)}));
+      });
+      ShardMailbox<Packet*>& rch = ret_ch(src, dst);
+      rch.flush();
+      rch.drain([](Packet*&& p) { p->origin_pool->put_direct(p); });
     }
-    inject_scratch_.clear();
   }
+  for (auto& s : shards_) end_bulk(*s);
   if (prof_ != nullptr) {
     prof_->slice(0).add(obs::ProfCat::kMailboxInject, obs::ProfClock::now() - inject_t0);
-    prof_->note_injected(injected);
   }
   return any_le;
 }
@@ -297,16 +561,22 @@ void Simulator::run_until_sharded(TimeNs t) {
   const ShardScope scope = scoped(0);
   const std::int64_t wall_t0 = prof_ != nullptr ? obs::ProfClock::now() : 0;
   while (true) {
-    // Between epochs every clock is equal and every outbox is empty.
+    // Between passes every mailbox is drained; clocks may be staggered after
+    // a solo round but never exceed the earliest pending event.
     const TimeNs clock = shards_.front()->now;
     if (clock >= t) break;
+    reset_channels();
     const TimeNs earliest = earliest_pending();
     if (earliest > t) {
       // Nothing left at or before the horizon (events at exactly t included).
       set_clocks(t);
       break;
     }
-    // Fast-forward: idle gaps cost one epoch, not (gap / lookahead) of them.
+    if (adaptive_ && shards_.size() > 1) {
+      const int x = single_active_shard();
+      if (x >= 0 && solo_run(x, t)) continue;
+    }
+    // Fast-forward: idle gaps cost one pass, not (gap / lookahead) of them.
     const TimeNs base = std::max(clock, earliest);
     if (lookahead_ == TimeNs::max() || t - base <= lookahead_) {
       // Final epoch: process inclusively up to t, then loop — a crossing
@@ -318,13 +588,22 @@ void Simulator::run_until_sharded(TimeNs t) {
       run_pass(t, true);
       set_clocks(t);
       while (inject_crossings(t)) run_pass(t, true);
+      note_injected_progress();
       break;
     }
-    const TimeNs boundary = base + lookahead_;
-    if (prof_ != nullptr) prof_->note_epoch(lookahead_.ns());
-    run_pass(boundary, false);
-    set_clocks(boundary);
-    (void)inject_crossings(TimeNs{-1});
+    // Multi-window epoch: as many full windows as fit strictly below t (the
+    // final stretch needs the inclusive rounds above), capped by the knob.
+    const std::int64_t la = lookahead_.ns();
+    const std::int64_t span = t.ns() - base.ns();  // > la here
+    const int w = static_cast<int>(
+        std::min<std::int64_t>(epoch_windows_, (span - 1) / la));
+    if (prof_ != nullptr) {
+      prof_->note_epoch(w * la);
+      prof_->note_windows(w);
+    }
+    run_pass_windowed(base, w);
+    set_clocks(base + TimeNs{w * la});
+    note_injected_progress();
   }
   if (prof_ != nullptr) prof_->add_run_wall(obs::ProfClock::now() - wall_t0);
 }
@@ -334,19 +613,28 @@ void Simulator::run_sharded_drain() {
   const ShardScope scope = scoped(0);
   const std::int64_t wall_t0 = prof_ != nullptr ? obs::ProfClock::now() : 0;
   while (true) {
+    reset_channels();
     const TimeNs earliest = earliest_pending();
-    if (earliest == TimeNs::max()) break;  // outboxes are empty between epochs
+    if (earliest == TimeNs::max()) break;  // mailboxes are empty between passes
     if (lookahead_ == TimeNs::max()) {
       // No cut links: shards are causally independent; one unbounded
       // inclusive pass drains everything and can post no crossings.
       run_pass(TimeNs::max(), true);
       continue;
     }
-    const TimeNs boundary = earliest + lookahead_;
-    if (prof_ != nullptr) prof_->note_epoch(lookahead_.ns());
-    run_pass(boundary, false);
-    set_clocks(boundary);
-    (void)inject_crossings(TimeNs{-1});
+    if (adaptive_ && shards_.size() > 1) {
+      const int x = single_active_shard();
+      if (x >= 0 && solo_run(x, TimeNs::max())) continue;
+    }
+    const std::int64_t la = lookahead_.ns();
+    const int w = epoch_windows_;
+    if (prof_ != nullptr) {
+      prof_->note_epoch(w * la);
+      prof_->note_windows(w);
+    }
+    run_pass_windowed(earliest, w);
+    set_clocks(earliest + TimeNs{w * la});
+    note_injected_progress();
   }
   if (prof_ != nullptr) prof_->add_run_wall(obs::ProfClock::now() - wall_t0);
 }
@@ -365,11 +653,15 @@ std::string Simulator::profile_json() const {
   ctx.shard_count = shard_count();
   ctx.threaded = threaded();
   ctx.lookahead_ns = lookahead_ == TimeNs::max() ? -1 : lookahead_.ns();
+  ctx.adaptive_epochs = adaptive_;
+  ctx.epoch_windows = epoch_windows_;
+  ctx.handoff_max_batch = handoff_max_batch();
+  ctx.mailbox_flushes = mailbox_flushes_total();
   ctx.events_per_shard.reserve(shards_.size());
   ctx.crossings_per_shard.reserve(shards_.size());
   for (const auto& s : shards_) {
     ctx.events_per_shard.push_back(s->processed);
-    ctx.crossings_per_shard.push_back(s->outbox.posted_total());
+    ctx.crossings_per_shard.push_back(s->crossings_posted);
   }
   return prof_->to_json(ctx);
 }

@@ -38,16 +38,24 @@
 //    deterministic, just not provably shard-count-invariant.)
 //
 // Sharded execution (configure_shards(n > 1)) is conservative parallel DES:
-// shards run epochs of length `lookahead` (the min propagation delay over
-// cut links) in lockstep — each shard processes its own calendar up to the
-// epoch boundary, cross-shard packets are posted to per-shard outboxes, and
-// the coordinator drains the outboxes between epochs in (src shard, post
-// order) order, cloning each packet into the destination shard's pool.
-// Because a crossing materializes at wire-exit and arrives one full
-// propagation delay later, no crossing can land inside the epoch that
-// produced it, so each shard's pass needs no peeking at its neighbors.  The
-// epoch machinery lives in simulator.cpp; the serial hot paths stay inline
-// here.
+// shards advance through lookahead windows (the min propagation delay over
+// cut links) in lockstep.  Because a crossing materializes at wire-exit and
+// arrives one full propagation delay later, no crossing can land inside the
+// window that produced it, so a shard processing events strictly before a
+// window boundary never misses a remote event.  Cross-shard packets are
+// posted into per-(src,dst) SPSC mailboxes (batched publication, see
+// shard_sync.hpp) and *travel*: the destination shard takes ownership of the
+// packet itself — no clone — and a later release on a foreign shard routes
+// back to the owner pool through a return mailbox (PacketPool's foreign
+// guard).  An *epoch* (one coordinator barrier) spans many windows: inside a
+// pass each shard self-synchronizes at window boundaries through published
+// per-shard clocks (flush mailboxes, publish clock, spin until peers reach
+// the boundary, drain incoming — DESIGN.md §12), which amortizes the ~µs
+// condvar barrier over UFAB_EPOCH_WINDOWS windows of ~100 ns clock spins.
+// When only one shard has pending events the coordinator skips barriers
+// entirely and runs it solo with a stride of that shard's *outgoing* cut
+// lookahead, routing crossings itself until another shard wakes.  The epoch
+// machinery lives in simulator.cpp; the serial hot paths stay inline here.
 #pragma once
 
 #include <algorithm>
@@ -153,8 +161,9 @@ class Simulator {
   }
   [[nodiscard]] std::size_t pending() const {
     std::size_t total = 0;
-    for (const auto& s : shards_) {
-      total += s->ring_size + s->overflow.heap.size() + s->outbox.size();
+    for (const auto& s : shards_) total += s->ring_size + s->overflow.heap.size();
+    for (const auto& ch : cross_ch_) {
+      if (ch != nullptr) total += ch->size();
     }
     return total;
   }
@@ -177,6 +186,34 @@ class Simulator {
   [[nodiscard]] int shard_count() const { return static_cast<int>(shards_.size()); }
   [[nodiscard]] bool canonical_order() const { return canonical_; }
   [[nodiscard]] TimeNs lookahead() const { return lookahead_; }
+
+  /// Adaptive epoch synchronization (DESIGN.md §12).  On: one coordinator
+  /// barrier spans `windows` lookahead windows (shards self-synchronize at
+  /// the interior boundaries through published clocks) and solo rounds skip
+  /// barriers entirely.  Off (`on == false`): every window pays a barrier and
+  /// solo skipping is disabled — the PR-4 epoch structure, kept as the A/B
+  /// baseline for determinism tests.  The schedule is byte-identical either
+  /// way (canonical (h,k) keys are partition- and batching-invariant).
+  /// Must be called before the first run.
+  void set_adaptive_epochs(bool on, int windows = 16) {
+    UFAB_CHECK_MSG(!exec_started_, "set_adaptive_epochs after a run started");
+    UFAB_CHECK(windows >= 1);
+    adaptive_ = on;
+    epoch_windows_ = on ? windows : 1;
+  }
+  [[nodiscard]] bool adaptive_epochs() const { return adaptive_; }
+  [[nodiscard]] int epoch_windows() const { return epoch_windows_; }
+
+  /// Per-shard *outgoing* cut lookahead (min prop delay over the shard's
+  /// outgoing cut links; TimeNs::max() when the shard has none) from
+  /// topo::partition_network.  Solo rounds stride by it — a shard whose
+  /// cheapest outgoing cut is 5 µs can run 5 µs between routings even when
+  /// the global (incoming-min) lookahead is 500 ns.
+  void set_shard_lookaheads(std::vector<TimeNs> out_lookahead) {
+    UFAB_CHECK(out_lookahead.empty() ||
+               out_lookahead.size() == shards_.size());
+    shard_out_la_ = std::move(out_lookahead);
+  }
 
   /// Forces sequential (single-thread) epoch execution.  Sequential epochs
   /// fire the exact same schedule as threaded ones, so this is a safety
@@ -230,31 +267,63 @@ class Simulator {
   /// Posts a packet crossing a cut link into `dst_shard`'s calendar: the
   /// delivery fires at absolute time `at` with the same ordering key the
   /// event would have had as a local after() call, so the merged schedule is
-  /// independent of the partition.  Only valid in canonical mode from inside
-  /// a running event.
+  /// independent of the partition.  The packet itself is handed over —
+  /// ownership transfers to the destination shard; its storage stays with
+  /// the origin pool and returns there through the return mailboxes when the
+  /// destination releases it.  Only valid in canonical mode from inside a
+  /// running event.
   void post_cross(int dst_shard, TimeNs at, Node* dst, PacketPtr pkt) {
     UFAB_PROF_SCOPE(obs::ProfCat::kMailboxPost);
     Shard& s = active();
     UFAB_CHECK(canonical_ && s.in_event);
-    UFAB_CHECK(dst_shard >= 0 && dst_shard < shard_count());
-    s.outbox.post(Crossing{at, s.cur_id, s.cur_k++, dst_shard, dst, std::move(pkt)});
+    UFAB_CHECK(dst_shard >= 0 && dst_shard < shard_count() && dst_shard != s.index);
+    ++s.crossings_posted;
+    cross_ch(s.index, dst_shard)
+        .post(Crossing{at, s.cur_id, s.cur_k++, dst_shard, dst, std::move(pkt)});
   }
 
-  // --- per-shard introspection (obs gauges, tests) ---
+  // --- per-shard introspection (obs gauges, tests; read between runs) ---
   [[nodiscard]] std::uint64_t shard_events_processed(int shard) const {
     return shard_at(shard).processed;
   }
   [[nodiscard]] std::uint64_t shard_crossings_out(int shard) const {
-    return shard_at(shard).outbox.posted_total();
+    return shard_at(shard).crossings_posted;
   }
   [[nodiscard]] std::int64_t shard_barrier_wait_ns(int shard) const {
     return shard_at(shard).barrier_wait_ns;
   }
+  /// Drain batches absorbed by `shard` across its incoming cross mailboxes.
   [[nodiscard]] std::uint64_t shard_outbox_drains(int shard) const {
-    return shard_at(shard).outbox.drains();
+    std::uint64_t total = 0;
+    for (int src = 0; src < shard_count(); ++src) {
+      if (src != shard) total += cross_ch(src, shard).drains();
+    }
+    return total;
   }
+  /// Largest single drain batch `shard` absorbed from any peer.
   [[nodiscard]] std::size_t shard_outbox_max_batch(int shard) const {
-    return shard_at(shard).outbox.max_drain_batch();
+    std::size_t m = 0;
+    for (int src = 0; src < shard_count(); ++src) {
+      if (src != shard) m = std::max(m, cross_ch(src, shard).max_drain_batch());
+    }
+    return m;
+  }
+  /// Largest single drain batch over every cross mailbox — the per-boundary
+  /// handoff traffic high-water mark the profiler exports.
+  [[nodiscard]] std::size_t handoff_max_batch() const {
+    std::size_t m = 0;
+    for (const auto& ch : cross_ch_) {
+      if (ch != nullptr) m = std::max(m, ch->max_drain_batch());
+    }
+    return m;
+  }
+  /// Batch publications (one release-store each) over every cross mailbox.
+  [[nodiscard]] std::uint64_t mailbox_flushes_total() const {
+    std::uint64_t total = 0;
+    for (const auto& ch : cross_ch_) {
+      if (ch != nullptr) total += ch->flushes();
+    }
+    return total;
   }
   [[nodiscard]] const PacketPool& shard_pool(int shard) const { return shard_at(shard).pool; }
 
@@ -318,9 +387,17 @@ class Simulator {
   /// branch per push/pop, which measured slower on the ring hot path —
   /// hence the compile-time split.
   struct Bucket {
+    static constexpr std::uint32_t kNoFixup = 0xFFFFFFFFu;
+
     std::vector<Event> slots;
     std::vector<HeapEntry> heap;
     std::vector<std::uint32_t> free_idx;  ///< Overflow tier only: dead slots.
+    /// Bulk-insert marker: heap size before the first deferred append of the
+    /// current drain batch (kNoFixup when no fixup is pending).  Entries at
+    /// or past it are appended un-heapified and restored in one end_bulk()
+    /// sweep — O(batch·log n) sifts or one make_heap instead of a push_heap
+    /// per crossing.
+    std::uint32_t fixup_from = kNoFixup;
     [[nodiscard]] bool empty() const { return heap.empty(); }
   };
 
@@ -363,9 +440,12 @@ class Simulator {
     std::uint32_t cur_k = 0;
     bool in_event = false;
 
-    // Cross-shard machinery.
-    ShardMailbox<Crossing> outbox;
+    // Cross-shard machinery (the mailboxes themselves are per-(src,dst)
+    // simulator members; see cross_ch_/ret_ch_).
+    std::uint64_t crossings_posted = 0;
     std::int64_t barrier_wait_ns = 0;  ///< Worker idle time at epoch barriers.
+    /// Buckets with pending bulk-insert fixups (scratch; owner-thread only).
+    std::vector<Bucket*> touched;
   };
 
   [[nodiscard]] static std::uint64_t abs_bucket(TimeNs t) {
@@ -434,6 +514,51 @@ class Simulator {
     } else {
       ring_push(s, ab, t, h, k, std::move(fn));
     }
+  }
+
+  /// Bulk-insert path for mailbox drains: appends the event without sifting
+  /// its heap entry and marks the bucket for a deferred fixup.  The caller
+  /// MUST run end_bulk() before any peek()/pop on this shard.  Far-horizon
+  /// events (rare for crossings) take the ordinary overflow push.
+  static void push_deferred(Shard& s, TimeNs t, std::uint64_t h, std::uint32_t k,
+                            UniqueFunction&& fn) {
+    const std::uint64_t ab = abs_bucket(t);
+    if (ab >= abs_bucket(s.now) + kNumBuckets) {
+      bucket_push<true>(s.overflow, t, h, k, std::move(fn));
+      return;
+    }
+    Bucket& b = s.ring[ab & (kNumBuckets - 1)];
+    if (b.fixup_from == Bucket::kNoFixup) {
+      b.fixup_from = static_cast<std::uint32_t>(b.heap.size());
+      s.touched.push_back(&b);
+    }
+    const auto idx = static_cast<std::uint32_t>(b.slots.size());
+    b.slots.emplace_back(t, h, k, std::move(fn));
+    b.heap.push_back(HeapEntry{t.ns(), h, k, idx});
+    ++s.ring_size;
+    if (ab < s.cursor) s.cursor = ab;
+  }
+
+  /// Restores the heap property of every bucket push_deferred touched.  Small
+  /// batches sift the appended entries one by one; a batch that rivals the
+  /// bucket's population rebuilds the whole heap in O(n).  Pop order is the
+  /// strict (at, h, k, idx) total order either way, so heap layout never
+  /// leaks into the schedule.
+  static void end_bulk(Shard& s) {
+    for (Bucket* b : s.touched) {
+      const std::size_t from = b->fixup_from;
+      const std::size_t size = b->heap.size();
+      if ((size - from) * 4 < size) {
+        for (std::size_t i = from + 1; i <= size; ++i) {
+          std::push_heap(b->heap.begin(),
+                         b->heap.begin() + static_cast<std::ptrdiff_t>(i), Later{});
+        }
+      } else {
+        std::make_heap(b->heap.begin(), b->heap.end(), Later{});
+      }
+      b->fixup_from = Bucket::kNoFixup;
+    }
+    s.touched.clear();
   }
 
   /// Pulls overflow events that now fall inside the near-horizon window into
@@ -505,17 +630,37 @@ class Simulator {
     return *shards_.at(static_cast<std::size_t>(i));
   }
 
+  /// The cross mailbox carrying crossings from `src` to `dst`.
+  [[nodiscard]] ShardMailbox<Crossing>& cross_ch(int src, int dst) const {
+    return *cross_ch_[static_cast<std::size_t>(src) * shards_.size() +
+                      static_cast<std::size_t>(dst)];
+  }
+  /// The return mailbox carrying packet storage freed by `freer` back to
+  /// `owner`'s pool (populated only while the foreign guard is armed).
+  [[nodiscard]] ShardMailbox<Packet*>& ret_ch(int freer, int owner) const {
+    return *ret_ch_[static_cast<std::size_t>(freer) * shards_.size() +
+                    static_cast<std::size_t>(owner)];
+  }
+
   // --- sharded execution (simulator.cpp) ---
   void run_until_sharded(TimeNs t);
   void run_sharded_drain();
   void ensure_exec_started();
   void run_pass(TimeNs boundary, bool inclusive);
+  void run_pass_windowed(TimeNs base, int windows);
+  void windowed_shard_pass(Shard& s);
   void shard_pass(Shard& s, TimeNs boundary, bool inclusive);
+  void flush_outgoing(int src);
+  void drain_incoming(Shard& s);
+  bool solo_run(int x, TimeNs limit);
+  [[nodiscard]] int single_active_shard() const;
+  void reset_channels();
+  void note_injected_progress();
   [[nodiscard]] TimeNs earliest_pending();
   void set_clocks(TimeNs t);
   [[nodiscard]] bool inject_crossings(TimeNs le_mark);
-  [[nodiscard]] bool outboxes_empty() const;
   void worker_main(int shard_index);
+  static void foreign_release_sink(void* ctx, PacketPool* owner, Packet* p);
 
   // --- profiled run loops (simulator.cpp; same schedule, plus attribution) ---
   void run_serial_profiled(Shard& s, TimeNs bound);
@@ -525,9 +670,21 @@ class Simulator {
   inline static thread_local ShardScope::Active tls_{nullptr, nullptr};
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Cross-shard mailboxes, row-major [src * n + dst] (diagonal null).
+  /// Declared after shards_ so pending crossings (which own packets) are
+  /// destroyed while every pool is still alive.
+  std::vector<std::unique_ptr<ShardMailbox<Crossing>>> cross_ch_;
+  /// Return mailboxes, row-major [freer * n + owner] (diagonal null).
+  std::vector<std::unique_ptr<ShardMailbox<Packet*>>> ret_ch_;
+  /// Per-shard published clocks for intra-epoch window synchronization.
+  std::vector<std::unique_ptr<ShardClockSlot>> clocks_;
   bool canonical_ = false;
   TimeNs lookahead_ = TimeNs::max();
   std::uint32_t root_k_ = 0;  ///< FIFO counter for root-context scheduling.
+
+  bool adaptive_ = true;    ///< Multi-window epochs + solo barrier skipping.
+  int epoch_windows_ = 16;  ///< Lookahead windows per coordinator barrier.
+  std::vector<TimeNs> shard_out_la_;  ///< Per-shard outgoing cut lookahead.
 
   ShardExec exec_request_ = ShardExec::kAuto;
   bool sequential_only_ = false;
@@ -538,8 +695,10 @@ class Simulator {
   std::vector<std::thread> workers_;
   TimeNs pass_boundary_ = TimeNs::zero();
   bool pass_inclusive_ = false;
+  TimeNs pass_base_ = TimeNs::zero();  ///< Windowed pass: first window start.
+  int pass_windows_ = 0;               ///< 0 = legacy single-boundary pass.
   std::uint64_t pass_gen_ = 0;
-  std::vector<Crossing> inject_scratch_;
+  std::uint64_t injected_noted_ = 0;  ///< Crossings already reported to prof_.
   std::unique_ptr<obs::Profiler> prof_;  ///< Null = profiling disabled.
 };
 

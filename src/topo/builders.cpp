@@ -102,7 +102,7 @@ std::unique_ptr<Network> make_fat_tree(sim::Simulator& sim, int k, int oversub,
       const NodeId agg = net->add_switch(num_name("Agg", pod * half + a + 1));
       aggs.push_back(agg);
       for (const NodeId core : core_groups[static_cast<std::size_t>(a)]) {
-        net->connect(agg, core, opts.fabric_link());
+        net->connect(agg, core, opts.core_link());
       }
     }
     for (int e = 0; e < half; ++e) {

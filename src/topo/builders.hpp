@@ -14,6 +14,13 @@ struct FabricOptions {
   /// Per-link propagation. 2 us/link puts the testbed's max base RTT near
   /// the paper's 24 us; the NS3-style FatTree runs override this to 1 us.
   TimeNs prop_delay = TimeNs{2000};
+  /// Agg<->core propagation for make_fat_tree; zero means "inherit
+  /// prop_delay" (uniform links, the historical default).  A real DC's
+  /// inter-pod spans are 10-100x its in-rack fibers, and the split is what
+  /// the sharded engine's lookahead feeds on: partition cuts fall on the
+  /// agg<->core tier, so the cut-link (and thus epoch) lookahead becomes
+  /// core_prop while in-pod hops keep the short prop_delay (DESIGN.md §12).
+  TimeNs core_prop = TimeNs{0};
   std::int64_t queue_limit_bytes = 4'000'000;
   std::int64_t ecn_threshold_bytes = -1;  ///< >=0 enables ECN marking (baselines).
   double target_utilization = 0.95;       ///< eta, the paper's 95% target.
@@ -23,6 +30,10 @@ struct FabricOptions {
   }
   [[nodiscard]] sim::LinkConfig fabric_link() const {
     return {fabric_bw, prop_delay, queue_limit_bytes, ecn_threshold_bytes, target_utilization};
+  }
+  [[nodiscard]] sim::LinkConfig core_link() const {
+    return {fabric_bw, core_prop.ns() > 0 ? core_prop : prop_delay, queue_limit_bytes,
+            ecn_threshold_bytes, target_utilization};
   }
 };
 

@@ -103,20 +103,26 @@ Snapshot run_tiny_fig17(Scheme scheme, std::uint64_t seed) {
 }
 
 Snapshot run_with_shards(const char* shards, const char* exec, Scheme scheme,
-                         std::uint64_t seed) {
+                         std::uint64_t seed, const char* adaptive = nullptr,
+                         const char* windows = nullptr) {
   EnvGuard g1("UFAB_SHARDS", shards);
   EnvGuard g2("UFAB_SHARD_EXEC", exec);
+  EnvGuard g3("UFAB_ADAPTIVE_EPOCHS", adaptive);
+  EnvGuard g4("UFAB_EPOCH_WINDOWS", windows);
   return run_tiny_fig17(scheme, seed);
 }
 
-TEST(ShardedDeterminism, OneTwoFourShardsAreBitIdentical) {
+TEST(ShardedDeterminism, OneTwoFourEightShardsAreBitIdentical) {
   const Snapshot one = run_with_shards("1", nullptr, Scheme::kUfab, 41);
   ASSERT_FALSE(one.fct_us.empty()) << "workload produced no completed flows";
   EXPECT_GT(one.events, 0u);
   const Snapshot two = run_with_shards("2", nullptr, Scheme::kUfab, 41);
   const Snapshot four = run_with_shards("4", nullptr, Scheme::kUfab, 41);
+  // k=4 has eight edge subtrees, so 8 shards cuts below the agg tier.
+  const Snapshot eight = run_with_shards("8", nullptr, Scheme::kUfab, 41);
   EXPECT_EQ(one, two);
   EXPECT_EQ(one, four);
+  EXPECT_EQ(one, eight);
 }
 
 TEST(ShardedDeterminism, ThreadedExecutionMatchesSequential) {
@@ -124,6 +130,18 @@ TEST(ShardedDeterminism, ThreadedExecutionMatchesSequential) {
   const Snapshot thr = run_with_shards("4", "threads", Scheme::kUfab, 41);
   ASSERT_FALSE(seq.fct_us.empty());
   EXPECT_EQ(seq, thr);
+}
+
+TEST(ShardedDeterminism, AdaptiveEpochsAreScheduleNeutral) {
+  // The legacy one-window cadence is the reference; multi-window adaptive
+  // epochs (any width, either executor) must reproduce it bit for bit.
+  const Snapshot legacy = run_with_shards("4", "seq", Scheme::kUfab, 41, "0");
+  ASSERT_FALSE(legacy.fct_us.empty());
+  EXPECT_EQ(legacy, run_with_shards("4", "seq", Scheme::kUfab, 41, "1", "4"));
+  EXPECT_EQ(legacy, run_with_shards("4", "seq", Scheme::kUfab, 41, "1", "16"));
+  EXPECT_EQ(legacy, run_with_shards("4", "threads", Scheme::kUfab, 41, "1", "16"));
+  EXPECT_EQ(legacy, run_with_shards("8", "threads", Scheme::kUfab, 41, "1", "16"));
+  EXPECT_EQ(legacy, run_with_shards("8", "seq", Scheme::kUfab, 41, "0"));
 }
 
 TEST(ShardedDeterminism, HoldsAcrossSchemesAndSeeds) {

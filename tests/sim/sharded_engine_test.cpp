@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/obs/profiler.hpp"
 #include "src/sim/node.hpp"
 #include "src/sim/packet.hpp"
 #include "src/sim/shard_sync.hpp"
@@ -90,11 +91,18 @@ struct TwoShardRun {
   std::int64_t final_now = 0;
 };
 
-TwoShardRun run_two_shard_workload(ShardExec exec) {
+TwoShardRun run_two_shard_workload(ShardExec exec, bool adaptive = true, int windows = 16,
+                                   std::uint64_t* epochs_out = nullptr) {
   constexpr std::int64_t kLookahead = 1000;
   constexpr TimeNs kEnd{40'000};
   Simulator sim;
   sim.configure_shards(2, TimeNs{kLookahead}, exec);
+  sim.set_adaptive_epochs(adaptive, windows);
+  if (epochs_out != nullptr) {
+    obs::ProfOptions popts;
+    popts.level = 1;
+    sim.enable_profiling(popts);
+  }
   TwoShardRun out;
   RecordingNode* nodes[2] = {new RecordingNode(sim, 0), new RecordingNode(sim, 1)};
 
@@ -135,6 +143,7 @@ TwoShardRun run_two_shard_workload(ShardExec exec) {
   }
   out.events = sim.events_processed();
   out.final_now = sim.now().ns();
+  if (epochs_out != nullptr) *epochs_out = sim.profiler()->epochs();
   delete[] chains;
   delete nodes[0];
   delete nodes[1];
@@ -160,19 +169,98 @@ TEST(ShardedEngine, ThreadedEpochsMatchSequentialExactly) {
   EXPECT_EQ(seq.final_now, thr.final_now);
 }
 
-TEST(ShardMailboxUnit, PostDrainKeepsOrderAndCounts) {
+TEST(ShardedEngine, AdaptiveEpochsAreScheduleNeutral) {
+  // Every (adaptive, windows, exec) combination must fire the identical
+  // schedule: multi-window epochs only change *when barriers happen*, never
+  // what runs between them (DESIGN.md §12).
+  const TwoShardRun base = run_two_shard_workload(ShardExec::kSequential, false, 1);
+  ASSERT_GT(base.chain_times[0].size(), 10u);
+  struct Combo {
+    ShardExec exec;
+    bool adaptive;
+    int windows;
+  };
+  for (const Combo c : {Combo{ShardExec::kSequential, true, 4},
+                        Combo{ShardExec::kSequential, true, 16},
+                        Combo{ShardExec::kThreads, false, 1},
+                        Combo{ShardExec::kThreads, true, 4},
+                        Combo{ShardExec::kThreads, true, 16}}) {
+    const TwoShardRun run = run_two_shard_workload(c.exec, c.adaptive, c.windows);
+    for (int s = 0; s < 2; ++s) {
+      EXPECT_EQ(base.chain_times[s], run.chain_times[s])
+          << "adaptive=" << c.adaptive << " windows=" << c.windows << " shard " << s;
+      EXPECT_EQ(base.arrivals[s], run.arrivals[s]) << "shard " << s;
+      EXPECT_EQ(base.crossings[s], run.crossings[s]) << "shard " << s;
+    }
+    EXPECT_EQ(base.events, run.events);
+    EXPECT_EQ(base.final_now, run.final_now);
+  }
+}
+
+TEST(ShardedEngine, AdaptiveEpochsAmortizeBarriers) {
+  // Same workload, profiled: the adaptive engine must reach the horizon with
+  // several-fold fewer coordinator barriers than the one-window-per-epoch
+  // legacy cadence (this is the whole point of the optimization).
+  std::uint64_t legacy = 0;
+  std::uint64_t adaptive = 0;
+  const TwoShardRun a = run_two_shard_workload(ShardExec::kSequential, false, 1, &legacy);
+  const TwoShardRun b = run_two_shard_workload(ShardExec::kSequential, true, 16, &adaptive);
+  EXPECT_EQ(a.events, b.events);
+  ASSERT_GT(legacy, 0u);
+  ASSERT_GT(adaptive, 0u);
+  EXPECT_LE(adaptive * 4, legacy)
+      << "adaptive epochs should amortize >=4x fewer barriers (legacy=" << legacy
+      << " adaptive=" << adaptive << ")";
+}
+
+TEST(ShardMailboxUnit, PostFlushDrainKeepsOrderAndCounts) {
   ShardMailbox<int> box;
   for (int i = 0; i < 5; ++i) box.post(int{i});
   EXPECT_EQ(box.posted_total(), 5u);
   std::vector<int> got;
-  box.drain_into(got);
-  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
-  box.drain_into(got);
+  const auto take = [&got](int v) { got.push_back(v); };
+  // Nothing published yet: a drain sees an empty mailbox.
+  box.drain(take);
   EXPECT_TRUE(got.empty());
+  box.flush();
+  EXPECT_EQ(box.flushes(), 1u);
+  box.drain(take);
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(box.max_drain_batch(), 5u);
+  EXPECT_TRUE(box.quiesced_empty());
+  // A second flush with nothing new published is a no-op (no release store).
+  box.flush();
+  EXPECT_EQ(box.flushes(), 1u);
+  got.clear();
   box.post(7);
-  box.drain_into(got);
+  box.flush();
+  box.drain(take);
   EXPECT_EQ(got, std::vector<int>{7});
   EXPECT_EQ(box.posted_total(), 6u);
+  EXPECT_EQ(box.max_drain_batch(), 5u);
+}
+
+TEST(ShardMailboxUnit, BatchesSpanChunksAndRewind) {
+  ShardMailbox<int> box;
+  // More than one 64-item chunk in a single batch, across several cycles so
+  // the quiesced rewind path runs too.
+  std::uint64_t total = 0;
+  std::vector<int> got;
+  for (int round = 0; round < 200; ++round) {
+    const int n = 100 + round;  // straddles chunk boundaries at every offset
+    for (int i = 0; i < n; ++i) box.post(round * 1000 + i);
+    box.flush();
+    got.clear();
+    box.drain([&got](int v) { got.push_back(v); });
+    ASSERT_EQ(static_cast<int>(got.size()), n) << "round " << round;
+    ASSERT_EQ(got.front(), round * 1000);
+    ASSERT_EQ(got.back(), round * 1000 + n - 1);
+    total += static_cast<std::uint64_t>(n);
+    ASSERT_TRUE(box.quiesced_empty());
+    box.maybe_reset();
+  }
+  EXPECT_EQ(box.posted_total(), total);
+  EXPECT_GE(box.max_drain_batch(), 100u);
 }
 
 }  // namespace

@@ -46,7 +46,12 @@ void check_partition(Network& net, int want, int expect_shards) {
   // propagation delay over those links.
   std::set<std::int32_t> cut{};
   for (const LinkId lid : part.cut_links) cut.insert(lid.value());
+  ASSERT_EQ(part.cut_link_prop.size(), part.cut_links.size());
+  for (std::size_t i = 0; i < part.cut_links.size(); ++i) {
+    EXPECT_EQ(part.cut_link_prop[i], net.link(part.cut_links[i])->prop_delay());
+  }
   std::int64_t min_prop = std::numeric_limits<std::int64_t>::max();
+  std::vector<TimeNs> out_la(static_cast<std::size_t>(part.shards), TimeNs::max());
   for (const sim::Link* l : net.links()) {
     const int from = part.shard_of(net.link_owner(l->id()));
     const int to = part.shard_of(net.link_owner(net.reverse_link(l->id())));
@@ -58,6 +63,8 @@ void check_partition(Network& net, int want, int expect_shards) {
       EXPECT_EQ(dst, to) << l->name();
       EXPECT_TRUE(cut.count(l->id().value())) << l->name();
       min_prop = std::min(min_prop, l->prop_delay().ns());
+      TimeNs& la = out_la[static_cast<std::size_t>(from)];
+      if (l->prop_delay() < la) la = l->prop_delay();
       // Hosts always stay with their ToR: a NIC link is never a cut link.
       EXPECT_FALSE(host_nodes.count(net.link_owner(l->id()).value())) << l->name();
       EXPECT_FALSE(host_nodes.count(net.link_owner(net.reverse_link(l->id())).value()))
@@ -67,10 +74,19 @@ void check_partition(Network& net, int want, int expect_shards) {
   if (part.shards == 1) {
     EXPECT_TRUE(part.cut_links.empty());
     EXPECT_EQ(part.lookahead, TimeNs::max());
+    EXPECT_TRUE(part.shard_out_lookahead.empty());
   } else {
     ASSERT_FALSE(part.cut_links.empty());
     EXPECT_EQ(part.lookahead.ns(), min_prop);
     EXPECT_GT(part.lookahead.ns(), 0);
+    // Per-source-shard outgoing strides: min prop over that shard's cut
+    // links, feeding the engine's solo barrier-skip rounds.
+    ASSERT_EQ(part.shard_out_lookahead.size(), static_cast<std::size_t>(part.shards));
+    for (int s = 0; s < part.shards; ++s) {
+      EXPECT_EQ(part.shard_out_lookahead[static_cast<std::size_t>(s)],
+                out_la[static_cast<std::size_t>(s)])
+          << "shard " << s;
+    }
   }
 
   // Deterministic: the same topology and request reproduce the same cut.
@@ -101,6 +117,34 @@ TEST(Partition, FatTreeK8SupportsOneTwoFourShards) {
 
 TEST(Partition, OversubscribedFatTreeSupportsOneTwoFourShards) {
   check_topology([](sim::Simulator& s) { return make_fat_tree(s, 4, 2, {}); });
+}
+
+TEST(Partition, FatTreeK16PartitionsCleanly) {
+  // 1024 hosts, 320 switches: the fig17 UFAB_FIG17_K=16 scale.  All the
+  // generic invariants hold — in particular no host is ever separated from
+  // its ToR — at every shard count the perf grid uses.
+  for (const int want : {1, 2, 4, 8, 16}) {
+    sim::Simulator sim;
+    auto net = make_fat_tree(sim, 16, 1, {});
+    check_partition(*net, want, want);
+  }
+}
+
+TEST(Partition, TieredCorePropSetsCutLookahead) {
+  // With short in-pod fibers and long agg<->core spans (the fig17 bench
+  // defaults), a per-pod cut lands exclusively on the core tier, so the
+  // epoch lookahead is the core prop — 10x the uniform default.
+  FabricOptions opts;
+  opts.prop_delay = TimeNs{500};
+  opts.core_prop = TimeNs{5'000};
+  sim::Simulator sim;
+  auto net = make_fat_tree(sim, 8, 1, opts);
+  const Partition part = partition_network(*net, 4);
+  ASSERT_EQ(part.shards, 4);
+  EXPECT_EQ(part.lookahead, TimeNs{5'000});
+  ASSERT_EQ(part.shard_out_lookahead.size(), 4u);
+  for (const TimeNs la : part.shard_out_lookahead) EXPECT_EQ(la, TimeNs{5'000});
+  for (const TimeNs p : part.cut_link_prop) EXPECT_EQ(p, TimeNs{5'000});
 }
 
 TEST(Partition, TestbedSupportsOneTwoFourShards) {
