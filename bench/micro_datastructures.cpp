@@ -10,8 +10,10 @@
 #include "src/sim/node.hpp"
 #include "src/sim/shard_sync.hpp"
 #include "src/sim/simulator.hpp"
+#include "src/sim/switch.hpp"
 #include "src/telemetry/bloom.hpp"
 #include "src/telemetry/core_agent.hpp"
+#include "src/telemetry/int_codec.hpp"
 #include "src/ufab/token_assigner.hpp"
 #include "src/ufab/wfq.hpp"
 #include "src/workload/sources.hpp"
@@ -291,6 +293,111 @@ void BM_Fig17Slice(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Fig17Slice)->Unit(benchmark::kMillisecond);
+
+/// One busy link delivering bursts end to end, fused pipeline vs the legacy
+/// two-event serializer (Arg: 1 = fused, 0 = legacy).  Both run in canonical
+/// sharded mode so the only difference is the serializer itself; the fused
+/// path should win on events scheduled (one calendar entry per busy link
+/// instead of two per packet) and therefore on ns/packet (DESIGN.md §13).
+void BM_LinkPipelineHop(benchmark::State& state) {
+  const bool fused = state.range(0) != 0;
+  constexpr int kBursts = 64;
+  constexpr int kPerBurst = 8;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim.configure_shards(1, TimeNs::max(), sim::ShardExec::kSequential);
+    sim.set_fused_links(fused);
+    NullNode sink;
+    sim::Link link(sim, LinkId{0}, "l", &sink,
+                   sim::LinkConfig{Bandwidth::gbps(10.0), 1_us, 1 << 20, -1, 0.95});
+    auto& pool = sim.packet_pool();
+    for (int b = 0; b < kBursts; ++b) {
+      sim.at(TimeNs{1 + b * 15'000}, [&link, &pool] {
+        for (int i = 0; i < kPerBurst; ++i) {
+          link.enqueue(sim::make_packet(pool, sim::PacketKind::kData,
+                                        VmPairId{VmId{1}, VmId{2}}, TenantId{0}, HostId{0},
+                                        HostId{1}, 1500));
+        }
+      });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(link.tx_bytes_cum());
+  }
+  state.SetItemsProcessed(state.iterations() * kBursts * kPerBurst);
+}
+BENCHMARK(BM_LinkPipelineHop)->Arg(0)->Arg(1);
+
+/// The forwarding decision in isolation (Arg: 0 = source route consult,
+/// 1 = legacy nested-vector ECMP walk, 2 = compiled flat FIB).  The flat FIB
+/// turns the common single-path case into one dense array load and keeps the
+/// multi-path hash bit-identical via a CSR candidate pool.
+void BM_FlatFib(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  sim::Simulator sim;
+  sim::Switch sw(sim, NodeId{0}, "sw");
+  NullNode sink;
+  constexpr int kPorts = 16;
+  constexpr int kHosts = 256;
+  for (int p = 0; p < kPorts; ++p) {
+    sw.add_port(std::make_unique<sim::Link>(sim, LinkId{p}, "l", &sink, sim::LinkConfig{}));
+  }
+  for (int h = 0; h < kHosts; ++h) {
+    if (h % 4 == 0) {
+      sw.set_ecmp_ports(HostId{h}, {h % kPorts, (h + 5) % kPorts, (h + 11) % kPorts});
+    } else {
+      sw.set_ecmp_ports(HostId{h}, {h % kPorts});
+    }
+  }
+  if (mode == 2) sw.compile_fib();
+  auto pkt = sim::Packet::make(sim::PacketKind::kData, VmPairId{VmId{1}, VmId{2}}, TenantId{0},
+                               HostId{0}, HostId{3}, 1500);
+  for (int h = 0; h < 6; ++h) pkt->route.push_back((h * 3) % kPorts);
+  std::int32_t acc = 0;
+  int dst = 0;
+  for (auto _ : state) {
+    pkt->dst_host = HostId{dst};
+    dst = (dst + 1) % kHosts;
+    if (mode == 0) {
+      // What receive() does for a source-routed packet: read route[hop].
+      acc ^= pkt->route[static_cast<std::size_t>(pkt->hop)];
+      pkt->hop = (pkt->hop + 1) % static_cast<std::int32_t>(pkt->route.size());
+    } else {
+      acc ^= sw.forwarding_port(*pkt);
+    }
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlatFib)->Arg(0)->Arg(1)->Arg(2);
+
+/// INT record quantization: the legacy wire-struct round trip (encode to the
+/// packed struct, decode back) vs the fused in-place path used on probe
+/// egress (same bit outcomes, no intermediate EncodedIntRecord).  Arg: 0 =
+/// round trip, 1 = inline.
+void BM_IntEncodeInline(benchmark::State& state) {
+  const bool inline_path = state.range(0) != 0;
+  sim::IntRecord proto;
+  proto.link = LinkId{3};
+  proto.phi_total = 2.5e9;
+  proto.window_total = 1.8e8;
+  proto.tx_bytes_cum = 123'456'789;
+  proto.stamp = TimeNs{1'000'000};
+  proto.tx_rate_hint = Bandwidth::gbps(7.3);
+  proto.queue_bytes = 48'000;
+  proto.capacity = Bandwidth::gbps(10.0);
+  const int cls = telemetry::IntCodec::speed_class(proto.capacity);
+  for (auto _ : state) {
+    sim::IntRecord rec = proto;
+    if (inline_path) {
+      telemetry::IntCodec::quantize_inline(rec, cls);
+    } else {
+      telemetry::IntCodec::quantize(rec);
+    }
+    benchmark::DoNotOptimize(rec.queue_bytes);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IntEncodeInline)->Arg(0)->Arg(1);
 
 /// Cost of one enabled ProfScope token (two clock reads + slice add) — the
 /// per-call price of every level-2 detailed scope (WFQ next, telemetry

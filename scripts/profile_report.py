@@ -16,6 +16,10 @@ The report answers the two questions the sharding work needs answered:
     1.0 is perfectly balanced; the barrier makes every epoch as slow as the
     busiest shard, so imbalance is an upper bound on the speedup left.
 
+  * events / events_per_sec / ns_per_event — engine throughput: total events
+    across shards over the run's wall clock.  The per-event figures are what
+    the fused-link work (DESIGN.md §13) moves, so the perf lane floors them.
+
 With --json, emits exactly those derived numbers (single file only) so
 scripts/run_perf.sh can merge them into BENCH_engine.json.  Stdlib only.
 """
@@ -73,10 +77,16 @@ def report(path, doc):
     epochs = doc.get("epochs", {})
     shards = doc.get("shards_detail", [])
     print("=== %s ===" % path)
+    events_total = sum(s.get("events", 0) for s in shards)
+    wall_ns = doc.get("wall_ns", 0.0)
     print("shards=%d threaded=%s level=%d lookahead_ns=%s wall_ms=%s"
           % (doc.get("shards", 1), doc.get("threaded", False),
              doc.get("level", 1), doc.get("lookahead_ns", -1),
-             fmt_ms(doc.get("wall_ns", 0.0))))
+             fmt_ms(wall_ns)))
+    print("events=%d events_per_sec=%.3g ns_per_event=%.1f"
+          % (events_total,
+             events_total / (wall_ns / 1e9) if wall_ns > 0 else 0.0,
+             wall_ns / events_total if events_total > 0 else 0.0))
     print("epochs=%d windows=%d barrier_skips=%d crossings_injected=%d "
           "adaptive=%s epoch_windows=%d"
           % (epochs.get("count", 0), epochs.get("windows", 0),
@@ -160,7 +170,14 @@ def main(argv):
         doc = load(args[0])
         derived = doc.get("derived", {})
         epochs = doc.get("epochs", {})
+        events_total = sum(s.get("events", 0) for s in doc.get("shards_detail", []))
+        wall_ns = doc.get("wall_ns", 0.0)
         print(json.dumps({
+            "events": events_total,
+            "events_per_sec": (events_total / (wall_ns / 1e9)
+                               if wall_ns > 0 else 0.0),
+            "ns_per_event": (wall_ns / events_total
+                             if events_total > 0 else 0.0),
             "stall_fraction": derived.get("stall_fraction", 0.0),
             "shard_imbalance": derived.get("shard_imbalance", 1.0),
             "busy_ns_total": derived.get("busy_ns_total", 0.0),

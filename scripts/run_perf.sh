@@ -14,7 +14,14 @@
 #     (full lane only);
 #   * profiler overhead — BM_Fig17Slice with UFAB_PROF=0 vs =1, guarded:
 #     the lane FAILS if enabling the profiler costs more than
-#     UFAB_PROF_GUARD_PCT percent (default 5).
+#     UFAB_PROF_GUARD_PCT percent (default 5);
+#   * fused link pipelines — the serial fig17 cell with UFAB_FUSED_LINKS=0
+#     (legacy two-event serializer) vs the fused default.  Both lanes verify
+#     the legacy stdout is byte-identical to the fused one and that fusing
+#     cut calendar events by >= UFAB_FUSED_EVENT_CUT_PCT percent (default
+#     40, machine-independent).  The full lane additionally FAILS if the
+#     fused cell is not UFAB_FUSED_SPEEDUP_FLOOR (default 1.25) times
+#     faster than legacy on the k=8 cell.
 #
 # The full lane additionally records a shard-scaling grid (UFAB_SHARDS=2/4/8
 # single-round wall clocks on the k=8 cell) and a first fig17 k=16 row
@@ -38,6 +45,8 @@
 #   UFAB_SHARDS_AB      shard count for the sharded side (default: 4).
 #   UFAB_PROF_GUARD_PCT max tolerated profiler overhead percent (default: 5).
 #   UFAB_SHARD_SPEEDUP_FLOOR  min 4-shard speedup on >=4-CPU hosts (2.0).
+#   UFAB_FUSED_SPEEDUP_FLOOR  min fused-vs-legacy speedup, full lane (1.25).
+#   UFAB_FUSED_EVENT_CUT_PCT  min calendar-event cut from fusing (40).
 #   UFAB_PERF_SKIP_K16=1      skip the k=16 row (it is the longest run).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -121,7 +130,8 @@ prof_k=8
 if [[ "${SMOKE}" == "1" ]]; then prof_k=4; fi
 cell=(UFAB_FIG17_K="${prof_k}" UFAB_FIG17_ONLY=uFAB,1,0.5 UFAB_JOBS=1 UFAB_OBS=0)
 rm -rf bench_artifacts/prof-serial bench_artifacts/prof-sharded \
-  bench_artifacts/prof-sharded-legacy bench_artifacts/prof-k16
+  bench_artifacts/prof-sharded-legacy bench_artifacts/prof-serial-legacy-links \
+  bench_artifacts/prof-k16
 echo "[perf] fig17 cell k=${prof_k}: passivity reference (UFAB_PROF=0, serial) ..." >&2
 env "${cell[@]}" UFAB_SHARDS=1 UFAB_PROF=0 \
   "${BUILD_DIR}/bench/fig17_large_scale" >"${STDOUT_OFF}"
@@ -155,6 +165,29 @@ if ! cmp -s "${STDOUT_OFF}" "${STDOUT_ON}"; then
   exit 1
 fi
 
+# Fused-link escape hatch: UFAB_FUSED_LINKS=0 re-enables the legacy
+# two-event serializer.  Its stdout must stay byte-identical to the fused
+# default, serially and sharded (DESIGN.md §13) — only the event count may
+# move, and it must shrink by the floor percentage.
+echo "[perf] fig17 cell k=${prof_k}: profiled serial, legacy links (UFAB_FUSED_LINKS=0) ..." >&2
+env "${cell[@]}" UFAB_SHARDS=1 UFAB_FUSED_LINKS=0 UFAB_PROF=1 \
+  UFAB_METRICS_DIR=bench_artifacts/prof-serial-legacy-links \
+  "${BUILD_DIR}/bench/fig17_large_scale" >"${STDOUT_ON}"
+if ! cmp -s "${STDOUT_OFF}" "${STDOUT_ON}"; then
+  echo "[perf] FAIL: legacy-link stdout differs from fused:" >&2
+  diff "${STDOUT_OFF}" "${STDOUT_ON}" >&2 || true
+  exit 1
+fi
+echo "[perf] fig17 cell k=${prof_k}: legacy links sharded (UFAB_SHARDS=${shards_ab}) ..." >&2
+env "${cell[@]}" UFAB_SHARDS="${shards_ab}" UFAB_FUSED_LINKS=0 \
+  "${BUILD_DIR}/bench/fig17_large_scale" >"${STDOUT_ON}"
+if ! cmp -s "${STDOUT_OFF}" "${STDOUT_ON}"; then
+  echo "[perf] FAIL: sharded legacy-link stdout differs from serial fused:" >&2
+  diff "${STDOUT_OFF}" "${STDOUT_ON}" >&2 || true
+  exit 1
+fi
+echo "[perf] equivalence OK: legacy-link stdout byte-identical to fused" >&2
+
 profile_of() {
   local files=("$1"/*.profile.json)
   if [[ ! -e "${files[0]}" ]]; then
@@ -166,10 +199,30 @@ profile_of() {
 serial_profile="$(profile_of bench_artifacts/prof-serial)"
 sharded_profile="$(profile_of bench_artifacts/prof-sharded)"
 legacy_profile="$(profile_of bench_artifacts/prof-sharded-legacy)"
+legacy_links_profile="$(profile_of bench_artifacts/prof-serial-legacy-links)"
 echo "[perf] stall/imbalance report:" >&2
 scripts/profile_report.py bench_artifacts/prof-serial/*.profile.json \
   bench_artifacts/prof-sharded/*.profile.json \
-  bench_artifacts/prof-sharded-legacy/*.profile.json >&2
+  bench_artifacts/prof-sharded-legacy/*.profile.json \
+  bench_artifacts/prof-serial-legacy-links/*.profile.json >&2
+
+# Event-cut guard (machine-independent, runs in smoke too): fusing must
+# schedule at least UFAB_FUSED_EVENT_CUT_PCT percent fewer calendar events
+# than the legacy serializer on the same cell.
+event_cut_pct="${UFAB_FUSED_EVENT_CUT_PCT:-40}"
+if ! python3 -c '
+import json, sys
+fused = json.loads(sys.argv[1])
+legacy = json.loads(sys.argv[2])
+floor = float(sys.argv[3])
+cut = 100.0 * (1.0 - fused["events"] / legacy["events"]) if legacy["events"] else 0.0
+print("[perf] fused links: events legacy=%d fused=%d (%.1f%% cut, floor %.0f%%)"
+      % (legacy["events"], fused["events"], cut, floor), file=sys.stderr)
+sys.exit(0 if cut >= floor else 1)
+' "${serial_profile}" "${legacy_links_profile}" "${event_cut_pct}"; then
+  echo "[perf] FAIL: fused links cut fewer than ${event_cut_pct}% of calendar events" >&2
+  exit 1
+fi
 
 # Barrier-amortization guard: the adaptive engine must synchronize at least
 # 5x less often than the legacy one-window cadence on the same cell.
@@ -192,6 +245,7 @@ fi
 serial_samples=""
 sharded_samples=""
 legacy_samples=""
+fusedoff_samples=""
 jobs1_samples=""
 jobsN_samples=""
 wall() {
@@ -211,7 +265,29 @@ for ((i = 1; i <= ab_rounds; ++i)); do
   sharded_samples+="${sharded_samples:+,}$(wall "${abcell[@]}" UFAB_SHARDS="${shards_ab}")"
   echo "[perf] fig17 cell k=${prof_k}, round ${i}/${ab_rounds}: UFAB_SHARDS=${shards_ab} legacy epochs ..." >&2
   legacy_samples+="${legacy_samples:+,}$(wall "${abcell[@]}" UFAB_SHARDS="${shards_ab}" UFAB_ADAPTIVE_EPOCHS=0)"
+  echo "[perf] fig17 cell k=${prof_k}, round ${i}/${ab_rounds}: UFAB_SHARDS=1 UFAB_FUSED_LINKS=0 ..." >&2
+  fusedoff_samples+="${fusedoff_samples:+,}$(wall "${abcell[@]}" UFAB_SHARDS=1 UFAB_FUSED_LINKS=0)"
 done
+
+# Fused speedup floor: gated on the full lane only (the k=4 smoke cell is
+# too short for a stable wall-clock ratio; its event-cut guard above is the
+# smoke-side check).
+fused_floor="${UFAB_FUSED_SPEEDUP_FLOOR:-1.25}"
+if [[ "${SMOKE}" == "0" ]]; then
+  if ! python3 -c '
+import sys
+legacy = min(float(x) for x in sys.argv[1].split(","))
+fused = min(float(x) for x in sys.argv[2].split(","))
+floor = float(sys.argv[3])
+speedup = legacy / fused if fused > 0 else 0.0
+print("[perf] fused links: k=8 serial %.2fs -> %.2fs (%.2fx, floor %.2fx)"
+      % (legacy, fused, speedup, floor), file=sys.stderr)
+sys.exit(0 if speedup >= floor else 1)
+' "${fusedoff_samples}" "${serial_samples}" "${fused_floor}"; then
+    echo "[perf] FAIL: fused links below ${fused_floor}x on the serial k=8 cell" >&2
+    exit 1
+  fi
+fi
 
 # Shard-scaling grid + sweep A/B (full lane only).
 grid_entries=""
@@ -275,14 +351,16 @@ python3 - "$MICRO_JSON" "$OUT" "$serial_samples" "$sharded_samples" \
   "$legacy_samples" "$jobs1_samples" "$jobsN_samples" "$jobs" "$shards_ab" \
   "$serial_profile" "$sharded_profile" "$legacy_profile" "$overhead_pct" \
   "$off_ms" "$on_ms" "$guard_pct" "$prof_k" "$cpus_online" "$grid_entries" \
-  "$k16_wall" "$k16_profile" "$speedup_floor" <<'PY'
+  "$k16_wall" "$k16_profile" "$speedup_floor" "$fusedoff_samples" \
+  "$legacy_links_profile" "$fused_floor" "$event_cut_pct" "$SMOKE" <<'PY'
 import json, platform, sys
 
 (micro_path, out_path, serial_s, sharded_s, legacy_s,
  jobs1_s, jobsN_s, jobs, shards_ab,
  serial_profile, sharded_profile, legacy_profile, overhead_pct, off_ms, on_ms,
  guard_pct, prof_k, cpus_online, grid_entries, k16_wall, k16_profile,
- speedup_floor) = sys.argv[1:23]
+ speedup_floor, fusedoff_s, legacy_links_profile, fused_floor,
+ event_cut_pct, smoke) = sys.argv[1:28]
 with open(micro_path) as f:
     micro = json.load(f)
 
@@ -324,6 +402,23 @@ sweep = ab(jobs1_s, jobsN_s)
 sweep.update({"a": "UFAB_JOBS=1", "b": f"UFAB_JOBS={jobs}",
               "workload": "fig17 k=4 full grid"})
 
+fused_a = json.loads(legacy_links_profile)
+fused_b = json.loads(serial_profile)
+fused = ab(fusedoff_s, serial_s)
+fused.update({
+    "a": "UFAB_FUSED_LINKS=0 (legacy two-event serializer)",
+    "b": "fused link pipelines (default)",
+    "workload": f"fig17 k={prof_k} cell uFAB,1,0.5 (serial, UFAB_JOBS=1)",
+    "a_profile": fused_a,
+    "b_profile": fused_b,
+    "event_cut_pct": (round(100.0 * (1.0 - fused_b["events"] / fused_a["events"]), 2)
+                      if fused_a.get("events") else None),
+    "event_cut_floor_pct": float(event_cut_pct),
+    "speedup_floor": float(fused_floor),
+    "speedup_gated": smoke == "0",
+    "passivity": "stdout byte-identical, serial and sharded",
+})
+
 grid = []
 for row in (grid_entries.split(",") if grid_entries else []):
     shards, exec_, wall = row.split(":")
@@ -341,7 +436,7 @@ if k16_wall:
            "profile": json.loads(k16_profile)}
 
 doc = {
-    "schema": "ufab-bench-engine-v4",
+    "schema": "ufab-bench-engine-v5",
     "notes": "interleaved min-of-N wall clocks (A B C A B C ...); speedups "
              "are min(A)/min(B).  On single-CPU hosts the sharded and sweep "
              "sides cannot beat serial — the lane still records every sample "
@@ -349,8 +444,13 @@ doc = {
              "are auditable everywhere; the threaded speedup floor only "
              "gates on >=4-CPU hosts.  *_profile entries come from untimed "
              f"UFAB_PROF=1 runs of the k={prof_k} cell (see "
-             "scripts/profile_report.py); prof_overhead is the guarded "
-             "BM_Fig17Slice cost of enabling the profiler.",
+             "scripts/profile_report.py) and carry the per-event engine "
+             "figures (events, events_per_sec, ns_per_event); prof_overhead "
+             "is the guarded BM_Fig17Slice cost of enabling the profiler.  "
+             "fig17_fused_ab compares the fused link pipelines against the "
+             "UFAB_FUSED_LINKS=0 escape hatch: stdout byte-identical both "
+             "ways, events cut gated everywhere, wall-clock speedup gated "
+             "on the full lane.",
     "host": {
         "machine": platform.machine(),
         "cpus_online": int(cpus_online),
@@ -367,6 +467,7 @@ doc = {
     "fig17_sharding_ab": sharding,
     "fig17_adaptivity_ab": adaptivity,
     "fig17_sweep_ab": sweep,
+    "fig17_fused_ab": fused,
     "fig17_shard_grid": grid,
     "fig17_k16": k16,
     "speedup_floor": {"value": float(speedup_floor),

@@ -52,6 +52,12 @@ class RingDeque {
     --count_;
   }
 
+  void pop_back() {
+    UFAB_CHECK(count_ > 0);
+    buf_[(head_ + count_ - 1) & (buf_.size() - 1)] = T{};
+    --count_;
+  }
+
   void clear() {
     for (std::size_t i = 0; i < count_; ++i) {
       buf_[(head_ + i) & (buf_.size() - 1)] = T{};

@@ -40,6 +40,21 @@ struct DeliverEvent {
   void operator()() { dst->receive(std::move(p)); }
 };
 
+class Link;
+
+/// The fused-pipeline head event: the only calendar entry a busy fused link
+/// keeps resident.  Fires the pipe head's arrival at the peer and re-arms
+/// itself for the next in-flight packet (src/sim/link.cpp).  The packet stays
+/// owned by the link's pipe — not by this event — so an abort (set_down)
+/// destroys dropped packets at legacy-identical times; `epoch` neutralizes a
+/// stale head event after such an abort, exactly like the legacy serializer.
+/// Lives here so the engine profiler can classify it as a delivery dispatch.
+struct FusedLinkDeliver {
+  Link* link;
+  std::uint64_t epoch;
+  void operator()();
+};
+
 }  // namespace ufab::sim
 
 /// DeliverEvent is a raw pointer plus a unique_ptr with a stateless deleter:
@@ -47,3 +62,7 @@ struct DeliverEvent {
 /// constructor followed by destroying the (then empty) source.
 template <>
 inline constexpr bool ufab::is_trivially_relocatable_v<ufab::sim::DeliverEvent> = true;
+
+/// FusedLinkDeliver is a raw pointer plus an integer: trivially copyable.
+template <>
+inline constexpr bool ufab::is_trivially_relocatable_v<ufab::sim::FusedLinkDeliver> = true;

@@ -253,6 +253,7 @@ void Simulator::run_pass_windowed(TimeNs base, int windows) {
         const ShardScope scope = scoped(s->index);
         shard_pass(*s, b, false);
         if (b > s->now) s->now = b;
+        s->now_inclusive = false;  // events at exactly b run in the next window
         flush_outgoing(s->index);
       }
       const std::int64_t t0 = prof_ != nullptr ? obs::ProfClock::now() : 0;
@@ -278,6 +279,7 @@ void Simulator::windowed_shard_pass(Shard& s) {
     b = b + lookahead_;
     shard_pass(s, b, false);
     if (b > s.now) s.now = b;
+    s.now_inclusive = false;  // events at exactly b run in the next window
     flush_outgoing(s.index);
     clocks_[static_cast<std::size_t>(s.index)]->publish(b.ns());
     const std::int64_t t0 = sl != nullptr ? obs::ProfClock::now() : 0;
@@ -351,15 +353,19 @@ void Simulator::pop_and_run_profiled(Shard& s, obs::ProfSlice& sl) {
   if (!s.peeked_overflow) --s.ring_size;
   s.now = ev.at;
   ++s.processed;
-  const obs::ProfCat dispatch_cat = ev.fn.invokes<DeliverEvent>()
-                                        ? obs::ProfCat::kDispatchDeliver
-                                        : obs::ProfCat::kDispatchClosure;
+  const obs::ProfCat dispatch_cat =
+      ev.fn.invokes<DeliverEvent>() || ev.fn.invokes<FusedLinkDeliver>()
+          ? obs::ProfCat::kDispatchDeliver
+          : obs::ProfCat::kDispatchClosure;
   sl.bump(obs::ProfCat::kQueuePop);
   sl.bump(dispatch_cat);
   const std::int64_t t1 = timed ? obs::ProfClock::now() : 0;
   if (canonical_) {
     s.cur_id = event_identity(ev.h, ev.k);
     s.cur_k = 0;
+    s.cur_raw_h = ev.h;
+    s.cur_raw_k = ev.k;
+    s.now_inclusive = false;
     s.in_event = true;
     ev.fn();
     s.in_event = false;
@@ -419,9 +425,12 @@ TimeNs Simulator::earliest_pending() {
   return earliest;
 }
 
-void Simulator::set_clocks(TimeNs t) {
+void Simulator::set_clocks(TimeNs t, bool inclusive) {
   for (auto& s : shards_) {
-    if (t > s->now) s->now = t;
+    if (t >= s->now) {
+      s->now = t;
+      s->now_inclusive = inclusive;
+    }
   }
 }
 
@@ -485,6 +494,7 @@ bool Simulator::solo_run(int x, TimeNs limit) {
       // treatment of events at exactly t.
       shard_pass(s, limit, true);
       if (limit != TimeNs::max() && limit > s.now) s.now = limit;
+      s.now_inclusive = true;
       if (prof_ != nullptr) prof_->note_barrier_skip();
       progressed = true;
       break;
@@ -494,6 +504,7 @@ bool Simulator::solo_run(int x, TimeNs limit) {
     if (boundary >= limit) break;  // final stretch: the epoch loop owns it
     shard_pass(s, boundary, false);
     if (boundary > s.now) s.now = boundary;
+    s.now_inclusive = false;
     if (prof_ != nullptr) prof_->note_barrier_skip();
     progressed = true;
     flush_outgoing(x);
@@ -569,7 +580,7 @@ void Simulator::run_until_sharded(TimeNs t) {
     const TimeNs earliest = earliest_pending();
     if (earliest > t) {
       // Nothing left at or before the horizon (events at exactly t included).
-      set_clocks(t);
+      set_clocks(t, true);
       break;
     }
     if (adaptive_ && shards_.size() > 1) {
@@ -586,8 +597,11 @@ void Simulator::run_until_sharded(TimeNs t) {
       // run at exactly t, and their crossings land strictly after t.
       if (prof_ != nullptr) prof_->note_epoch((t - base).ns());
       run_pass(t, true);
-      set_clocks(t);
+      set_clocks(t, true);
       while (inject_crossings(t)) run_pass(t, true);
+      // The injection passes popped events (clearing the inclusive marks);
+      // everything at or before t has now run on every shard.
+      set_clocks(t, true);
       note_injected_progress();
       break;
     }
@@ -602,7 +616,7 @@ void Simulator::run_until_sharded(TimeNs t) {
       prof_->note_windows(w);
     }
     run_pass_windowed(base, w);
-    set_clocks(base + TimeNs{w * la});
+    set_clocks(base + TimeNs{w * la}, false);
     note_injected_progress();
   }
   if (prof_ != nullptr) prof_->add_run_wall(obs::ProfClock::now() - wall_t0);
@@ -633,7 +647,7 @@ void Simulator::run_sharded_drain() {
       prof_->note_windows(w);
     }
     run_pass_windowed(earliest, w);
-    set_clocks(earliest + TimeNs{w * la});
+    set_clocks(earliest + TimeNs{w * la}, false);
     note_injected_progress();
   }
   if (prof_ != nullptr) prof_->add_run_wall(obs::ProfClock::now() - wall_t0);

@@ -60,6 +60,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -88,7 +89,12 @@ enum class ShardExec : std::uint8_t {
 
 class Simulator {
  public:
-  Simulator() { shards_.push_back(std::make_unique<Shard>(0)); }
+  Simulator() {
+    shards_.push_back(std::make_unique<Shard>(0));
+    if (const char* v = std::getenv("UFAB_FUSED_LINKS"); v != nullptr && v[0] == '0') {
+      fused_links_ = false;
+    }
+  }
   ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -149,6 +155,7 @@ class Simulator {
         }
       }
       if (t > s.now) s.now = t;
+      s.now_inclusive = true;  // everything at or before t has run
     } else {
       run_until_sharded(t);
     }
@@ -280,6 +287,92 @@ class Simulator {
     ++s.crossings_posted;
     cross_ch(s.index, dst_shard)
         .post(Crossing{at, s.cur_id, s.cur_k++, dst_shard, dst, std::move(pkt)});
+  }
+
+  // --- explicit-key scheduling (the fused link pipeline, DESIGN.md §13) ---
+
+  /// A raw (h, k) ordering key, before the event_identity finalizer.
+  struct ChildKey {
+    std::uint64_t h;
+    std::uint32_t k;
+  };
+
+  /// Consumes and returns the key the next at()/after() call from this
+  /// context would have stamped — without scheduling anything.  The fused
+  /// link pipeline reserves the slot the legacy serializer-end event would
+  /// have occupied, so every descendant keeps its byte-identical key even
+  /// though the event itself never enters the calendar.  Canonical mode only.
+  [[nodiscard]] ChildKey alloc_child_key() {
+    UFAB_CHECK(canonical_);
+    Shard& s = active();
+    if (s.in_event) return ChildKey{s.cur_id, s.cur_k++};
+    return ChildKey{kRootIdentity, root_k_++};
+  }
+
+  /// Schedules `fn` at `t` under an explicit raw key instead of one stamped
+  /// from the current context (canonical mode only).  The fused pipeline
+  /// reproduces legacy delivery keys through this: the head departure is
+  /// scheduled with exactly the (h, k) the two-event chain would have used.
+  void at_keyed(TimeNs t, std::uint64_t h, std::uint32_t k, UniqueFunction fn) {
+    Shard& s = active();
+    UFAB_CHECK(canonical_);
+    UFAB_CHECK_MSG(t >= s.now, "scheduling into the past");
+    push(s, t, h, k, std::move(fn));
+  }
+
+  /// post_cross with an explicit key: the fused pipeline posts a cut-link
+  /// crossing eagerly at commit time (from the enqueuing event) carrying the
+  /// delivery key the legacy serializer-end event would have produced at wire
+  /// exit.  Safe for the conservative sync: `at` exceeds the posting time by
+  /// at least tx + prop >= lookahead, so the crossing still lands at or past
+  /// every boundary reachable from the posting window, and it is flushed and
+  /// drained at the first boundary after the post — earlier than legacy,
+  /// never later.  Must be called from inside a running event: a root-context
+  /// post would sit unflushed where earliest_pending()/solo decisions cannot
+  /// see it.
+  void post_cross_keyed(int dst_shard, TimeNs at, Node* dst, PacketPtr pkt,
+                        std::uint64_t h, std::uint32_t k) {
+    UFAB_PROF_SCOPE(obs::ProfCat::kMailboxPost);
+    Shard& s = active();
+    UFAB_CHECK(canonical_);
+    UFAB_CHECK_MSG(s.in_event, "eager crossing posted outside an event");
+    UFAB_CHECK(dst_shard >= 0 && dst_shard < shard_count() && dst_shard != s.index);
+    ++s.crossings_posted;
+    cross_ch(s.index, dst_shard).post(Crossing{at, h, k, dst_shard, dst, std::move(pkt)});
+  }
+
+  /// Opaque handle to the shard the calling context schedules onto.  The
+  /// fused pipeline captures it at first commit so later queries — possibly
+  /// made from another shard's context under sequential execution (soak's
+  /// queue sampler) — evaluate firedness against the link's own shard.
+  using ShardHandle = const void*;
+  [[nodiscard]] ShardHandle active_shard_handle() const { return &active(); }
+
+  /// Whether the legacy engine would already have run an event keyed
+  /// (t, h, k) on `handle`'s shard.  Monotone (once fired, always fired):
+  /// strictly-past times have run; at the current instant, mid-event the raw
+  /// key of the executing event is the frontier (the calendar pops in strict
+  /// (at, h, k) order and every key we ask about was scheduled strictly
+  /// before `t`, so pure key order applies), and between events it depends on
+  /// whether the shard stopped at an inclusive horizon or a strict window
+  /// boundary.
+  [[nodiscard]] bool key_fired(ShardHandle handle, TimeNs t, std::uint64_t h,
+                               std::uint32_t k) const {
+    const Shard& s = *static_cast<const Shard*>(handle);
+    if (t < s.now) return true;
+    if (t > s.now) return false;
+    if (s.in_event) return h < s.cur_raw_h || (h == s.cur_raw_h && k < s.cur_raw_k);
+    return s.now_inclusive;
+  }
+
+  /// Fused link pipelines (one resident calendar event per busy link instead
+  /// of two events per packet hop).  Default on; UFAB_FUSED_LINKS=0 is the
+  /// escape hatch / A-B baseline.  Links consult this at commit time, so it
+  /// must not change once packets are in flight.
+  [[nodiscard]] bool fused_links() const { return fused_links_; }
+  void set_fused_links(bool on) {
+    UFAB_CHECK_MSG(events_processed() == 0, "set_fused_links after events ran");
+    fused_links_ = on;
   }
 
   // --- per-shard introspection (obs gauges, tests; read between runs) ---
@@ -439,6 +532,13 @@ class Simulator {
     std::uint64_t cur_id = 0;
     std::uint32_t cur_k = 0;
     bool in_event = false;
+    // Raw (h, k) key of the executing event — the key_fired() frontier.
+    std::uint64_t cur_raw_h = 0;
+    std::uint32_t cur_raw_k = 0;
+    /// Whether events at exactly `now` are guaranteed processed: true after
+    /// an inclusive horizon (run_until's t), false while parked at a strict
+    /// window boundary (events at the boundary run in the next window).
+    bool now_inclusive = true;
 
     // Cross-shard machinery (the mailboxes themselves are per-(src,dst)
     // simulator members; see cross_ch_/ret_ch_).
@@ -607,6 +707,9 @@ class Simulator {
     if (canonical_) {
       s.cur_id = event_identity(ev.h, ev.k);
       s.cur_k = 0;
+      s.cur_raw_h = ev.h;
+      s.cur_raw_k = ev.k;
+      s.now_inclusive = false;  // same-instant events may still be pending
       s.in_event = true;
       ev.fn();
       s.in_event = false;
@@ -657,7 +760,7 @@ class Simulator {
   void reset_channels();
   void note_injected_progress();
   [[nodiscard]] TimeNs earliest_pending();
-  void set_clocks(TimeNs t);
+  void set_clocks(TimeNs t, bool inclusive);
   [[nodiscard]] bool inject_crossings(TimeNs le_mark);
   void worker_main(int shard_index);
   static void foreign_release_sink(void* ctx, PacketPool* owner, Packet* p);
@@ -682,6 +785,7 @@ class Simulator {
   TimeNs lookahead_ = TimeNs::max();
   std::uint32_t root_k_ = 0;  ///< FIFO counter for root-context scheduling.
 
+  bool fused_links_ = true;  ///< Fused link pipelines (UFAB_FUSED_LINKS=0 off).
   bool adaptive_ = true;    ///< Multi-window epochs + solo barrier skipping.
   int epoch_windows_ = 16;  ///< Lookahead windows per coordinator barrier.
   std::vector<TimeNs> shard_out_la_;  ///< Per-shard outgoing cut lookahead.

@@ -25,6 +25,25 @@ void Switch::set_ecmp_ports(HostId dst, std::vector<std::int32_t> ports) {
   const auto idx = static_cast<std::size_t>(dst.value());
   if (ecmp_.size() <= idx) ecmp_.resize(idx + 1);
   ecmp_[idx] = std::move(ports);
+  fib_compiled_ = false;  // stale until the next compile_fib()
+}
+
+void Switch::compile_fib() {
+  fib_direct_.assign(ecmp_.size(), kNoRoute);
+  fib_offsets_.assign(1, 0);
+  fib_ports_.clear();
+  for (std::size_t i = 0; i < ecmp_.size(); ++i) {
+    const auto& candidates = ecmp_[i];
+    if (candidates.empty()) continue;
+    if (candidates.size() == 1) {
+      fib_direct_[i] = candidates[0];
+      continue;
+    }
+    fib_direct_[i] = kMultiBase - static_cast<std::int32_t>(fib_offsets_.size() - 1);
+    fib_ports_.insert(fib_ports_.end(), candidates.begin(), candidates.end());
+    fib_offsets_.push_back(static_cast<std::uint32_t>(fib_ports_.size()));
+  }
+  fib_compiled_ = true;
 }
 
 void Switch::set_egress_processor(std::int32_t port, EgressProcessor* proc) {
@@ -38,6 +57,18 @@ void Switch::set_obs(obs::Obs* obs) {
 
 std::int32_t Switch::select_port(const Packet& pkt) const {
   const auto idx = static_cast<std::size_t>(pkt.dst_host.value());
+  if (fib_compiled_) {
+    if (idx >= fib_direct_.size()) return kNoRoute;
+    const std::int32_t entry = fib_direct_[idx];
+    if (entry >= kNoRoute) return entry;  // single egress port, or no route
+    const auto row = static_cast<std::size_t>(kMultiBase - entry);
+    const std::uint32_t begin = fib_offsets_[row];
+    const std::uint32_t count = fib_offsets_[row + 1] - begin;
+    // Flow-level ECMP: hash of (VM pair, message) plus this switch's salt.
+    const std::uint64_t flow_key = pkt.pair.key() ^ mix64(pkt.message_id);
+    const std::uint64_t h = mix64(flow_key ^ hash_salt_);
+    return fib_ports_[begin + h % count];
+  }
   if (idx >= ecmp_.size() || ecmp_[idx].empty()) return -1;
   const auto& candidates = ecmp_[idx];
   if (candidates.size() == 1) return candidates[0];

@@ -41,10 +41,24 @@ class Switch : public Node {
   /// Installs the ECMP candidate ports toward a destination host.
   void set_ecmp_ports(HostId dst, std::vector<std::int32_t> ports);
 
+  /// Compiles the ECMP tables into a flat FIB: one dense host->entry array
+  /// where the common single-path entry is the port itself and multi-path
+  /// entries index a CSR candidate pool.  Steady-state forwarding becomes a
+  /// single array load instead of a nested-vector walk.  Called by
+  /// Network::finalize(); installing new ECMP ports afterwards falls back to
+  /// the uncompiled table until the next compile.  Selection is unchanged:
+  /// the same hash over the same candidate order, with the salt read at
+  /// lookup time so set_hash_polarization() still applies.
+  void compile_fib();
+
   /// Hash salt for ECMP; distinct per switch unless polarization is modeled.
   void set_hash_salt(std::uint64_t salt) { hash_salt_ = salt; }
 
   void set_egress_processor(std::int32_t port, EgressProcessor* proc);
+
+  /// The forwarding decision alone (source route or FIB), without the egress
+  /// side effects — benchmark/test hook for the lookup path.
+  [[nodiscard]] std::int32_t forwarding_port(const Packet& pkt) const { return select_port(pkt); }
 
   [[nodiscard]] Link& port(std::int32_t idx) { return *ports_.at(static_cast<std::size_t>(idx)); }
   [[nodiscard]] std::int32_t port_count() const { return static_cast<std::int32_t>(ports_.size()); }
@@ -60,6 +74,15 @@ class Switch : public Node {
   std::vector<std::unique_ptr<Link>> ports_;
   std::vector<EgressProcessor*> processors_;
   std::vector<std::vector<std::int32_t>> ecmp_;  // indexed by dst HostId
+  /// Flat FIB (compile_fib).  fib_direct_[dst] >= 0 is the single egress
+  /// port; kNoRoute means unreachable; <= kMultiBase encodes a candidate set
+  /// at CSR row (kMultiBase - value) in fib_offsets_/fib_ports_.
+  static constexpr std::int32_t kNoRoute = -1;
+  static constexpr std::int32_t kMultiBase = -2;
+  bool fib_compiled_ = false;
+  std::vector<std::int32_t> fib_direct_;
+  std::vector<std::uint32_t> fib_offsets_;
+  std::vector<std::int32_t> fib_ports_;
   std::uint64_t hash_salt_ = 0;
   std::int64_t no_route_drops_ = 0;
   obs::Obs* obs_ = nullptr;

@@ -43,23 +43,24 @@ void CoreAgent::on_probe_egress(sim::Packet& pkt, sim::Link& link, TimeNs now) {
   }
   handle_probe(pkt, now);
   // Write the INT record after updating the registers (workflow step 3: the
-  // probe carries the *updated* aggregate downstream).
-  sim::IntRecord rec{
-      .link = link.id(),
-      .phi_total = phi_total_,
-      .window_total = window_total_,
-      .tx_bytes_cum = link.tx_bytes_cum(),
-      .stamp = now,
-      .tx_rate_hint = link.tx_rate(),
-      .queue_bytes = link.queue_bytes(),
-      .capacity = link.capacity(),
-  };
-  if (cfg_.quantize_int) IntCodec::quantize(rec);
+  // probe carries the *updated* aggregate downstream).  The record is
+  // composed directly in the probe's inline INT stack — no stack temporary
+  // copied in, no wire-struct round trip when quantizing (DESIGN.md §13).
+  sim::IntRecord& rec = pkt.telemetry.emplace_back();
+  rec.link = link.id();
+  rec.phi_total = phi_total_;
+  rec.window_total = window_total_;
+  rec.tx_bytes_cum = link.tx_bytes_cum();
+  rec.stamp = now;
+  rec.tx_rate_hint = link.tx_rate();
+  rec.queue_bytes = link.queue_bytes();
+  rec.capacity = link.capacity();
+  if (cfg_.quantize_int) IntCodec::quantize_inline(rec, speed_class_cached(rec.capacity));
   if (tamper_ && !tamper_(rec, now)) {
     ++suppressed_records_;
+    pkt.telemetry.pop_back();
     return;
   }
-  pkt.telemetry.push_back(rec);
 #if !defined(UFAB_OBS_DISABLED)
   if (obs_ != nullptr) {
     obs::TraceEvent ev;
@@ -75,6 +76,15 @@ void CoreAgent::on_probe_egress(sim::Packet& pkt, sim::Link& link, TimeNs now) {
     obs_->record(ev);
   }
 #endif
+}
+
+int CoreAgent::speed_class_cached(Bandwidth capacity) {
+  const double bps = capacity.bits_per_sec();
+  if (bps != cached_cap_bps_) {
+    cached_cap_bps_ = bps;
+    cached_cls_ = IntCodec::speed_class(capacity);
+  }
+  return cached_cls_;
 }
 
 void CoreAgent::reset_state() {

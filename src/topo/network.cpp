@@ -153,6 +153,10 @@ void Network::finalize() {
       sw->set_ecmp_ports(HostId{static_cast<std::int32_t>(h)}, std::move(ports));
     }
   }
+  // Flatten every switch's ECMP table into its steady-state FIB.
+  for (auto& n : nodes_) {
+    if (auto* sw = dynamic_cast<sim::Switch*>(n.get())) sw->compile_fib();
+  }
 }
 
 void Network::set_hash_polarization(bool polarized) {

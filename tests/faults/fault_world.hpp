@@ -24,10 +24,13 @@ struct FaultWorld {
   harness::Fabric fab;
   FaultPlane plane;
 
+  /// `shards` > 0 switches the engine into canonical sharded mode before any
+  /// instrumentation schedules events (configure_sharding must come first).
   explicit FaultWorld(const harness::Fabric::Builder& builder, edge::EdgeConfig cfg = {},
                       telemetry::CoreConfig core = fault_test_core_config(),
-                      std::uint64_t seed = 7, std::uint64_t fault_seed = 42)
+                      std::uint64_t seed = 7, std::uint64_t fault_seed = 42, int shards = 0)
       : fab(builder, seed), plane(fab, fault_seed) {
+    if (shards > 0) fab.configure_sharding(shards, sim::ShardExec::kSequential);
     fab.instrument_cores(core);
     for (std::size_t h = 0; h < fab.net().host_count(); ++h) {
       const HostId host{static_cast<std::int32_t>(h)};

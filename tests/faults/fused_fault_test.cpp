@@ -1,0 +1,113 @@
+// Fused link pipelines under fault injection (DESIGN.md §13): a flap schedule
+// must produce identical recovery behaviour whether the engine runs the fused
+// or the legacy serializer, on any partition.  The fault plane pins flapped
+// links back to the legacy path on every partition (a fused cut link's
+// eagerly posted crossings could not be recalled by set_down), so the pin
+// itself must be schedule-neutral.
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "tests/faults/fault_world.hpp"
+
+namespace ufab::faults {
+namespace {
+
+using namespace ufab::time_literals;
+using namespace ufab::unit_literals;
+
+/// Scoped setenv, restored on destruction.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) saved_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~EnvGuard() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  EnvGuard(const EnvGuard&) = delete;
+  EnvGuard& operator=(const EnvGuard&) = delete;
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+struct FlapOutcome {
+  std::int64_t link_downs = 0;
+  std::int64_t drops = 0;
+  double rate_during = 0.0;
+  double rate_after = 0.0;
+  std::uint64_t events = 0;
+
+  bool operator==(const FlapOutcome&) const = default;
+};
+
+/// A backlogged pair across a leaf-spine whose ToR uplink flaps repeatedly
+/// mid-stream; shards > 0 switches the engine into canonical sharded mode
+/// (which is what makes the fused path eligible at all), and at 2 shards the
+/// flapped uplink is a cut link — the case the fault plane's pin protects.
+FlapOutcome run_flap_scenario(bool fused, int shards) {
+  EnvGuard g("UFAB_FUSED_LINKS", fused ? nullptr : "0");
+  FaultWorld w([](sim::Simulator& s) { return topo::make_leaf_spine(s, 2, 2, 2); }, {},
+               fault_test_core_config(), 7, 42, shards);
+  const TenantId t = w.fab.vms().add_tenant("A", 2_Gbps);
+  const VmPairId pair{w.fab.vms().add_vm(t, HostId{0}), w.fab.vms().add_vm(t, HostId{2})};
+  w.fab.keep_backlogged(pair, 0_ms, 30_ms);
+  // uFAB source-routes the pair over one of the two spines; flap both ToR-0
+  // uplinks so the outage hits the chosen trunk regardless of which spine the
+  // edge picked.  The plane pins both to the legacy serializer at arm time
+  // (before any traffic), while every other link stays fused.  Three 1 ms
+  // outages, one per 4 ms period, each aborting in-flight serializations.
+  const auto paths = w.fab.net().paths(HostId{0}, HostId{2});
+  const LinkId up0 = paths[0].links[1];
+  const LinkId up1 = paths[1].links[1];
+  w.plane.flap(up0, 5_ms, 6_ms, 3, 4_ms);
+  w.plane.flap(up1, 5_ms, 6_ms, 3, 4_ms);
+  w.plane.arm();
+  w.fab.sim().run_until(30_ms);
+
+  FlapOutcome out;
+  out.link_downs = w.plane.counters().link_downs;
+  out.drops = w.fab.net().link(up0)->drops() + w.fab.net().link(up1)->drops();
+  out.rate_during = w.pair_rate_gbps(pair, 5_ms, 17_ms);
+  out.rate_after = w.pair_rate_gbps(pair, 20_ms, 30_ms);
+  out.events = w.fab.sim().events_processed();
+  return out;
+}
+
+TEST(FusedFaults, FlapRecoveryIdenticalAcrossSerializersAndPartitions) {
+  const FlapOutcome legacy = run_flap_scenario(false, 1);
+  ASSERT_EQ(legacy.link_downs, 6);
+  EXPECT_GT(legacy.drops, 0);           // the flap aborted live traffic
+  EXPECT_GT(legacy.rate_after, 1.5);    // and the pair recovered
+  // The flapped trunk is pinned to the legacy serializer, but every other
+  // link still fuses — all observables must nonetheless match bit for bit.
+  const FlapOutcome fused = run_flap_scenario(true, 1);
+  EXPECT_EQ(fused.link_downs, legacy.link_downs);
+  EXPECT_EQ(fused.drops, legacy.drops);
+  EXPECT_EQ(fused.rate_during, legacy.rate_during);
+  EXPECT_EQ(fused.rate_after, legacy.rate_after);
+  EXPECT_LT(fused.events, legacy.events);
+
+  // Partition-invariance with faults armed: the pin applies on every
+  // partition, so event counts and statistics stay bit-identical.
+  const FlapOutcome fused2 = run_flap_scenario(true, 2);
+  EXPECT_EQ(fused2, fused);
+  const FlapOutcome legacy2 = run_flap_scenario(false, 2);
+  EXPECT_EQ(legacy2, legacy);
+}
+
+}  // namespace
+}  // namespace ufab::faults

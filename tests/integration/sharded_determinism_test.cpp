@@ -144,6 +144,30 @@ TEST(ShardedDeterminism, AdaptiveEpochsAreScheduleNeutral) {
   EXPECT_EQ(legacy, run_with_shards("8", "seq", Scheme::kUfab, 41, "0"));
 }
 
+TEST(ShardedDeterminism, FusedLinksMatchLegacySerializerBitForBit) {
+  // UFAB_FUSED_LINKS=0 is the escape hatch back to the two-event serializer;
+  // with it on (the default) every observable statistic must survive byte
+  // for byte — only the event count may change, and it must shrink.
+  auto run_fused = [](const char* shards, const char* exec, const char* fused) {
+    EnvGuard g("UFAB_FUSED_LINKS", fused);
+    return run_with_shards(shards, exec, Scheme::kUfab, 41);
+  };
+  const Snapshot legacy = run_fused("1", nullptr, "0");
+  const Snapshot fused = run_fused("1", nullptr, nullptr);
+  ASSERT_FALSE(fused.fct_us.empty());
+  EXPECT_EQ(fused.pair_rates_gbps, legacy.pair_rates_gbps);
+  EXPECT_EQ(fused.fct_us, legacy.fct_us);
+  EXPECT_EQ(fused.dissatisfaction_pct, legacy.dissatisfaction_pct);
+  EXPECT_EQ(fused.drops, legacy.drops);
+  EXPECT_LT(fused.events, legacy.events);  // the point of fusing
+
+  // The fused schedule is itself partition- and executor-invariant...
+  EXPECT_EQ(fused, run_fused("4", "seq", nullptr));
+  EXPECT_EQ(fused, run_fused("4", "threads", nullptr));
+  // ...and so is the escape hatch.
+  EXPECT_EQ(legacy, run_fused("4", "threads", "0"));
+}
+
 TEST(ShardedDeterminism, HoldsAcrossSchemesAndSeeds) {
   struct Variant {
     Scheme scheme;

@@ -1,5 +1,7 @@
 // Tests for the Appendix-G INT wire codec, including an end-to-end check
 // that uFAB still converges when telemetry is wire-quantized.
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "src/harness/fabric.hpp"
@@ -59,6 +61,44 @@ TEST(IntCodec, SaturatesInsteadOfWrapping) {
   const auto dec = IntCodec::decode(enc, rec.link, rec.stamp);
   EXPECT_DOUBLE_EQ(dec.phi_total, 65535.0 * IntCodec::kRateUnitBps);
   EXPECT_EQ(dec.queue_bytes, 4095 * 1024);
+}
+
+TEST(IntCodec, QuantizeInlineMatchesWireRoundTripBitForBit) {
+  // The probe-egress fast path skips the packed wire struct; its output must
+  // still be the exact encode->decode composite, field by field and bit for
+  // bit, across ordinary, saturating, and off-grid-capacity records.
+  std::vector<sim::IntRecord> cases;
+  cases.push_back(sample_record());
+  cases.push_back(sim::IntRecord{});
+  cases.back().capacity = Bandwidth::gbps(10);
+  {
+    sim::IntRecord rec = sample_record();
+    rec.phi_total = 1e12;
+    rec.queue_bytes = 100'000'000;
+    cases.push_back(rec);
+  }
+  {
+    sim::IntRecord rec = sample_record();
+    rec.capacity = Bandwidth::gbps(95);  // snaps to the 100G class
+    rec.tx_rate_hint = Bandwidth::gbps(60);
+    rec.queue_bytes = 1;  // rounds up to one queue unit
+    cases.push_back(rec);
+  }
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    sim::IntRecord wire = cases[i];
+    IntCodec::quantize(wire);
+    sim::IntRecord inline_rec = cases[i];
+    IntCodec::quantize_inline(inline_rec, IntCodec::speed_class(cases[i].capacity));
+    EXPECT_EQ(inline_rec.link, wire.link) << "case " << i;
+    EXPECT_EQ(inline_rec.stamp.ns(), wire.stamp.ns()) << "case " << i;
+    EXPECT_EQ(inline_rec.phi_total, wire.phi_total) << "case " << i;
+    EXPECT_EQ(inline_rec.window_total, wire.window_total) << "case " << i;
+    EXPECT_EQ(inline_rec.tx_rate_hint.bits_per_sec(), wire.tx_rate_hint.bits_per_sec())
+        << "case " << i;
+    EXPECT_EQ(inline_rec.queue_bytes, wire.queue_bytes) << "case " << i;
+    EXPECT_EQ(inline_rec.capacity.bits_per_sec(), wire.capacity.bits_per_sec()) << "case " << i;
+    EXPECT_EQ(inline_rec.tx_bytes_cum, wire.tx_bytes_cum) << "case " << i;
+  }
 }
 
 TEST(IntCodec, ZeroRecordStaysZero) {
